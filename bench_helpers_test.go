@@ -1,0 +1,11 @@
+package metachaos_test
+
+import (
+	"metachaos"
+	"metachaos/internal/mbparti"
+)
+
+// buildGhost keeps the benchmark file free of internal plumbing.
+func buildGhost(p *metachaos.Proc, a *metachaos.MBPartiArray) (*mbparti.GhostSchedule, error) {
+	return mbparti.BuildGhostSchedule(p, p.Comm(), a)
+}

@@ -1,0 +1,239 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus the design-choice ablations and a few substrate
+// microbenchmarks.  The per-iteration custom metrics are virtual
+// milliseconds on the simulated machines (the reproduction's
+// measurements); ns/op is the host cost of running the simulation.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package metachaos_test
+
+import (
+	"testing"
+
+	"metachaos"
+	"metachaos/internal/exp"
+)
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Table1()
+		b.ReportMetric(t.Rows[0].Values[0], "inspector-vms@2")
+		b.ReportMetric(t.Rows[1].Values[0], "executor-vms@2")
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Table2()
+		b.ReportMetric(t.Rows[2].Values[0], "coop-sched-vms@2")
+		b.ReportMetric(t.Rows[4].Values[0], "dup-sched-vms@2")
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t3, _ := exp.Tables34()
+		b.ReportMetric(t3.Rows[0].Values[0], "sched-vms@2x2")
+		b.ReportMetric(t3.Rows[2].Values[2], "sched-vms@8x8")
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t4 := exp.Tables34()
+		b.ReportMetric(t4.Rows[0].Values[0], "copy-vms@2x2")
+		b.ReportMetric(t4.Rows[2].Values[2], "copy-vms@8x8")
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Table5()
+		b.ReportMetric(t.Rows[1].Values[0], "parti-copy-vms@2")
+		b.ReportMetric(t.Rows[3].Values[0], "mc-copy-vms@2")
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Figure10()
+		b.ReportMetric(t.Rows[4].Values[3], "total-vms@8procs")
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Figure11()
+		b.ReportMetric(t.Rows[4].Values[3], "total-vms@8procs")
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Figure12()
+		b.ReportMetric(t.Rows[4].Values[3], "total-vms@8procs")
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Figure13()
+		b.ReportMetric(t.Rows[4].Values[3], "total-vms@8procs-20vec")
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Figure14()
+		last := len(t.Rows[4].Values) - 1
+		b.ReportMetric(t.Rows[4].Values[last], "total-vms@20vec")
+	}
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Figure15()
+		b.ReportMetric(t.Rows[0].Values[2], "breakeven-vecs@1client-8server")
+	}
+}
+
+func BenchmarkAblationAggregation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.AblationAggregation()
+		b.ReportMetric(t.Rows[1].Values[0]/t.Rows[0].Values[0], "slowdown-x@2")
+	}
+}
+
+func BenchmarkAblationTTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.AblationTTable()
+		b.ReportMetric(t.Rows[0].Values[0]/t.Rows[1].Values[0], "paged-vs-replicated-x@2")
+	}
+}
+
+func BenchmarkAblationScheduleReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.AblationScheduleReuse()
+		b.ReportMetric(t.Rows[1].Values[0]/t.Rows[0].Values[0], "rebuild-slowdown-x@2")
+	}
+}
+
+func BenchmarkAblationRLE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.AblationRLE()
+		b.ReportMetric(t.Rows[1].Values[0], "regular-wire-bytes")
+	}
+}
+
+// Substrate microbenchmarks: host-side cost of the core machinery.
+
+func BenchmarkScheduleBuildRegular(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		metachaos.RunSPMD(metachaos.Ideal(), 4, func(p *metachaos.Proc) {
+			ctx := metachaos.NewCtx(p, p.Comm())
+			src := metachaos.NewHPFArray(metachaos.Block2D(256, 256, 4), p.Rank())
+			dst := metachaos.NewHPFArray(metachaos.Block2D(256, 256, 4), p.Rank())
+			_, err := metachaos.ComputeSchedule(metachaos.SingleProgram(p.Comm()),
+				&metachaos.Spec{Lib: metachaos.HPF, Obj: src,
+					Set: metachaos.NewSetOfRegions(metachaos.NewSection([]int{0, 0}, []int{128, 256})), Ctx: ctx},
+				&metachaos.Spec{Lib: metachaos.HPF, Obj: dst,
+					Set: metachaos.NewSetOfRegions(metachaos.NewSection([]int{128, 0}, []int{256, 256})), Ctx: ctx},
+				metachaos.Cooperation)
+			if err != nil {
+				panic(err)
+			}
+		})
+	}
+}
+
+func BenchmarkMoveThroughput(b *testing.B) {
+	// Host cost per moved element across a 4-process exchange.
+	const elems = 128 * 256
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		metachaos.RunSPMD(metachaos.Ideal(), 4, func(p *metachaos.Proc) {
+			ctx := metachaos.NewCtx(p, p.Comm())
+			src := metachaos.NewHPFArray(metachaos.Block2D(256, 256, 4), p.Rank())
+			dst := metachaos.NewHPFArray(metachaos.Block2D(256, 256, 4), p.Rank())
+			sched, err := metachaos.ComputeSchedule(metachaos.SingleProgram(p.Comm()),
+				&metachaos.Spec{Lib: metachaos.HPF, Obj: src,
+					Set: metachaos.NewSetOfRegions(metachaos.NewSection([]int{0, 0}, []int{128, 256})), Ctx: ctx},
+				&metachaos.Spec{Lib: metachaos.HPF, Obj: dst,
+					Set: metachaos.NewSetOfRegions(metachaos.NewSection([]int{128, 0}, []int{256, 256})), Ctx: ctx},
+				metachaos.Duplication)
+			if err != nil {
+				panic(err)
+			}
+			sched.Move(src, dst)
+		})
+	}
+	b.ReportMetric(float64(elems), "elems/move")
+}
+
+func BenchmarkChaosLookup(b *testing.B) {
+	// Host cost of one collective translation-table lookup round
+	// (16384 lookups over 4 processes).
+	for i := 0; i < b.N; i++ {
+		metachaos.RunSPMD(metachaos.Ideal(), 4, func(p *metachaos.Proc) {
+			ctx := metachaos.NewCtx(p, p.Comm())
+			var mine []int32
+			for g := p.Rank(); g < 16384; g += 4 {
+				mine = append(mine, int32(g))
+			}
+			arr, err := metachaos.NewChaosArray(ctx, mine)
+			if err != nil {
+				panic(err)
+			}
+			req := make([]int32, 4096)
+			for k := range req {
+				req[k] = int32((k*7 + p.Rank()) % 16384)
+			}
+			arr.Table().Lookup(ctx, req)
+		})
+	}
+}
+
+func BenchmarkGhostExchange(b *testing.B) {
+	// Host cost of a 256x256 halo exchange over 4 processes, 10 steps.
+	for i := 0; i < b.N; i++ {
+		metachaos.RunSPMD(metachaos.Ideal(), 4, func(p *metachaos.Proc) {
+			a, err := metachaos.NewMBPartiArray(metachaos.Block2D(256, 256, 4), p.Rank(), 1)
+			if err != nil {
+				panic(err)
+			}
+			gs, err := buildGhost(p, a)
+			if err != nil {
+				panic(err)
+			}
+			for s := 0; s < 10; s++ {
+				gs.Exchange(p, a)
+			}
+		})
+	}
+}
+
+func BenchmarkAlltoall(b *testing.B) {
+	// Host cost of an 8-way alltoall of 4KB buffers, 10 rounds.
+	for i := 0; i < b.N; i++ {
+		metachaos.RunSPMD(metachaos.Ideal(), 8, func(p *metachaos.Proc) {
+			bufs := make([][]byte, 8)
+			for j := range bufs {
+				bufs[j] = make([]byte, 4096)
+			}
+			for r := 0; r < 10; r++ {
+				p.Comm().Alltoall(bufs)
+			}
+		})
+	}
+}
+
+func BenchmarkExtensionMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sched, copyT := exp.ExtensionMatrix()
+		// Headline: chaos-involving schedule vs pure-regular schedule.
+		b.ReportMetric(sched.Rows[2].Values[0], "chaos-to-mbparti-sched-vms")
+		b.ReportMetric(copyT.Rows[0].Values[1], "mbparti-to-hpf-copy-vms")
+	}
+}

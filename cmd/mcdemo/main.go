@@ -1,0 +1,206 @@
+// Command mcdemo gives a two-minute tour: it lists the registered
+// data-parallel libraries, moves data between every pair of libraries
+// that share an element width, and prints the message statistics that
+// back the paper's aggregation claim.
+package main
+
+import (
+	"fmt"
+
+	"metachaos"
+)
+
+const n = 30
+
+func main() {
+	fmt.Println("registered data-parallel libraries:")
+	for _, name := range registered() {
+		fmt.Printf("  - %s\n", name)
+	}
+	fmt.Println()
+
+	pairs := [][2]string{
+		{"hpf", "chaos"},
+		{"chaos", "mbparti"},
+		{"mbparti", "hpf"},
+		{"pcxx", "hpf"},
+		{"chaos", "pcxx"},
+		{"lparx", "hpf"},
+		{"mbparti", "lparx"},
+	}
+	for _, pair := range pairs {
+		demoPair(pair[0], pair[1])
+	}
+}
+
+func registered() []string {
+	// The registry is populated by the library packages' init
+	// functions, which importing the root package triggers.
+	return metachaosRegistered
+}
+
+var metachaosRegistered = func() []string {
+	names := []string{}
+	for _, n := range []string{"chaos", "hpf", "lparx", "mbparti", "pcxx"} {
+		if _, err := metachaos.LookupLibrary(n); err == nil {
+			names = append(names, n)
+		}
+	}
+	return names
+}()
+
+// demoPair copies n elements from a srcKind-distributed structure to a
+// dstKind-distributed one and reports correctness plus traffic.
+func demoPair(srcKind, dstKind string) {
+	const nprocs = 3
+	ok := true
+	stats := metachaos.RunSPMD(metachaos.SP2(), nprocs, func(p *metachaos.Proc) {
+		ctx := metachaos.NewCtx(p, p.Comm())
+		srcObj, srcSet := makeSide(ctx, p, srcKind, true)
+		dstObj, dstSet := makeSide(ctx, p, dstKind, false)
+		sched, err := metachaos.ComputeSchedule(metachaos.SingleProgram(p.Comm()),
+			&metachaos.Spec{Lib: lib(srcKind), Obj: srcObj, Set: srcSet, Ctx: ctx},
+			&metachaos.Spec{Lib: lib(dstKind), Obj: dstObj, Set: dstSet, Ctx: ctx},
+			metachaos.Cooperation)
+		if err != nil {
+			panic(err)
+		}
+		sched.Move(srcObj, dstObj)
+		if !verify(p, dstKind, dstObj) {
+			ok = false
+		}
+	})
+	status := "ok"
+	if !ok {
+		status = "MISMATCH"
+	}
+	fmt.Printf("%-8s -> %-8s  %s   (%3d msgs, %5d bytes, %.3f virtual ms)\n",
+		srcKind, dstKind, status, stats.TotalMsgs(), stats.TotalBytes(), stats.MakespanSeconds*1000)
+}
+
+func lib(kind string) metachaos.LibraryIface {
+	l, err := metachaos.LookupLibrary(kind)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// makeSide builds an n-element distributed structure of the given
+// library flavour; sources hold value 3*g+1 at global element g.
+func makeSide(ctx *metachaos.Ctx, p *metachaos.Proc, kind string, fill bool) (metachaos.DistObject, *metachaos.SetOfRegions) {
+	nprocs := p.Size()
+	switch kind {
+	case "hpf":
+		a := metachaos.NewHPFArray(metachaos.BlockVector(n, nprocs), p.Rank())
+		if fill {
+			a.FillGlobal(func(c []int) float64 { return float64(3*c[0] + 1) })
+		}
+		return a, metachaos.NewSetOfRegions(metachaos.FullSection(metachaos.Shape{n}))
+	case "mbparti":
+		a, err := metachaos.NewMBPartiArray(metachaos.BlockVector(n, nprocs), p.Rank(), 0)
+		if err != nil {
+			panic(err)
+		}
+		if fill {
+			a.FillGlobal(func(c []int) float64 { return float64(3*c[0] + 1) })
+		}
+		return a, metachaos.NewSetOfRegions(metachaos.FullSection(metachaos.Shape{n}))
+	case "chaos":
+		var mine []int32
+		for g := n - 1 - p.Rank(); g >= 0; g -= nprocs {
+			mine = append(mine, int32(g))
+		}
+		a, err := metachaos.NewChaosArray(ctx, mine)
+		if err != nil {
+			panic(err)
+		}
+		if fill {
+			a.FillGlobal(func(g int32) float64 { return float64(3*g + 1) })
+		}
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		return a, metachaos.NewSetOfRegions(metachaos.IndexRegion(idx))
+	case "lparx":
+		// Two patches covering [0, n) as a 1-D strip split unevenly.
+		cut := n/3 + 1
+		dec, err := metachaos.NewLPARXDecomposition(nprocs, []metachaos.LPARXPatch{
+			{Lo: []int{0}, Hi: []int{cut}, Owner: 0},
+			{Lo: []int{cut}, Hi: []int{n}, Owner: nprocs - 1},
+		})
+		if err != nil {
+			panic(err)
+		}
+		g := metachaos.NewLPARXGrid(dec, p.Rank())
+		if fill {
+			g.FillGlobal(func(c []int) float64 { return float64(3*c[0] + 1) })
+		}
+		return g, metachaos.NewSetOfRegions(metachaos.BoxRegion{Lo: []int{0}, Hi: []int{n}})
+	case "pcxx":
+		c, err := metachaos.NewPCXXCollection(n, nprocs, 1, p.Rank())
+		if err != nil {
+			panic(err)
+		}
+		if fill {
+			c.ForEachOwned(func(i int, elem []float64) { elem[0] = float64(3*i + 1) })
+		}
+		return c, metachaos.NewSetOfRegions(metachaos.RangeRegion{Lo: 0, Hi: n, Step: 1})
+	}
+	panic("unknown kind " + kind)
+}
+
+// verify checks that destination element g holds 3*g+1 for the
+// elements the calling process owns.
+func verify(p *metachaos.Proc, kind string, obj metachaos.DistObject) bool {
+	want := func(g int) float64 { return float64(3*g + 1) }
+	switch kind {
+	case "hpf":
+		a := obj.(*metachaos.HPFArray)
+		lo, hi, _ := a.Dist().LocalBox(p.Rank())
+		for g := lo[0]; g < hi[0]; g++ {
+			if a.Get([]int{g}) != want(g) {
+				return false
+			}
+		}
+	case "mbparti":
+		a := obj.(*metachaos.MBPartiArray)
+		lo, hi, _ := a.Dist().LocalBox(p.Rank())
+		for g := lo[0]; g < hi[0]; g++ {
+			if a.Get([]int{g}) != want(g) {
+				return false
+			}
+		}
+	case "chaos":
+		a := obj.(*metachaos.ChaosArray)
+		for k, g := range a.Indices() {
+			if a.GetLocal(k) != want(int(g)) {
+				return false
+			}
+		}
+	case "lparx":
+		g := obj.(*metachaos.LPARXGrid)
+		for i := 0; i < g.Dec().NumPatches(); i++ {
+			pt := g.Dec().Patch(i)
+			if pt.Owner != p.Rank() {
+				continue
+			}
+			for x := pt.Lo[0]; x < pt.Hi[0]; x++ {
+				if g.Get([]int{x}) != want(x) {
+					return false
+				}
+			}
+		}
+	case "pcxx":
+		c := obj.(*metachaos.PCXXCollection)
+		okAll := true
+		c.ForEachOwned(func(i int, elem []float64) {
+			if elem[0] != want(i) {
+				okAll = false
+			}
+		})
+		return okAll
+	}
+	return true
+}

@@ -1,0 +1,54 @@
+// Command mcfigures regenerates the series behind the paper's Figures
+// 10-15 (the client/server experiments) on the simulated Alpha farm.
+//
+// Usage:
+//
+//	mcfigures             # all figures
+//	mcfigures -figure 14  # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"metachaos/internal/exp"
+)
+
+func main() {
+	figure := flag.Int("figure", 0, "figure number to regenerate (10-15); 0 runs all")
+	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned text")
+	plot := flag.Bool("plot", false, "render ASCII bar charts instead of tables")
+	flag.Parse()
+
+	render := func(t *exp.Table) string {
+		switch {
+		case *csv:
+			return t.CSV()
+		case *plot:
+			return t.Plot()
+		}
+		return t.Format()
+	}
+
+	figures := map[int]func() *exp.Table{
+		10: exp.Figure10,
+		11: exp.Figure11,
+		12: exp.Figure12,
+		13: exp.Figure13,
+		14: exp.Figure14,
+		15: exp.Figure15,
+	}
+	if *figure != 0 {
+		f, ok := figures[*figure]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mcfigures: no figure %d (have 10-15)\n", *figure)
+			os.Exit(2)
+		}
+		fmt.Println(render(f()))
+		return
+	}
+	for n := 10; n <= 15; n++ {
+		fmt.Println(render(figures[n]()))
+	}
+}

@@ -1,0 +1,82 @@
+// Command mctables regenerates the paper's Tables 1-5 on the simulated
+// machines and prints them next to the published numbers.
+//
+// Usage:
+//
+//	mctables            # all tables
+//	mctables -table 2   # one table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"metachaos/internal/exp"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number to regenerate (1-5); 0 runs all")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablations instead of the paper tables")
+	matrix := flag.Bool("matrix", false, "run the extension cross-library cost matrix")
+	app := flag.Bool("app", false, "run the end-to-end Figure 1 application profile")
+	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned text")
+	flag.Parse()
+
+	render := func(t *exp.Table) string {
+		if *csv {
+			return t.CSV()
+		}
+		return t.Format()
+	}
+
+	if *app {
+		fmt.Println(render(exp.Figure1Application()))
+		return
+	}
+	if *matrix {
+		e1a, e1b := exp.ExtensionMatrix()
+		fmt.Println(render(e1a))
+		fmt.Println(render(e1b))
+		return
+	}
+	if *ablations {
+		fmt.Println(render(exp.AblationAggregation()))
+		fmt.Println(render(exp.AblationTTable()))
+		fmt.Println(render(exp.AblationScheduleReuse()))
+		fmt.Println(render(exp.AblationRLE()))
+		return
+	}
+
+	run := func(n int) {
+		switch n {
+		case 1:
+			fmt.Println(render(exp.Table1()))
+		case 2:
+			fmt.Println(render(exp.Table2()))
+		case 3, 4:
+			t3, t4 := exp.Tables34()
+			if n == 3 {
+				fmt.Println(render(t3))
+			} else {
+				fmt.Println(render(t4))
+			}
+		case 5:
+			fmt.Println(render(exp.Table5()))
+		default:
+			fmt.Fprintf(os.Stderr, "mctables: no table %d (have 1-5)\n", n)
+			os.Exit(2)
+		}
+	}
+
+	if *table != 0 {
+		run(*table)
+		return
+	}
+	fmt.Println(render(exp.Table1()))
+	fmt.Println(render(exp.Table2()))
+	t3, t4 := exp.Tables34()
+	fmt.Println(render(t3))
+	fmt.Println(render(t4))
+	fmt.Println(render(exp.Table5()))
+}

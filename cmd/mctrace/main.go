@@ -1,0 +1,122 @@
+// Command mctrace runs a representative workload and prints its
+// communication structure: the process-pair message matrix, per-rank
+// traffic, and the virtual makespan.  It is the quickest way to see
+// what a Meta-Chaos schedule actually puts on the wire.
+//
+// Usage:
+//
+//	mctrace -workload remap|section|clientserver [-procs N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"metachaos"
+	"metachaos/internal/chaoslib"
+	"metachaos/internal/core"
+	"metachaos/internal/exp"
+)
+
+func main() {
+	workload := flag.String("workload", "section", "workload to trace: section, remap or clientserver")
+	procs := flag.Int("procs", 4, "process count (per program for clientserver)")
+	flag.Parse()
+
+	var stats *metachaos.Stats
+	switch *workload {
+	case "section":
+		stats = traceSection(*procs)
+	case "remap":
+		stats = traceRemap(*procs)
+	case "clientserver":
+		stats = traceClientServer(*procs)
+	default:
+		fmt.Fprintf(os.Stderr, "mctrace: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	report(stats)
+}
+
+// traceSection runs a regular section copy between two block arrays.
+func traceSection(nprocs int) *metachaos.Stats {
+	const n = 64
+	return metachaos.RunSPMD(metachaos.SP2(), nprocs, func(p *metachaos.Proc) {
+		ctx := metachaos.NewCtx(p, p.Comm())
+		src := metachaos.NewHPFArray(metachaos.Block2D(n, n, nprocs), p.Rank())
+		dst := metachaos.NewHPFArray(metachaos.Block2D(n, n, nprocs), p.Rank())
+		src.FillGlobal(func(c []int) float64 { return float64(c[0]) })
+		sched, err := metachaos.ComputeSchedule(metachaos.SingleProgram(p.Comm()),
+			&metachaos.Spec{Lib: metachaos.HPF, Obj: src,
+				Set: metachaos.NewSetOfRegions(metachaos.NewSection([]int{0, 0}, []int{n / 2, n})), Ctx: ctx},
+			&metachaos.Spec{Lib: metachaos.HPF, Obj: dst,
+				Set: metachaos.NewSetOfRegions(metachaos.NewSection([]int{n / 2, 0}, []int{n, n})), Ctx: ctx},
+			metachaos.Cooperation)
+		if err != nil {
+			panic(err)
+		}
+		sched.Move(src, dst)
+	})
+}
+
+// traceRemap runs an irregular remap (translation-table traffic).
+func traceRemap(nprocs int) *metachaos.Stats {
+	const n = 1024
+	return metachaos.RunSPMD(metachaos.SP2(), nprocs, func(p *metachaos.Proc) {
+		ctx := core.NewCtx(p, p.Comm())
+		// Stride permutation as the "bad" initial distribution.
+		var mine []int32
+		for g := p.Rank(); g < n; g += nprocs {
+			mine = append(mine, int32((g*7)%n))
+		}
+		x, err := metachaos.NewChaosArray(ctx, mine)
+		if err != nil {
+			panic(err)
+		}
+		lo, hi := p.Rank()*n/nprocs, (p.Rank()+1)*n/nprocs
+		contiguous := make([]int32, hi-lo)
+		for g := lo; g < hi; g++ {
+			contiguous[g-lo] = int32(g)
+		}
+		if _, err := chaoslib.Remap(ctx, x, contiguous); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// traceClientServer runs one vector through the Figure 10 workload
+// via the experiment harness and reports its traffic.
+func traceClientServer(serverProcs int) *metachaos.Stats {
+	return exp.RunClientServerStats(exp.CSConfig{ClientProcs: 1, ServerProcs: serverProcs, Vectors: 1})
+}
+
+func report(st *metachaos.Stats) {
+	fmt.Printf("machine: %s\n", st.Machine)
+	fmt.Printf("virtual makespan: %.3f ms\n", st.MakespanSeconds*1000)
+	fmt.Printf("total: %d messages, %d bytes\n\n", st.TotalMsgs(), st.TotalBytes())
+
+	fmt.Println("per-rank traffic:")
+	for r := range st.PerRank {
+		rs := st.PerRank[r]
+		fmt.Printf("  rank %2d: sent %5d msgs / %8d B   recv %5d msgs / %8d B\n",
+			r, rs.MsgsSent, rs.BytesSent, rs.MsgsRecv, rs.BytesRecv)
+	}
+
+	fmt.Println("\nmessage matrix (from -> to: msgs/bytes):")
+	keys := make([]metachaos.PairKey, 0, len(st.Pairs))
+	for k := range st.Pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].From != keys[b].From {
+			return keys[a].From < keys[b].From
+		}
+		return keys[a].To < keys[b].To
+	})
+	for _, k := range keys {
+		ps := st.Pairs[k]
+		fmt.Printf("  %2d -> %2d: %4d msgs %8d B\n", k.From, k.To, ps.Msgs, ps.Bytes)
+	}
+}

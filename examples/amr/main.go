@@ -1,0 +1,102 @@
+// amr couples an adaptively refined level (LPARX-style patches) with a
+// uniform background mesh (Multiblock Parti): each step the coarse
+// solution is injected into the refined patches, the patches relax
+// with more iterations (they model the high-error region), and the
+// refined result is restored onto the coarse mesh — the classic AMR
+// coupling pattern, with Meta-Chaos moving data between the two
+// libraries' unrelated decompositions.
+//
+// Run with:
+//
+//	go run ./examples/amr
+package main
+
+import (
+	"fmt"
+
+	"metachaos"
+	"metachaos/internal/lparx"
+	"metachaos/internal/mbparti"
+)
+
+const (
+	n      = 16
+	nprocs = 2
+	steps  = 3
+)
+
+func main() {
+	stats := metachaos.RunSPMD(metachaos.SP2(), nprocs, func(p *metachaos.Proc) {
+		ctx := metachaos.NewCtx(p, p.Comm())
+
+		// Coarse uniform mesh.
+		coarse, err := metachaos.NewMBPartiArray(metachaos.Block2D(n, n, nprocs), p.Rank(), 1)
+		if err != nil {
+			panic(err)
+		}
+		coarse.FillGlobal(func(c []int) float64 { return float64(c[0] + c[1]) })
+		ghost, err := mbparti.BuildGhostSchedule(p, p.Comm(), coarse)
+		if err != nil {
+			panic(err)
+		}
+
+		// Refined level: an L of three patches hugging the origin.
+		dec, err := lparx.NewDecomposition(nprocs, []lparx.Patch{
+			{Lo: []int{0, 0}, Hi: []int{8, 8}, Owner: 0},
+			{Lo: []int{8, 0}, Hi: []int{16, 8}, Owner: 1},
+			{Lo: []int{0, 8}, Hi: []int{8, 16}, Owner: 1},
+		})
+		if err != nil {
+			panic(err)
+		}
+		fine := lparx.NewGrid(dec, p.Rank())
+
+		// One symmetric schedule per patch couples the levels.
+		var scheds []*metachaos.Schedule
+		for i := 0; i < dec.NumPatches(); i++ {
+			pt := dec.Patch(i)
+			s, err := metachaos.ComputeSchedule(metachaos.SingleProgram(p.Comm()),
+				&metachaos.Spec{Lib: metachaos.MBParti, Obj: coarse,
+					Set: metachaos.NewSetOfRegions(metachaos.NewSection(pt.Lo, pt.Hi)), Ctx: ctx},
+				&metachaos.Spec{Lib: lparx.Library, Obj: fine,
+					Set: metachaos.NewSetOfRegions(lparx.BoxRegion{Lo: pt.Lo, Hi: pt.Hi}), Ctx: ctx},
+				metachaos.Cooperation)
+			if err != nil {
+				panic(err)
+			}
+			scheds = append(scheds, s)
+		}
+
+		for step := 0; step < steps; step++ {
+			// Coarse relaxation.
+			ghost.Exchange(p, coarse)
+			mbparti.Stencil5(p, coarse)
+			// Inject coarse -> fine.
+			for _, s := range scheds {
+				s.Move(coarse, fine)
+			}
+			// "Refined" relaxation: extra smoothing on the fine level
+			// (pointwise damping stands in for a finer-grid solve).
+			local := fine.Local()
+			for i := range local {
+				local[i] *= 0.5
+			}
+			p.ChargeFlops(len(local))
+			// Restore fine -> coarse.
+			for _, s := range scheds {
+				s.MoveReverse(coarse, fine)
+			}
+		}
+
+		sum := 0.0
+		for _, v := range coarse.Local() {
+			sum += v
+		}
+		total := p.Comm().AllreduceFloat64(metachaos.OpSum, sum)
+		if p.Rank() == 0 {
+			fmt.Printf("after %d AMR-coupled steps: coarse checksum %.3f\n", steps, total)
+		}
+	})
+	fmt.Printf("simulated: %.2f virtual ms, %d messages\n",
+		stats.MakespanSeconds*1000, stats.TotalMsgs())
+}

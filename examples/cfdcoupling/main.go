@@ -1,0 +1,133 @@
+// cfdcoupling reproduces the paper's motivating example (Figure 1): a
+// time-stepped computation over a structured mesh (Multiblock Parti)
+// and an unstructured mesh (CHAOS) in one program, exchanging boundary
+// data between the meshes through Meta-Chaos every step.
+//
+//	Loop 1: forall sweep over the structured mesh a
+//	Loop 2: x(Reg2Irreg(i)) = a(...)   <- Meta-Chaos Move
+//	Loop 3: forall sweep over the unstructured mesh edges
+//	Loop 4: a(...) = x(Reg2Irreg(i))   <- Meta-Chaos MoveReverse
+//
+// Run with:
+//
+//	go run ./examples/cfdcoupling
+package main
+
+import (
+	"fmt"
+
+	"metachaos"
+	"metachaos/internal/chaoslib"
+	"metachaos/internal/mbparti"
+)
+
+const (
+	nprocs = 4
+	n      = 32 // structured mesh is n x n; unstructured has n*n nodes
+	steps  = 5
+)
+
+func main() {
+	stats := metachaos.RunSPMD(metachaos.SP2(), nprocs, func(p *metachaos.Proc) {
+		ctx := metachaos.NewCtx(p, p.Comm())
+
+		// Structured mesh with a one-cell halo for the 5-point sweep.
+		a, err := metachaos.NewMBPartiArray(metachaos.Block2D(n, n, nprocs), p.Rank(), 1)
+		if err != nil {
+			panic(err)
+		}
+		a.FillGlobal(func(c []int) float64 { return float64(c[0]+c[1]) / float64(n) })
+
+		// Unstructured mesh: the boundary nodes correspond to the
+		// structured mesh's right column; node i couples to cell (i, n-1).
+		// Nodes are dealt round-robin to make the distribution irregular.
+		var mine []int32
+		for g := p.Rank(); g < n; g += nprocs {
+			mine = append(mine, int32(g))
+		}
+		x, err := metachaos.NewChaosArray(ctx, mine)
+		if err != nil {
+			panic(err)
+		}
+		y := metachaos.NewAlignedChaosArray(x)
+
+		// Ring edges over the unstructured nodes; each process sweeps a
+		// contiguous chunk of edges (the ia/ib indirection arrays).
+		lo, hi := p.Rank()*n/nprocs, (p.Rank()+1)*n/nprocs
+		var ends []int32
+		for e := lo; e < hi; e++ {
+			ends = append(ends, int32(e), int32((e+1)%n))
+		}
+
+		// Inspectors: intra-mesh schedules plus the inter-mesh
+		// Meta-Chaos schedule (Reg2Irreg: node i <-> cell (i, n-1)).
+		ghost, err := mbparti.BuildGhostSchedule(p, p.Comm(), a)
+		if err != nil {
+			panic(err)
+		}
+		lz := chaoslib.Localize(ctx, x, ends)
+		ghX := make([]float64, lz.NGhost())
+		ghY := make([]float64, lz.NGhost())
+
+		boundary := metachaos.NewSection([]int{0, n - 1}, []int{n, n})
+		sched, err := metachaos.ComputeSchedule(metachaos.SingleProgram(p.Comm()),
+			&metachaos.Spec{Lib: metachaos.MBParti, Obj: a,
+				Set: metachaos.NewSetOfRegions(boundary), Ctx: ctx},
+			&metachaos.Spec{Lib: metachaos.Chaos, Obj: x,
+				Set: metachaos.NewSetOfRegions(metachaos.IndexRegion(seq(n))), Ctx: ctx},
+			metachaos.Cooperation)
+		if err != nil {
+			panic(err)
+		}
+
+		// Executors: the time-step loop.
+		for step := 0; step < steps; step++ {
+			// Loop 1: structured sweep.
+			ghost.Exchange(p, a)
+			mbparti.Stencil5(p, a)
+			// Loop 2: structured boundary -> unstructured nodes.
+			sched.Move(a, x)
+			// Loop 3: unstructured edge sweep accumulating into y, then
+			// fold y back into x for the next step.
+			for i := range ghY {
+				ghY[i] = 0
+			}
+			for i := range y.Local() {
+				y.Local()[i] = 0
+			}
+			lz.Gather(x, ghX)
+			for k := 0; k+1 < len(ends); k += 2 {
+				s1, s2 := lz.Slots[k], lz.Slots[k+1]
+				v := (chaoslib.Value(x, ghX, s1) + chaoslib.Value(x, ghX, s2)) / 4
+				chaoslib.Accumulate(y, ghY, s1, v)
+				chaoslib.Accumulate(y, ghY, s2, v)
+			}
+			lz.ScatterAdd(y, ghY)
+			for i, v := range y.Local() {
+				x.Local()[i] = v
+			}
+			// Loop 4: unstructured nodes -> structured boundary.
+			sched.MoveReverse(a, x)
+		}
+
+		// Report the coupled boundary from rank 0's perspective.
+		sum := 0.0
+		for _, v := range x.Local() {
+			sum += v
+		}
+		total := p.Comm().AllreduceFloat64(metachaos.OpSum, sum)
+		if p.Rank() == 0 {
+			fmt.Printf("after %d coupled steps: boundary checksum %.6f\n", steps, total)
+		}
+	})
+	fmt.Printf("simulated: %.2f virtual ms, %d messages\n",
+		stats.MakespanSeconds*1000, stats.TotalMsgs())
+}
+
+func seq(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}

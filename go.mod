@@ -1,0 +1,3 @@
+module metachaos
+
+go 1.22

@@ -1,0 +1,92 @@
+package chaoslib
+
+import (
+	"fmt"
+
+	"metachaos/internal/core"
+)
+
+// Array is one process's portion of an irregularly distributed array
+// of float64.  The distribution is recorded in a translation table;
+// several arrays may share one table (the paper's x and y node arrays
+// have the same distribution).
+type Array struct {
+	tt      *TTable
+	indices []int32 // global index of each local element, in storage order
+	data    []float64
+}
+
+// NewArray builds an irregular array owning the listed global indices
+// (in local storage order), constructing a fresh translation table.
+// Collective over ctx.Comm.
+func NewArray(ctx *core.Ctx, indices []int32) (*Array, error) {
+	tt, err := BuildTTable(ctx, indices, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Array{
+		tt:      tt,
+		indices: append([]int32(nil), indices...),
+		data:    make([]float64, len(indices)),
+	}, nil
+}
+
+// NewAligned builds an array with the same distribution as a, sharing
+// its translation table.  Purely local.
+func NewAligned(a *Array) *Array {
+	return &Array{
+		tt:      a.tt,
+		indices: a.indices,
+		data:    make([]float64, len(a.indices)),
+	}
+}
+
+// Table returns the array's translation table.
+func (a *Array) Table() *TTable { return a.tt }
+
+// Indices returns the global indices of the local elements, in storage
+// order.
+func (a *Array) Indices() []int32 { return a.indices }
+
+// ElemWords reports one word per element.
+func (a *Array) ElemWords() int { return 1 }
+
+// Local returns the local element storage.
+func (a *Array) Local() []float64 { return a.data }
+
+// GetLocal reads local slot k.
+func (a *Array) GetLocal(k int) float64 { return a.data[k] }
+
+// SetLocal writes local slot k.
+func (a *Array) SetLocal(k int, v float64) { a.data[k] = v }
+
+// FillGlobal sets each local element to f(globalIndex).
+func (a *Array) FillGlobal(f func(g int32) float64) {
+	for k, g := range a.indices {
+		a.data[k] = f(g)
+	}
+}
+
+// view is a descriptor-only remote image of an irregular array.
+type view struct {
+	tt *TTable
+}
+
+func (v *view) ElemWords() int   { return 1 }
+func (v *view) Local() []float64 { return nil }
+func (v *view) table() *TTable   { return v.tt }
+func (a *Array) table() *TTable  { return a.tt }
+
+// tabled is satisfied by both real arrays and remote views.
+type tabled interface {
+	core.DistObject
+	table() *TTable
+}
+
+func tableOf(o core.DistObject) *TTable {
+	tb, ok := o.(tabled)
+	if !ok {
+		panic(fmt.Sprintf("chaoslib: object of type %T is not a CHAOS array", o))
+	}
+	return tb.table()
+}

@@ -1,0 +1,144 @@
+package chaoslib
+
+import (
+	"fmt"
+
+	"metachaos/internal/codec"
+	"metachaos/internal/core"
+)
+
+// Meta-Chaos bindings: CHAOS's Region type is a set of global array
+// indices, and its dereference machinery is the translation table, so
+// every inquiry function is collective in the table's distributed form.
+
+// IndexRegion is a CHAOS region: an explicit list of global element
+// indices, linearized in list order.
+type IndexRegion []int32
+
+// Size returns the number of elements in the region.
+func (r IndexRegion) Size() int { return len(r) }
+
+// Lib implements the Meta-Chaos inquiry interface for CHAOS arrays.
+type Lib struct{}
+
+// Library is the registered CHAOS binding.
+var Library = Lib{}
+
+func init() { core.RegisterLibrary(Library) }
+
+// Name returns the registry name.
+func (Lib) Name() string { return "chaos" }
+
+func (Lib) region(set *core.SetOfRegions, i int) IndexRegion {
+	r, ok := set.Region(i).(IndexRegion)
+	if !ok {
+		panic(fmt.Sprintf("chaos: region %d has type %T, want IndexRegion", i, set.Region(i)))
+	}
+	return r
+}
+
+// DerefRange returns the locations of set positions [lo, hi).
+// Collective: a single translation-table lookup round serves the whole
+// range.
+func (l Lib) DerefRange(ctx *core.Ctx, o core.DistObject, set *core.SetOfRegions, lo, hi int) []core.Loc {
+	tt := tableOf(o)
+	indices := make([]int32, 0, hi-lo)
+	for _, span := range set.SplitRange(lo, hi) {
+		indices = append(indices, l.region(set, span.Index)[span.Lo:span.Hi]...)
+	}
+	return tt.Lookup(ctx, indices)
+}
+
+// DerefAt returns the locations of the given set positions.
+func (l Lib) DerefAt(ctx *core.Ctx, o core.DistObject, set *core.SetOfRegions, positions []int32) []core.Loc {
+	tt := tableOf(o)
+	indices := make([]int32, len(positions))
+	for i, pos := range positions {
+		ri, inner := set.RegionOf(int(pos))
+		indices[i] = l.region(set, ri)[inner]
+	}
+	ctx.P.ChargeMemOps(len(positions))
+	return tt.Lookup(ctx, indices)
+}
+
+// OwnedPositions chunks the set's positions over the program, looks
+// each chunk up, and routes every (position, offset) pair to its
+// owner: cost one lookup round plus one all-to-all, the same pattern
+// the original library used to invert a distribution.
+func (l Lib) OwnedPositions(ctx *core.Ctx, o core.DistObject, set *core.SetOfRegions) []core.PosLoc {
+	comm := ctx.Comm
+	p := ctx.P
+	n := set.Size()
+	nP := comm.Size()
+	me := comm.Rank()
+	lo, hi := me*n/nP, (me+1)*n/nP
+	locs := l.DerefRange(ctx, o, set, lo, hi)
+
+	bufs := make([]codec.Writer, nP)
+	for k, loc := range locs {
+		w := &bufs[loc.Proc]
+		w.PutInt32(int32(lo + k))
+		w.PutInt32(loc.Off)
+	}
+	p.ChargeMemOps(hi - lo)
+	outs := make([][]byte, nP)
+	for r := range outs {
+		outs[r] = bufs[r].Bytes()
+	}
+	parts := comm.Alltoall(outs)
+	var out []core.PosLoc
+	// Chunks arrive in increasing producer rank, and produce increasing
+	// positions, so concatenation keeps the list sorted by position.
+	for _, part := range parts {
+		r := codec.NewReader(part)
+		for r.Remaining() > 0 {
+			out = append(out, core.PosLoc{Pos: r.Int32(), Off: r.Int32()})
+		}
+	}
+	p.ChargeMemOps(len(out))
+	return out
+}
+
+// EncodeDescriptor serializes the full translation table, collectively
+// gathering the distributed pages; the result is as large as the array
+// itself — CHAOS has no compact descriptor, the reason the paper calls
+// the duplication method impractical between CHAOS programs.
+func (Lib) EncodeDescriptor(ctx *core.Ctx, o core.DistObject) ([]byte, bool) {
+	tt := tableOf(o)
+	full := tt.Replicate(ctx)
+	return full.encodeFull(), false
+}
+
+// DecodeDescriptor rebuilds a replicated-table remote view.
+func (Lib) DecodeDescriptor(data []byte) (core.DistObject, error) {
+	tt, err := decodeFull(data)
+	if err != nil {
+		return nil, err
+	}
+	return &view{tt: tt}, nil
+}
+
+// EncodeRegion serializes an index region.
+func (Lib) EncodeRegion(r core.Region) []byte {
+	ir, ok := r.(IndexRegion)
+	if !ok {
+		panic(fmt.Sprintf("chaos: encoding region of type %T", r))
+	}
+	var w codec.Writer
+	w.PutInt32s(ir)
+	return w.Bytes()
+}
+
+// DecodeRegion deserializes an index region.
+func (Lib) DecodeRegion(data []byte) (core.Region, error) {
+	return IndexRegion(codec.NewReader(data).Int32s()), nil
+}
+
+// Interface checks.
+var (
+	_ core.Library         = Lib{}
+	_ core.DescriptorCodec = Lib{}
+	_ core.RegionCodec     = Lib{}
+	_ core.DistObject      = (*Array)(nil)
+	_ core.DistObject      = (*view)(nil)
+)

@@ -1,0 +1,37 @@
+package chaoslib
+
+import (
+	"fmt"
+
+	"metachaos/internal/core"
+)
+
+// Remap implements CHAOS's data remapping: moving an irregular array
+// onto a new distribution (for instance after a partitioner such as
+// recursive bisection assigns mesh nodes to different processes).  The
+// new array gets a fresh translation table; the data moves through a
+// Meta-Chaos schedule over the identity mapping of global indices.
+// Collective over ctx.Comm.
+func Remap(ctx *core.Ctx, src *Array, newIndices []int32) (*Array, error) {
+	dst, err := NewArray(ctx, newIndices)
+	if err != nil {
+		return nil, fmt.Errorf("chaoslib: building remapped distribution: %w", err)
+	}
+	if dst.tt.N() != src.tt.N() {
+		return nil, fmt.Errorf("chaoslib: remap target has %d elements, source %d", dst.tt.N(), src.tt.N())
+	}
+	all := make([]int32, src.tt.N())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	set := core.NewSetOfRegions(IndexRegion(all))
+	sched, err := core.ComputeSchedule(core.SingleProgram(ctx.Comm),
+		&core.Spec{Lib: Library, Obj: src, Set: set, Ctx: ctx},
+		&core.Spec{Lib: Library, Obj: dst, Set: set, Ctx: ctx},
+		core.Cooperation)
+	if err != nil {
+		return nil, fmt.Errorf("chaoslib: building remap schedule: %w", err)
+	}
+	sched.Move(src, dst)
+	return dst, nil
+}

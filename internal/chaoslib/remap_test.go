@@ -1,0 +1,73 @@
+package chaoslib
+
+import (
+	"testing"
+
+	"metachaos/internal/core"
+	"metachaos/internal/mpsim"
+)
+
+func TestRemapPreservesValues(t *testing.T) {
+	const n, nprocs = 40, 4
+	mpsim.RunSPMD(mpsim.Ideal(), nprocs, func(p *mpsim.Proc) {
+		ctx := core.NewCtx(p, p.Comm())
+		src, err := NewArray(ctx, splitPerm(21, n, nprocs, p.Rank()))
+		if err != nil {
+			t.Errorf("%v", err)
+			return
+		}
+		src.FillGlobal(func(g int32) float64 { return float64(g)*3 + 1 })
+
+		// New partitioning: a different permutation entirely.
+		dst, err := Remap(ctx, src, splitPerm(22, n, nprocs, p.Rank()))
+		if err != nil {
+			t.Errorf("Remap: %v", err)
+			return
+		}
+		for k, g := range dst.Indices() {
+			if got := dst.GetLocal(k); got != float64(g)*3+1 {
+				t.Errorf("remapped element %d = %g, want %g", g, got, float64(g)*3+1)
+			}
+		}
+	})
+}
+
+func TestRemapToContiguousBlocks(t *testing.T) {
+	// Remapping a shuffled distribution to contiguous blocks — what a
+	// partitioner would do after measuring locality.
+	const n, nprocs = 30, 3
+	mpsim.RunSPMD(mpsim.Ideal(), nprocs, func(p *mpsim.Proc) {
+		ctx := core.NewCtx(p, p.Comm())
+		src, _ := NewArray(ctx, splitPerm(23, n, nprocs, p.Rank()))
+		src.FillGlobal(func(g int32) float64 { return float64(100 - g) })
+
+		lo, hi := p.Rank()*n/nprocs, (p.Rank()+1)*n/nprocs
+		contiguous := make([]int32, hi-lo)
+		for g := lo; g < hi; g++ {
+			contiguous[g-lo] = int32(g)
+		}
+		dst, err := Remap(ctx, src, contiguous)
+		if err != nil {
+			t.Errorf("Remap: %v", err)
+			return
+		}
+		for g := lo; g < hi; g++ {
+			if got := dst.GetLocal(g - lo); got != float64(100-g) {
+				t.Errorf("dst local %d = %g want %d", g-lo, got, 100-g)
+			}
+		}
+	})
+}
+
+func TestRemapSizeMismatch(t *testing.T) {
+	mpsim.RunSPMD(mpsim.Ideal(), 2, func(p *mpsim.Proc) {
+		ctx := core.NewCtx(p, p.Comm())
+		src, _ := NewArray(ctx, splitPerm(24, 10, 2, p.Rank()))
+		// Target with a different global size: each proc claims 6
+		// elements of a 12-element space.
+		bad := splitPerm(25, 12, 2, p.Rank())
+		if _, err := Remap(ctx, src, bad); err == nil {
+			t.Error("size mismatch accepted")
+		}
+	})
+}

@@ -1,0 +1,281 @@
+// Package chaoslib is the CHAOS analogue: a runtime library for
+// irregularly distributed arrays accessed through indirection arrays.
+// Its centrepiece is the distributed translation table that maps a
+// global element index to its owning process and local offset; on top
+// of it the package provides inspector/executor gather and scatter-add
+// schedules for irregular mesh sweeps, a native copy schedule, and the
+// Meta-Chaos inquiry interface with index-list regions.
+package chaoslib
+
+import (
+	"fmt"
+
+	"metachaos/internal/codec"
+	"metachaos/internal/core"
+	"metachaos/internal/mpsim"
+)
+
+const (
+	tagGather  = 0x30000
+	tagScatter = 0x31000
+	tagCopy    = 0x32000
+)
+
+// TTable is the translation table for one irregular distribution.  In
+// its normal (distributed) form each process stores one page of
+// entries — dereferencing a global index requires asking the page's
+// owner, which is why Chaos dereference dominates schedule-building
+// cost in the paper's measurements.  A replicated form (built by
+// Replicate or decoded from a descriptor) answers lookups locally at
+// the price of holding the entire table, which is as large as the data
+// array itself.
+type TTable struct {
+	n      int
+	nprocs int
+	page   int // entries per page: ceil(n/nprocs)
+
+	// Distributed form: entries [pageLo, pageHi) of the table.
+	local  []core.Loc
+	pageLo int
+
+	// Replicated form: all n entries; nil in the distributed form.
+	full []core.Loc
+}
+
+// BuildTTable constructs the distributed translation table for an
+// irregular distribution, collectively over ctx.Comm.  Process r
+// declares that it stores the element with global index indices[k] at
+// local offset offsets[k]; offsets may be nil, meaning offset k (the
+// common dense case).  Every global index in [0, n) must be claimed
+// exactly once across the program, where n is the sum of all list
+// lengths.
+func BuildTTable(ctx *core.Ctx, indices []int32, offsets []int32) (*TTable, error) {
+	comm := ctx.Comm
+	p := ctx.P
+	if offsets != nil && len(offsets) != len(indices) {
+		return nil, fmt.Errorf("chaoslib: %d indices but %d offsets", len(indices), len(offsets))
+	}
+	n := int(comm.AllreduceInt64(mpsim.OpSum, int64(len(indices))))
+	if n == 0 {
+		return nil, fmt.Errorf("chaoslib: empty distribution")
+	}
+	tt := &TTable{
+		n:      n,
+		nprocs: comm.Size(),
+		page:   (n + comm.Size() - 1) / comm.Size(),
+	}
+	tt.pageLo = comm.Rank() * tt.page
+	tt.local = make([]core.Loc, tt.pageCount(comm.Rank()))
+	for i := range tt.local {
+		tt.local[i] = core.Loc{Proc: -1}
+	}
+
+	// Validate locally, then agree on validity collectively so every
+	// process takes the same branch (an early return on one rank while
+	// others enter a collective would hang the program).
+	outOfRange := 0
+	for _, g := range indices {
+		if g < 0 || int(g) >= n {
+			outOfRange++
+		}
+	}
+	if comm.AllreduceInt64(mpsim.OpSum, int64(outOfRange)) != 0 {
+		return nil, fmt.Errorf("chaoslib: global indices outside [0,%d)", n)
+	}
+
+	// Route (index, offset) claims to page owners.
+	bufs := make([]codec.Writer, comm.Size())
+	for k, g := range indices {
+		off := int32(k)
+		if offsets != nil {
+			off = offsets[k]
+		}
+		w := &bufs[tt.pageOwner(g)]
+		w.PutInt32(g)
+		w.PutInt32(off)
+	}
+	outs := make([][]byte, comm.Size())
+	for r := range outs {
+		outs[r] = bufs[r].Bytes()
+	}
+	p.ChargeMemOps(len(indices))
+	parts := comm.Alltoall(outs)
+	duplicates := 0
+	for src, part := range parts {
+		r := codec.NewReader(part)
+		for r.Remaining() > 0 {
+			g := r.Int32()
+			off := r.Int32()
+			slot := int(g) - tt.pageLo
+			if tt.local[slot].Proc != -1 {
+				duplicates++
+				continue
+			}
+			tt.local[slot] = core.Loc{Proc: int32(src), Off: off}
+			p.ChargeMemOps(1)
+		}
+	}
+	missing := 0
+	for _, e := range tt.local {
+		if e.Proc == -1 {
+			missing++
+		}
+	}
+	bad := comm.AllreduceInt64(mpsim.OpSum, int64(missing+duplicates))
+	if bad != 0 {
+		return nil, fmt.Errorf("chaoslib: distribution of %d elements has %d missing or multiply-claimed indices", n, bad)
+	}
+	return tt, nil
+}
+
+// N returns the number of elements in the distribution.
+func (tt *TTable) N() int { return tt.n }
+
+// Replicated reports whether lookups are answered locally.
+func (tt *TTable) Replicated() bool { return tt.full != nil }
+
+func (tt *TTable) pageOwner(g int32) int {
+	o := int(g) / tt.page
+	if o >= tt.nprocs {
+		o = tt.nprocs - 1
+	}
+	return o
+}
+
+func (tt *TTable) pageCount(rank int) int {
+	lo := rank * tt.page
+	if lo >= tt.n {
+		return 0
+	}
+	hi := lo + tt.page
+	if hi > tt.n {
+		hi = tt.n
+	}
+	return hi - lo
+}
+
+// Lookup dereferences the given global indices: collective over
+// ctx.Comm in the distributed form (every process must call, even with
+// an empty list), local in the replicated form.  The result is in
+// request order.
+func (tt *TTable) Lookup(ctx *core.Ctx, indices []int32) []core.Loc {
+	p := ctx.P
+	if tt.full != nil {
+		// Replicated tables answer with a direct array index, far
+		// cheaper than a distributed (hashed, remote) dereference.
+		out := make([]core.Loc, len(indices))
+		for i, g := range indices {
+			out[i] = tt.full[g]
+		}
+		p.ChargeMemOps(len(indices))
+		return out
+	}
+	comm := ctx.Comm
+	// Group requests by page owner, remembering each request's output
+	// position.
+	reqs := make([]codec.Writer, comm.Size())
+	owners := make([]int, len(indices))
+	for i, g := range indices {
+		if g < 0 || int(g) >= tt.n {
+			panic(fmt.Sprintf("chaoslib: lookup of index %d outside [0,%d)", g, tt.n))
+		}
+		o := tt.pageOwner(g)
+		owners[i] = o
+		reqs[o].PutInt32(g)
+	}
+	p.ChargeMemOps(len(indices))
+	outs := make([][]byte, comm.Size())
+	for r := range outs {
+		outs[r] = reqs[r].Bytes()
+	}
+	asked := comm.Alltoall(outs)
+
+	// Serve: translate every request against my page.
+	replies := make([][]byte, comm.Size())
+	served := 0
+	for src, part := range asked {
+		r := codec.NewReader(part)
+		var w codec.Writer
+		for r.Remaining() > 0 {
+			g := r.Int32()
+			e := tt.local[int(g)-tt.pageLo]
+			w.PutInt32(e.Proc)
+			w.PutInt32(e.Off)
+			served++
+		}
+		replies[src] = w.Bytes()
+	}
+	p.ChargeDeref(served)
+	answers := comm.Alltoall(replies)
+
+	// Scatter replies back into request order.
+	readers := make([]*codec.Reader, comm.Size())
+	for r := range readers {
+		readers[r] = codec.NewReader(answers[r])
+	}
+	out := make([]core.Loc, len(indices))
+	for i, o := range owners {
+		out[i] = core.Loc{Proc: readers[o].Int32(), Off: readers[o].Int32()}
+	}
+	p.ChargeMemOps(len(indices))
+	return out
+}
+
+// Replicate gathers the full table onto every process, collectively.
+// The result answers lookups locally; the cost (messages proportional
+// to the array size) is the reason the paper calls duplication
+// impractical for Chaos distributions.
+func (tt *TTable) Replicate(ctx *core.Ctx) *TTable {
+	if tt.full != nil {
+		return tt
+	}
+	var w codec.Writer
+	w.PutInt32(int32(tt.pageLo))
+	for _, e := range tt.local {
+		w.PutInt32(e.Proc)
+		w.PutInt32(e.Off)
+	}
+	parts := ctx.Comm.Allgather(w.Bytes())
+	full := assembleFull(tt.n, parts)
+	return &TTable{n: tt.n, nprocs: tt.nprocs, page: tt.page, full: full}
+}
+
+func assembleFull(n int, parts [][]byte) []core.Loc {
+	full := make([]core.Loc, n)
+	for _, part := range parts {
+		r := codec.NewReader(part)
+		lo := int(r.Int32())
+		for i := lo; r.Remaining() > 0; i++ {
+			full[i] = core.Loc{Proc: r.Int32(), Off: r.Int32()}
+		}
+	}
+	return full
+}
+
+// encodeFull serializes a replicated table.
+func (tt *TTable) encodeFull() []byte {
+	var w codec.Writer
+	w.PutInt32(int32(tt.n))
+	w.PutInt32(int32(tt.nprocs))
+	for _, e := range tt.full {
+		w.PutInt32(e.Proc)
+		w.PutInt32(e.Off)
+	}
+	return w.Bytes()
+}
+
+// decodeFull rebuilds a replicated table from encodeFull's output.
+func decodeFull(data []byte) (*TTable, error) {
+	r := codec.NewReader(data)
+	n := int(r.Int32())
+	nprocs := int(r.Int32())
+	if n <= 0 || nprocs <= 0 {
+		return nil, fmt.Errorf("chaoslib: corrupt table descriptor (n=%d, nprocs=%d)", n, nprocs)
+	}
+	tt := &TTable{n: n, nprocs: nprocs, page: (n + nprocs - 1) / nprocs}
+	tt.full = make([]core.Loc, n)
+	for i := 0; i < n; i++ {
+		tt.full[i] = core.Loc{Proc: r.Int32(), Off: r.Int32()}
+	}
+	return tt, nil
+}

@@ -1,0 +1,160 @@
+package codec
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var w Writer
+	w.PutInt32(-42)
+	w.PutInt64(1 << 40)
+	w.PutFloat64(3.14159)
+	w.PutInt32s([]int32{1, -2, 3})
+	w.PutInts([]int{7, 8, 9})
+	w.PutFloat64s([]float64{0.5, -0.25})
+	w.PutString("meta-chaos")
+	w.PutBytes([]byte{0xde, 0xad})
+
+	r := NewReader(w.Bytes())
+	if got := r.Int32(); got != -42 {
+		t.Errorf("Int32=%d", got)
+	}
+	if got := r.Int64(); got != 1<<40 {
+		t.Errorf("Int64=%d", got)
+	}
+	if got := r.Float64(); got != 3.14159 {
+		t.Errorf("Float64=%g", got)
+	}
+	if got := r.Int32s(); !reflect.DeepEqual(got, []int32{1, -2, 3}) {
+		t.Errorf("Int32s=%v", got)
+	}
+	if got := r.Ints(); !reflect.DeepEqual(got, []int{7, 8, 9}) {
+		t.Errorf("Ints=%v", got)
+	}
+	if got := r.Float64s(); !reflect.DeepEqual(got, []float64{0.5, -0.25}) {
+		t.Errorf("Float64s=%v", got)
+	}
+	if got := r.String(); got != "meta-chaos" {
+		t.Errorf("String=%q", got)
+	}
+	if got := r.Bytes(); !reflect.DeepEqual(got, []byte{0xde, 0xad}) {
+		t.Errorf("Bytes=%v", got)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining=%d want 0", r.Remaining())
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	var w Writer
+	w.PutInt32s(nil)
+	w.PutFloat64s(nil)
+	w.PutString("")
+	r := NewReader(w.Bytes())
+	if got := r.Int32s(); len(got) != 0 {
+		t.Errorf("Int32s=%v", got)
+	}
+	if got := r.Float64s(); len(got) != 0 {
+		t.Errorf("Float64s=%v", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("String=%q", got)
+	}
+}
+
+func TestReaderOverrunPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overrun")
+		}
+	}()
+	NewReader([]byte{1, 2}).Int32()
+}
+
+func TestBarePayloads(t *testing.T) {
+	fs := []float64{1, math.Inf(1), math.SmallestNonzeroFloat64, -0}
+	if got := BytesToFloat64s(Float64sToBytes(fs)); !reflect.DeepEqual(got, fs) {
+		t.Errorf("float64 round trip: %v", got)
+	}
+	is := []int32{0, -1, math.MaxInt32, math.MinInt32}
+	if got := BytesToInt32s(Int32sToBytes(is)); !reflect.DeepEqual(got, is) {
+		t.Errorf("int32 round trip: %v", got)
+	}
+}
+
+func TestBarePayloadSizeMismatchPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { BytesToFloat64s(make([]byte, 7)) },
+		func() { BytesToInt32s(make([]byte, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for misaligned payload")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickFloat64RoundTrip(t *testing.T) {
+	f := func(vs []float64) bool {
+		got := BytesToFloat64s(Float64sToBytes(vs))
+		if len(got) != len(vs) {
+			return false
+		}
+		for i := range vs {
+			// NaN-safe bitwise comparison.
+			if math.Float64bits(got[i]) != math.Float64bits(vs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompositeRoundTrip(t *testing.T) {
+	f := func(a int32, b []int32, s string, fs []float64) bool {
+		var w Writer
+		w.PutInt32(a)
+		w.PutInt32s(b)
+		w.PutString(s)
+		w.PutFloat64s(fs)
+		r := NewReader(w.Bytes())
+		if r.Int32() != a {
+			return false
+		}
+		gb := r.Int32s()
+		if len(gb) != len(b) {
+			return false
+		}
+		for i := range b {
+			if gb[i] != b[i] {
+				return false
+			}
+		}
+		if r.String() != s {
+			return false
+		}
+		gf := r.Float64s()
+		if len(gf) != len(fs) {
+			return false
+		}
+		for i := range fs {
+			if math.Float64bits(gf[i]) != math.Float64bits(fs[i]) {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

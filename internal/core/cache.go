@@ -1,0 +1,60 @@
+package core
+
+import "fmt"
+
+// ScheduleCache memoizes communication schedules under caller-chosen
+// keys.  Compilers targeting the original runtime libraries wrapped
+// every inspector in exactly this pattern — "reuse the schedule if
+// this loop's communication pattern was already analyzed" — and the
+// paper's amortization argument (Section 4.1.4) rests on it.
+//
+// Keys must be derived deterministically from SPMD-replicated state so
+// that every process of the program hits or misses together; a cache
+// that diverges across processes would desynchronize the collective
+// schedule computation.  The zero value is ready to use.
+type ScheduleCache struct {
+	entries map[string]*Schedule
+	hits    int
+	misses  int
+}
+
+// NewScheduleCache returns an empty cache.
+func NewScheduleCache() *ScheduleCache {
+	return &ScheduleCache{}
+}
+
+// Get returns the schedule cached under key, building and caching it
+// with build on a miss.  A failed build is not cached.
+func (c *ScheduleCache) Get(key string, build func() (*Schedule, error)) (*Schedule, error) {
+	if c.entries == nil {
+		c.entries = make(map[string]*Schedule)
+	}
+	if s, ok := c.entries[key]; ok {
+		c.hits++
+		return s, nil
+	}
+	c.misses++
+	s, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("core: building schedule for cache key %q: %w", key, err)
+	}
+	c.entries[key] = s
+	return s, nil
+}
+
+// Invalidate drops the entry under key (after a redistribution, for
+// example).  Dropping a missing key is a no-op.
+func (c *ScheduleCache) Invalidate(key string) {
+	delete(c.entries, key)
+}
+
+// Clear drops every entry but keeps the hit/miss counters.
+func (c *ScheduleCache) Clear() {
+	c.entries = nil
+}
+
+// Len returns the number of cached schedules.
+func (c *ScheduleCache) Len() int { return len(c.entries) }
+
+// Counters returns the accumulated hit and miss counts.
+func (c *ScheduleCache) Counters() (hits, misses int) { return c.hits, c.misses }

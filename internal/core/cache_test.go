@@ -1,0 +1,83 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"metachaos/internal/mpsim"
+)
+
+func TestScheduleCacheHitsAndMisses(t *testing.T) {
+	mpsim.RunSPMD(mpsim.SP2(), 2, func(p *mpsim.Proc) {
+		ctx := NewCtx(p, p.Comm())
+		src := newTestObj(20, 2, 1, p.Rank())
+		dst := newTestObj(20, 2, 1, p.Rank())
+		cache := NewScheduleCache()
+		builds := 0
+		build := func() (*Schedule, error) {
+			builds++
+			return ComputeSchedule(SingleProgram(p.Comm()),
+				&Spec{Lib: testLib{}, Obj: src, Set: NewSetOfRegions(testRegion(seqIdx(0, 10, 1))), Ctx: ctx},
+				&Spec{Lib: testLib{}, Obj: dst, Set: NewSetOfRegions(testRegion(seqIdx(10, 10, 1))), Ctx: ctx},
+				Cooperation)
+		}
+		var before float64
+		for iter := 0; iter < 5; iter++ {
+			s, err := cache.Get("loop-17", build)
+			if err != nil {
+				t.Errorf("%v", err)
+				return
+			}
+			if iter == 1 {
+				before = p.Clock()
+			}
+			s.Move(src, dst)
+		}
+		_ = before
+		if builds != 1 {
+			t.Errorf("build ran %d times, want 1", builds)
+		}
+		hits, misses := cache.Counters()
+		if hits != 4 || misses != 1 {
+			t.Errorf("hits=%d misses=%d", hits, misses)
+		}
+		if cache.Len() != 1 {
+			t.Errorf("Len=%d", cache.Len())
+		}
+		cache.Invalidate("loop-17")
+		if cache.Len() != 0 {
+			t.Error("Invalidate did not drop the entry")
+		}
+		if _, err := cache.Get("loop-17", build); err != nil {
+			t.Errorf("rebuild after invalidate: %v", err)
+		}
+		if builds != 2 {
+			t.Errorf("builds=%d want 2", builds)
+		}
+		cache.Clear()
+		if cache.Len() != 0 {
+			t.Error("Clear left entries")
+		}
+	})
+}
+
+func TestScheduleCacheDoesNotCacheFailures(t *testing.T) {
+	cache := NewScheduleCache()
+	calls := 0
+	fail := func() (*Schedule, error) {
+		calls++
+		return nil, errors.New("boom")
+	}
+	if _, err := cache.Get("k", fail); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := cache.Get("k", fail); err == nil {
+		t.Fatal("expected error on retry")
+	}
+	if calls != 2 {
+		t.Errorf("failed build cached: %d calls", calls)
+	}
+	if cache.Len() != 0 {
+		t.Error("failure left an entry")
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"metachaos/internal/mpsim"
+)
+
+// Coupling describes the pair of programs (or the single program)
+// participating in a transfer: a union communicator spanning both, and
+// the union ranks of each program's processes indexed by program rank.
+// Every process of both programs must construct an identical coupling.
+type Coupling struct {
+	Union    *mpsim.Comm
+	SrcRanks []int
+	DstRanks []int
+}
+
+// SingleProgram builds the coupling for transfers inside one program:
+// the union is the program itself and both sides map identically.
+func SingleProgram(comm *mpsim.Comm) *Coupling {
+	ranks := make([]int, comm.Size())
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return &Coupling{Union: comm, SrcRanks: ranks, DstRanks: append([]int(nil), ranks...)}
+}
+
+// NewCoupling builds the coupling between two separate programs given
+// each program's world ranks in program-rank order.  The union
+// communicator is ordered by world rank, so every process derives the
+// same communicator locally, without communication.
+func NewCoupling(p *mpsim.Proc, srcWorldRanks, dstWorldRanks []int) (*Coupling, error) {
+	if len(srcWorldRanks) == 0 || len(dstWorldRanks) == 0 {
+		return nil, fmt.Errorf("core: coupling requires non-empty programs")
+	}
+	seen := make(map[int]bool, len(srcWorldRanks)+len(dstWorldRanks))
+	var world []int
+	for _, r := range srcWorldRanks {
+		if seen[r] {
+			return nil, fmt.Errorf("core: world rank %d appears twice in the source program", r)
+		}
+		seen[r] = true
+		world = append(world, r)
+	}
+	for _, r := range dstWorldRanks {
+		if seen[r] {
+			return nil, fmt.Errorf("core: world rank %d is in both programs; use SingleProgram for intra-program transfers", r)
+		}
+		seen[r] = true
+		world = append(world, r)
+	}
+	sort.Ints(world)
+	union := p.World().Sub(world)
+	pos := make(map[int]int, len(world))
+	for i, r := range world {
+		pos[r] = i
+	}
+	c := &Coupling{Union: union}
+	for _, r := range srcWorldRanks {
+		c.SrcRanks = append(c.SrcRanks, pos[r])
+	}
+	for _, r := range dstWorldRanks {
+		c.DstRanks = append(c.DstRanks, pos[r])
+	}
+	return c, nil
+}
+
+// CoupleByName builds the coupling between two named programs of the
+// simulated world, using the world's static program layout.
+func CoupleByName(p *mpsim.Proc, srcProgram, dstProgram string) (*Coupling, error) {
+	src := p.ProgramRanks(srcProgram)
+	if src == nil {
+		return nil, fmt.Errorf("core: no program %q in this world", srcProgram)
+	}
+	dst := p.ProgramRanks(dstProgram)
+	if dst == nil {
+		return nil, fmt.Errorf("core: no program %q in this world", dstProgram)
+	}
+	if srcProgram == dstProgram {
+		return SingleProgram(p.Comm()), nil
+	}
+	return NewCoupling(p, src, dst)
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders this process's portion of the schedule as stable
+// text: lane counts, element totals, and compressed offset previews.
+// Useful for debugging schedule construction and for golden-output
+// tests of communication patterns.
+func (s *Schedule) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule: %d elements of %d word(s)\n", s.elems, s.words)
+	fmt.Fprintf(&b, "  sends: %d lane(s), %d element(s)\n", len(s.Sends), s.SendCount())
+	for _, pl := range s.Sends {
+		fmt.Fprintf(&b, "    -> peer %d: %s\n", pl.Peer, previewOffsets(pl.Offsets))
+	}
+	fmt.Fprintf(&b, "  recvs: %d lane(s), %d element(s)\n", len(s.Recvs), s.RecvCount())
+	for _, pl := range s.Recvs {
+		fmt.Fprintf(&b, "    <- peer %d: %s\n", pl.Peer, previewOffsets(pl.Offsets))
+	}
+	fmt.Fprintf(&b, "  local: %d element(s)\n", len(s.Local))
+	return b.String()
+}
+
+// previewOffsets compresses an offset list into run notation, showing
+// at most a few runs.
+func previewOffsets(offs []int32) string {
+	if len(offs) == 0 {
+		return "[]"
+	}
+	var runs []string
+	i := 0
+	for i < len(offs) && len(runs) < 4 {
+		j := i + 1
+		var d int32
+		if j < len(offs) {
+			d = offs[j] - offs[i]
+			for j+1 < len(offs) && offs[j+1]-offs[j] == d {
+				j++
+			}
+		}
+		if j > i+1 {
+			runs = append(runs, fmt.Sprintf("%d..%d step %d (%d)", offs[i], offs[j], d, j-i+1))
+			i = j + 1
+		} else {
+			runs = append(runs, fmt.Sprint(offs[i]))
+			i++
+		}
+	}
+	if i < len(offs) {
+		runs = append(runs, fmt.Sprintf("... %d more", len(offs)-i))
+	}
+	return fmt.Sprintf("%d offsets [%s]", len(offs), strings.Join(runs, ", "))
+}

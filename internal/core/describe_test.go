@@ -1,0 +1,104 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"metachaos/internal/mpsim"
+)
+
+func TestDescribeStableAndInformative(t *testing.T) {
+	var desc0, desc1 string
+	for trial := 0; trial < 2; trial++ {
+		mpsim.RunSPMD(mpsim.Ideal(), 2, func(p *mpsim.Proc) {
+			ctx := NewCtx(p, p.Comm())
+			src := newTestObj(20, 2, 1, p.Rank())
+			dst := newTestObj(20, 2, 1, p.Rank())
+			sched, err := ComputeSchedule(SingleProgram(p.Comm()),
+				&Spec{Lib: testLib{}, Obj: src, Set: NewSetOfRegions(testRegion(seqIdx(0, 10, 1))), Ctx: ctx},
+				&Spec{Lib: testLib{}, Obj: dst, Set: NewSetOfRegions(testRegion(seqIdx(10, 10, 1))), Ctx: ctx},
+				Cooperation)
+			if err != nil {
+				t.Errorf("%v", err)
+				return
+			}
+			d := sched.Describe()
+			if p.Rank() == 0 {
+				if trial == 0 {
+					desc0 = d
+				} else {
+					desc1 = d
+				}
+			}
+		})
+	}
+	if desc0 != desc1 {
+		t.Errorf("Describe not deterministic:\n%s\nvs\n%s", desc0, desc1)
+	}
+	for _, want := range []string{"10 elements", "sends", "recvs", "local", "step"} {
+		if !strings.Contains(desc0, want) {
+			t.Errorf("Describe missing %q:\n%s", want, desc0)
+		}
+	}
+}
+
+func TestPreviewOffsets(t *testing.T) {
+	cases := map[string]string{
+		"empty": previewOffsets(nil),
+		"one":   previewOffsets([]int32{7}),
+		"run":   previewOffsets([]int32{0, 2, 4, 6, 8}),
+		"mixed": previewOffsets([]int32{1, 9, 3, 4, 5, 6, 99}),
+	}
+	if cases["empty"] != "[]" {
+		t.Errorf("empty: %q", cases["empty"])
+	}
+	if !strings.Contains(cases["one"], "1 offsets [7]") {
+		t.Errorf("one: %q", cases["one"])
+	}
+	if !strings.Contains(cases["run"], "0..8 step 2 (5)") {
+		t.Errorf("run: %q", cases["run"])
+	}
+	if !strings.Contains(cases["mixed"], "3..6 step 1 (4)") {
+		t.Errorf("mixed: %q", cases["mixed"])
+	}
+}
+
+// TestGoldenCommunicationPattern locks down the exact message pattern
+// of a fixed transfer using the event trace: a regression guard on the
+// schedule builder and executor.
+func TestGoldenCommunicationPattern(t *testing.T) {
+	st := mpsim.Run(mpsim.Config{
+		Machine: mpsim.Ideal(),
+		Trace:   true,
+		Programs: []mpsim.ProgramSpec{{Name: "g", Procs: 2, Body: func(p *mpsim.Proc) {
+			ctx := NewCtx(p, p.Comm())
+			src := newTestObj(8, 2, 1, p.Rank())
+			dst := newTestObj(8, 2, 1, p.Rank())
+			src.fillDistinct(0)
+			sched, err := ComputeSchedule(SingleProgram(p.Comm()),
+				&Spec{Lib: testLib{}, Obj: src, Set: NewSetOfRegions(testRegion(seqIdx(0, 4, 1))), Ctx: ctx},
+				&Spec{Lib: testLib{}, Obj: dst, Set: NewSetOfRegions(testRegion(seqIdx(4, 4, 1))), Ctx: ctx},
+				Duplication)
+			if err != nil {
+				t.Errorf("%v", err)
+				return
+			}
+			sched.Move(src, dst)
+		}}},
+	})
+	// Elements 0..3 live on rank 0, 4..7 on rank 1: the move is one
+	// 32-byte message 0 -> 1; the metadata exchange is two 12-byte
+	// broadcasts (one message each at P=2).
+	var moves []mpsim.Event
+	for _, e := range st.Trace.Events {
+		if e.Kind == mpsim.EvSend && e.Bytes == 32 {
+			moves = append(moves, e)
+		}
+	}
+	if len(moves) != 1 || moves[0].Rank != 0 || moves[0].Peer != 1 {
+		t.Errorf("move messages: %+v", moves)
+	}
+	if st.TotalMsgs() != 3 {
+		t.Errorf("total messages %d, want 3 (2 metadata + 1 move)", st.TotalMsgs())
+	}
+}

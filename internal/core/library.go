@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"metachaos/internal/mpsim"
+)
+
+// Ctx is the execution context a library method runs in: the calling
+// process and the communicator of the program that owns the distributed
+// object.  Library inquiry functions that consult distributed state
+// (such as Chaos's translation table) are collective over Ctx.Comm.
+type Ctx struct {
+	P    *mpsim.Proc
+	Comm *mpsim.Comm
+}
+
+// NewCtx builds a context for a program communicator.
+func NewCtx(p *mpsim.Proc, comm *mpsim.Comm) *Ctx {
+	return &Ctx{P: p, Comm: comm}
+}
+
+// Library is the set of inquiry functions a data-parallel runtime
+// library exports so Meta-Chaos can interoperate with it — the paper's
+// framework-based approach.  The functions let Meta-Chaos dereference
+// elements of a SetOfRegions (find the owning process and local
+// address of each element, in linearization order) without knowing
+// anything about how the library distributes data.
+//
+// DerefRange, DerefAt and OwnedPositions are collective over the
+// owning program: every process of Ctx.Comm must call them together
+// (each with its own arguments), because a library's distribution
+// descriptor may itself be distributed.
+type Library interface {
+	// Name returns the library's registry name.
+	Name() string
+
+	// DerefRange returns the locations of set positions [lo, hi), in
+	// linearization order.
+	DerefRange(ctx *Ctx, o DistObject, set *SetOfRegions, lo, hi int) []Loc
+
+	// DerefAt returns the locations of the given set positions, which
+	// must be sorted ascending.
+	DerefAt(ctx *Ctx, o DistObject, set *SetOfRegions, positions []int32) []Loc
+
+	// OwnedPositions returns every (set position, local element offset)
+	// pair of the set whose element the calling process owns, sorted by
+	// position.
+	OwnedPositions(ctx *Ctx, o DistObject, set *SetOfRegions) []PosLoc
+}
+
+// DescriptorCodec is the optional extension a library implements to
+// support Meta-Chaos's duplication schedule method between separate
+// programs: serializing the distribution descriptor so the peer
+// program can dereference locally.
+type DescriptorCodec interface {
+	// EncodeDescriptor serializes o's distribution metadata.  It is
+	// collective over ctx.Comm (a distributed descriptor such as a
+	// Chaos translation table must be assembled from every process);
+	// the returned data is only meaningful on program rank 0.  compact
+	// reports whether the descriptor is small (regular distribution
+	// parameters) as opposed to element-granularity state such as a
+	// Chaos translation table, which the paper notes makes duplication
+	// impractical between programs.
+	EncodeDescriptor(ctx *Ctx, o DistObject) (data []byte, compact bool)
+	// DecodeDescriptor reconstructs a descriptor-only remote view whose
+	// Deref* methods work without communication.
+	DecodeDescriptor(data []byte) (DistObject, error)
+}
+
+// registry maps library names to implementations so descriptor
+// messages can name their codec.
+var registry = map[string]Library{}
+
+// RegisterLibrary adds a library to the global registry.  Libraries
+// register themselves from package init functions; re-registering a
+// name panics.
+func RegisterLibrary(lib Library) {
+	if lib == nil || lib.Name() == "" {
+		panic("core: RegisterLibrary with nil or unnamed library")
+	}
+	if _, dup := registry[lib.Name()]; dup {
+		panic(fmt.Sprintf("core: library %q registered twice", lib.Name()))
+	}
+	registry[lib.Name()] = lib
+}
+
+// LookupLibrary finds a registered library by name.
+func LookupLibrary(name string) (Library, error) {
+	lib, ok := registry[name]
+	if !ok {
+		names := make([]string, 0, len(registry))
+		for n := range registry {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("core: no library %q registered (have %v)", name, names)
+	}
+	return lib, nil
+}
+
+// RegisteredLibraries returns the sorted names of all registered
+// libraries.
+func RegisteredLibraries() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,65 @@
+package core
+
+import "fmt"
+
+// MergeSchedules fuses schedules built over the same coupling into one
+// schedule that moves all their elements with a single aggregated
+// message per processor pair — the optimization a coupled code wants
+// when several interface transfers fire back to back (each merged
+// message replaces one message per constituent schedule).
+//
+// The constituent schedules must share the union communicator and
+// element width, and every process must merge the same schedules in
+// the same order (the per-peer packing order becomes: all of a's
+// elements, then all of b's, and so on).  The merged schedule moves
+// between the same source and destination objects as the constituents.
+func MergeSchedules(scheds ...*Schedule) (*Schedule, error) {
+	if len(scheds) == 0 {
+		return nil, fmt.Errorf("core: merging zero schedules")
+	}
+	first := scheds[0]
+	if first == nil {
+		return nil, fmt.Errorf("core: merging nil schedule (index 0)")
+	}
+	merged := &Schedule{
+		union: first.union,
+		words: first.words,
+	}
+	sendMap := map[int]*PeerList{}
+	recvMap := map[int]*PeerList{}
+	var sendOrder, recvOrder []int
+	appendLanes := func(lanes []PeerList, m map[int]*PeerList, order *[]int) {
+		for _, pl := range lanes {
+			dst := m[pl.Peer]
+			if dst == nil {
+				dst = &PeerList{Peer: pl.Peer}
+				m[pl.Peer] = dst
+				*order = append(*order, pl.Peer)
+			}
+			dst.Offsets = append(dst.Offsets, pl.Offsets...)
+		}
+	}
+	for i, s := range scheds {
+		if s == nil {
+			return nil, fmt.Errorf("core: merging nil schedule (index %d)", i)
+		}
+		if s.union != first.union {
+			return nil, fmt.Errorf("core: schedule %d built over a different coupling", i)
+		}
+		if s.words != first.words {
+			return nil, fmt.Errorf("core: schedule %d moves %d-word elements, schedule 0 moves %d",
+				i, s.words, first.words)
+		}
+		merged.elems += s.elems
+		appendLanes(s.Sends, sendMap, &sendOrder)
+		appendLanes(s.Recvs, recvMap, &recvOrder)
+		merged.Local = append(merged.Local, s.Local...)
+	}
+	for _, peer := range sendOrder {
+		merged.Sends = append(merged.Sends, *sendMap[peer])
+	}
+	for _, peer := range recvOrder {
+		merged.Recvs = append(merged.Recvs, *recvMap[peer])
+	}
+	return merged, nil
+}

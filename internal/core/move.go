@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"metachaos/internal/codec"
+)
+
+// Data movement: executing a communication schedule.  Meta-Chaos packs
+// each peer's elements into one contiguous buffer, sends exactly one
+// message per (source process, destination process) pair — the same
+// message set a hand-crafted exchange would use — and copies
+// same-process elements directly between the two objects' storage
+// without staging.
+
+// Move copies data from srcObj's SetOfRegions to dstObj's inside a
+// single program; every process of the program calls it with both
+// objects.
+func (s *Schedule) Move(srcObj, dstObj DistObject) {
+	s.move(srcObj, dstObj, false)
+}
+
+// MoveReverse copies data destination-to-source using the same
+// schedule, exploiting its symmetry; arguments keep their original
+// roles from ComputeSchedule.
+func (s *Schedule) MoveReverse(srcObj, dstObj DistObject) {
+	s.move(srcObj, dstObj, true)
+}
+
+// MoveSend is the source program's half of an inter-program copy.
+func (s *Schedule) MoveSend(obj DistObject) {
+	s.move(obj, nil, false)
+}
+
+// MoveRecv is the destination program's half of an inter-program copy.
+func (s *Schedule) MoveRecv(obj DistObject) {
+	s.move(nil, obj, false)
+}
+
+// MoveReverseSend is called by the destination program to send data
+// back to the source program through the same schedule.
+func (s *Schedule) MoveReverseSend(obj DistObject) {
+	s.move(nil, obj, true)
+}
+
+// MoveReverseRecv is called by the source program to receive data sent
+// with MoveReverseSend.
+func (s *Schedule) MoveReverseRecv(obj DistObject) {
+	s.move(obj, nil, true)
+}
+
+// MoveAdd accumulates instead of copying: every destination element
+// gets the matching source element added to it (word-wise).  An
+// extension beyond the paper's copy semantics, for couplings that sum
+// fluxes across an interface.  Single-program form.
+func (s *Schedule) MoveAdd(srcObj, dstObj DistObject) {
+	s.moveOp(srcObj, dstObj, false, opAdd)
+}
+
+// MoveAddSend is the source program's half of an inter-program
+// accumulate.
+func (s *Schedule) MoveAddSend(obj DistObject) {
+	s.moveOp(obj, nil, false, opAdd)
+}
+
+// MoveAddRecv is the destination program's half of an inter-program
+// accumulate.
+func (s *Schedule) MoveAddRecv(obj DistObject) {
+	s.moveOp(nil, obj, false, opAdd)
+}
+
+// moveOp codes for the unpack combiner.
+const (
+	opCopy = iota
+	opAdd
+)
+
+func (s *Schedule) move(srcObj, dstObj DistObject, reverse bool) {
+	s.moveOp(srcObj, dstObj, reverse, opCopy)
+}
+
+func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) {
+	seq := s.moveSeq
+	s.moveSeq++
+	tag := tagMoveBase + seq%1024
+	p := s.union.Proc()
+	w := s.words
+
+	sends, recvs := s.Sends, s.Recvs
+	packObj, unpackObj := srcObj, dstObj
+	if reverse {
+		sends, recvs = s.Recvs, s.Sends
+		packObj, unpackObj = dstObj, srcObj
+	}
+
+	if packObj != nil {
+		if packObj.ElemWords() != w {
+			panic(fmt.Sprintf("core: schedule built for %d-word elements used with %d-word object", w, packObj.ElemWords()))
+		}
+		local := packObj.Local()
+		for i := range sends {
+			pl := &sends[i]
+			buf := make([]float64, w*len(pl.Offsets))
+			for t, off := range pl.Offsets {
+				o := int(off) * w
+				if o+w > len(local) {
+					panic(fmt.Sprintf("core: schedule offset %d outside local storage of %d elements; wrong object passed to Move?", off, len(local)/max(w, 1)))
+				}
+				copy(buf[t*w:(t+1)*w], local[o:o+w])
+			}
+			p.ChargeMemOps(len(pl.Offsets))
+			s.union.Send(pl.Peer, tag, codec.Float64sToBytes(buf))
+		}
+	}
+
+	// Same-process elements: direct storage-to-storage copy, no message
+	// and no staging buffer.
+	if len(s.Local) > 0 && srcObj != nil && dstObj != nil {
+		from, to := srcObj.Local(), dstObj.Local()
+		for _, pair := range s.Local {
+			a, b := int(pair.Src)*w, int(pair.Dst)*w
+			switch {
+			case op == opAdd:
+				for k := 0; k < w; k++ {
+					to[b+k] += from[a+k]
+				}
+			case reverse:
+				copy(from[a:a+w], to[b:b+w])
+			default:
+				copy(to[b:b+w], from[a:a+w])
+			}
+		}
+		p.ChargeMemOps(2 * len(s.Local))
+		p.ChargeCopy(8 * w * len(s.Local))
+		if op == opAdd {
+			p.ChargeFlops(w * len(s.Local))
+		}
+	}
+
+	if unpackObj != nil {
+		if unpackObj.ElemWords() != w {
+			panic(fmt.Sprintf("core: schedule built for %d-word elements used with %d-word object", w, unpackObj.ElemWords()))
+		}
+		local := unpackObj.Local()
+		for i := range recvs {
+			pl := &recvs[i]
+			data, _ := s.union.Recv(pl.Peer, tag)
+			vals := codec.BytesToFloat64s(data)
+			if len(vals) != w*len(pl.Offsets) {
+				panic(fmt.Sprintf("core: move message carries %d words, schedule expects %d", len(vals), w*len(pl.Offsets)))
+			}
+			for t, off := range pl.Offsets {
+				o := int(off) * w
+				if o+w > len(local) {
+					panic(fmt.Sprintf("core: schedule offset %d outside local storage of %d elements; wrong object passed to Move?", off, len(local)/max(w, 1)))
+				}
+				if op == opAdd {
+					for k := 0; k < w; k++ {
+						local[o+k] += vals[t*w+k]
+					}
+				} else {
+					copy(local[o:o+w], vals[t*w:(t+1)*w])
+				}
+			}
+			p.ChargeMemOps(len(pl.Offsets))
+			if op == opAdd {
+				p.ChargeFlops(w * len(pl.Offsets))
+			}
+		}
+	}
+}

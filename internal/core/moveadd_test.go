@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"metachaos/internal/mpsim"
+)
+
+func TestMoveAddAccumulates(t *testing.T) {
+	srcIdx := seqIdx(0, 20, 1)
+	dstIdx := seqIdx(40, 20, 1)
+	mpsim.RunSPMD(mpsim.Ideal(), 3, func(p *mpsim.Proc) {
+		ctx := NewCtx(p, p.Comm())
+		src := newTestObj(60, 3, 1, p.Rank())
+		dst := newTestObj(60, 3, 1, p.Rank())
+		src.fillDistinct(0)
+		// Seed destination with 1000 everywhere so accumulation is
+		// visible against the copied values.
+		for i := range dst.data {
+			dst.data[i] = 1000
+		}
+		sched, err := ComputeSchedule(SingleProgram(p.Comm()),
+			&Spec{Lib: testLib{}, Obj: src, Set: NewSetOfRegions(testRegion(srcIdx)), Ctx: ctx},
+			&Spec{Lib: testLib{}, Obj: dst, Set: NewSetOfRegions(testRegion(dstIdx)), Ctx: ctx},
+			Cooperation)
+		if err != nil {
+			t.Errorf("%v", err)
+			return
+		}
+		sched.MoveAdd(src, dst)
+		sched.MoveAdd(src, dst) // accumulate twice
+
+		srcAll := gatherObj(p.Comm(), src)
+		dstAll := gatherObj(p.Comm(), dst)
+		if p.Rank() == 0 {
+			for k := range srcIdx {
+				want := 1000 + 2*srcAll[srcIdx[k]]
+				if got := dstAll[dstIdx[k]]; got != want {
+					t.Fatalf("dst[%d]=%g want %g", dstIdx[k], got, want)
+				}
+			}
+			// Untouched destination elements keep their seed.
+			if dstAll[0] != 1000 {
+				t.Errorf("untouched element changed: %g", dstAll[0])
+			}
+		}
+	})
+}
+
+func TestMoveAddBetweenPrograms(t *testing.T) {
+	srcIdx := seqIdx(0, 10, 1)
+	dstIdx := seqIdx(10, 10, 1)
+	var dstAll []float64
+	mpsim.Run(mpsim.Config{
+		Machine: mpsim.Ideal(),
+		Programs: []mpsim.ProgramSpec{
+			{Name: "s", Procs: 2, Body: func(p *mpsim.Proc) {
+				ctx := NewCtx(p, p.Comm())
+				obj := newTestObj(20, 2, 1, p.Rank())
+				obj.fillDistinct(0)
+				coupling, _ := CoupleByName(p, "s", "d")
+				sched, err := ComputeSchedule(coupling,
+					&Spec{Lib: testLib{}, Obj: obj, Set: NewSetOfRegions(testRegion(srcIdx)), Ctx: ctx},
+					nil, Cooperation)
+				if err != nil {
+					t.Errorf("%v", err)
+					return
+				}
+				sched.MoveAddSend(obj)
+			}},
+			{Name: "d", Procs: 2, Body: func(p *mpsim.Proc) {
+				ctx := NewCtx(p, p.Comm())
+				obj := newTestObj(20, 2, 1, p.Rank())
+				for i := range obj.data {
+					obj.data[i] = 5
+				}
+				coupling, _ := CoupleByName(p, "s", "d")
+				sched, err := ComputeSchedule(coupling, nil,
+					&Spec{Lib: testLib{}, Obj: obj, Set: NewSetOfRegions(testRegion(dstIdx)), Ctx: ctx},
+					Cooperation)
+				if err != nil {
+					t.Errorf("%v", err)
+					return
+				}
+				sched.MoveAddRecv(obj)
+				all := gatherObj(p.Comm(), obj)
+				if p.Rank() == 0 {
+					dstAll = all
+				}
+			}},
+		},
+	})
+	for k := range srcIdx {
+		// src element g holds value 10*g (fillDistinct salt 0, words 1).
+		want := 5 + float64(srcIdx[k])*10
+		if got := dstAll[dstIdx[k]]; got != want {
+			t.Fatalf("dst[%d]=%g want %g", dstIdx[k], got, want)
+		}
+	}
+}
+
+func TestMoveAddMultiWord(t *testing.T) {
+	mpsim.RunSPMD(mpsim.Ideal(), 2, func(p *mpsim.Proc) {
+		ctx := NewCtx(p, p.Comm())
+		src := newTestObj(8, 2, 3, p.Rank())
+		dst := newTestObj(8, 2, 3, p.Rank())
+		src.fillDistinct(0)
+		sched, err := ComputeSchedule(SingleProgram(p.Comm()),
+			&Spec{Lib: testLib{}, Obj: src, Set: NewSetOfRegions(testRegion(seqIdx(0, 4, 1))), Ctx: ctx},
+			&Spec{Lib: testLib{}, Obj: dst, Set: NewSetOfRegions(testRegion(seqIdx(4, 4, 1))), Ctx: ctx},
+			Duplication)
+		if err != nil {
+			t.Errorf("%v", err)
+			return
+		}
+		sched.MoveAdd(src, dst)
+		srcAll := gatherObj(p.Comm(), src)
+		dstAll := gatherObj(p.Comm(), dst)
+		if p.Rank() == 0 {
+			for k := 0; k < 4; k++ {
+				for w := 0; w < 3; w++ {
+					if dstAll[(4+k)*3+w] != srcAll[k*3+w] {
+						t.Fatalf("word %d of element %d: %g vs %g", w, k, dstAll[(4+k)*3+w], srcAll[k*3+w])
+					}
+				}
+			}
+		}
+	})
+}

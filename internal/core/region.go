@@ -1,0 +1,165 @@
+// Package core implements Meta-Chaos, the paper's primary contribution:
+// a framework that lets data-parallel runtime libraries exchange
+// distributed data through a small set of inquiry functions each
+// library exports.  The key concept is the virtual linearization: a
+// total order over the elements of a SetOfRegions that exists only as
+// an abstraction — no storage is ever allocated for it — and defines
+// the implicit mapping between a source and a destination SetOfRegions
+// of equal size.
+//
+// The package provides the Region/SetOfRegions data-specification
+// machinery, the Library interface a data-parallel library implements
+// to join the framework, communication-schedule computation with the
+// paper's two methods (cooperation and duplication), and the schedule
+// executor that moves data with one aggregated message per processor
+// pair.
+package core
+
+import "fmt"
+
+// Region describes a group of elements of one distributed data
+// structure in global terms, in a library-specific way: a regularly
+// distributed array section for HPF and Multiblock Parti, a set of
+// global indices for Chaos.  A Region knows how many elements it holds;
+// its linearization order is defined by the owning library.
+type Region interface {
+	// Size returns the number of elements in the region.
+	Size() int
+}
+
+// SetOfRegions is an ordered group of Regions.  Its linearization is
+// the concatenation of the linearizations of its regions, in order.
+type SetOfRegions struct {
+	regions []Region
+	// base[i] is the linearization position of the first element of
+	// region i; base[len(regions)] is the total size.
+	base []int
+}
+
+// NewSetOfRegions builds a set from the given regions, in order.
+func NewSetOfRegions(regions ...Region) *SetOfRegions {
+	s := &SetOfRegions{}
+	for _, r := range regions {
+		s.Add(r)
+	}
+	return s
+}
+
+// Add appends a region to the set.
+func (s *SetOfRegions) Add(r Region) {
+	if r == nil {
+		panic("core: nil region added to SetOfRegions")
+	}
+	if len(s.base) == 0 {
+		s.base = []int{0}
+	}
+	s.regions = append(s.regions, r)
+	s.base = append(s.base, s.base[len(s.base)-1]+r.Size())
+}
+
+// Len returns the number of regions in the set.
+func (s *SetOfRegions) Len() int { return len(s.regions) }
+
+// Region returns the i-th region.
+func (s *SetOfRegions) Region(i int) Region { return s.regions[i] }
+
+// Size returns the total number of elements across all regions.
+func (s *SetOfRegions) Size() int {
+	if len(s.base) == 0 {
+		return 0
+	}
+	return s.base[len(s.base)-1]
+}
+
+// Base returns the linearization position of the first element of
+// region i.
+func (s *SetOfRegions) Base(i int) int { return s.base[i] }
+
+// Span is a contiguous range of one region's linearization produced by
+// splitting a set-level position range: positions [Lo, Hi) of region
+// Index, whose set-level positions start at Base+Lo.
+type Span struct {
+	Index  int
+	Lo, Hi int
+	Base   int
+}
+
+// SplitRange decomposes the set-level position range [lo, hi) into
+// per-region spans.  Libraries use it to implement set-level
+// dereferencing with a uniform number of collective steps on every
+// process.
+func (s *SetOfRegions) SplitRange(lo, hi int) []Span {
+	if lo < 0 || hi > s.Size() || lo > hi {
+		panic(fmt.Sprintf("core: SplitRange [%d,%d) outside set of %d elements", lo, hi, s.Size()))
+	}
+	var spans []Span
+	for i := range s.regions {
+		rLo, rHi := s.base[i], s.base[i+1]
+		a, b := max(lo, rLo), min(hi, rHi)
+		if a < b {
+			spans = append(spans, Span{Index: i, Lo: a - rLo, Hi: b - rLo, Base: rLo})
+		}
+	}
+	return spans
+}
+
+// RegionOf maps a set-level position to (region index, position within
+// region) by walking the base table.
+func (s *SetOfRegions) RegionOf(pos int) (index, inner int) {
+	if pos < 0 || pos >= s.Size() {
+		panic(fmt.Sprintf("core: position %d outside set of %d elements", pos, s.Size()))
+	}
+	// Binary search over base.
+	lo, hi := 0, len(s.regions)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.base[mid] <= pos {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, pos - s.base[lo]
+}
+
+// Loc is the physical location of one element: the program rank of the
+// owning process and the element offset into that process's local
+// storage for the distributed object.
+type Loc struct {
+	Proc int32
+	Off  int32
+}
+
+// PosLoc pairs a set-linearization position with a local element
+// offset on the calling process.
+type PosLoc struct {
+	Pos int32
+	Off int32
+}
+
+// DistObject is one process's handle on a distributed data structure:
+// the element geometry plus this process's local element storage.
+// Elements are fixed-size groups of float64 words, which covers the
+// paper's arrays of doubles as well as pC++-style element objects.
+type DistObject interface {
+	// ElemWords returns the number of float64 words per element.
+	ElemWords() int
+	// Local returns the calling process's local element storage, of
+	// length ElemWords times the number of locally owned elements.
+	// Descriptor-only remote views return nil.
+	Local() []float64
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,142 @@
+package core
+
+import "metachaos/internal/codec"
+
+// Run-length encoding for schedule wire formats.  The cooperation
+// method ships per-element location and offset lists between
+// processes; for regular array sections these lists are long
+// arithmetic progressions (consecutive offsets with a fixed stride),
+// so encoding maximal runs keeps the schedule messages small — the
+// reason the paper's cooperation build on two regular meshes costs
+// milliseconds, not a data-sized transfer.  Irregular lists fall back
+// to literal blocks.
+//
+// Token stream: an int32 header per token.  header > 0: a literal
+// block of that many pairs follows (2 int32 each).  header < 0: an
+// arithmetic run of -header pairs follows as (a0, da, b0, db).
+
+// minRun is the shortest progression worth a run token (a run costs 5
+// words; literals cost 2 per pair).
+const minRun = 4
+
+// encodePairs writes the parallel arrays (as, bs) with run
+// compression.  Both arrays must have equal length.
+func encodePairs(w *codec.Writer, as, bs []int32) {
+	w.PutInt32(int32(len(as)))
+	i := 0
+	litStart := 0
+	flushLits := func(end int) {
+		if end > litStart {
+			w.PutInt32(int32(end - litStart))
+			for k := litStart; k < end; k++ {
+				w.PutInt32(as[k])
+				w.PutInt32(bs[k])
+			}
+		}
+	}
+	n := len(as)
+	for i < n {
+		// Measure the arithmetic run starting at i.
+		j := i + 1
+		if j < n {
+			da, db := as[j]-as[i], bs[j]-bs[i]
+			for j+1 < n && as[j+1]-as[j] == da && bs[j+1]-bs[j] == db {
+				j++
+			}
+			if runLen := j - i + 1; runLen >= minRun {
+				flushLits(i)
+				w.PutInt32(int32(-runLen))
+				w.PutInt32(as[i])
+				w.PutInt32(da)
+				w.PutInt32(bs[i])
+				w.PutInt32(db)
+				i = j + 1
+				litStart = i
+				continue
+			}
+		}
+		i++
+	}
+	flushLits(n)
+}
+
+// decodePairs reads a stream written by encodePairs, calling f for
+// every pair in order.
+func decodePairs(r *codec.Reader, f func(a, b int32)) {
+	total := int(r.Int32())
+	seen := 0
+	for seen < total {
+		h := r.Int32()
+		if h > 0 {
+			for k := int32(0); k < h; k++ {
+				f(r.Int32(), r.Int32())
+			}
+			seen += int(h)
+			continue
+		}
+		count := int(-h)
+		a0, da := r.Int32(), r.Int32()
+		b0, db := r.Int32(), r.Int32()
+		for k := int32(0); k < int32(count); k++ {
+			f(a0+k*da, b0+k*db)
+		}
+		seen += count
+	}
+}
+
+// encodeInts and decodeInts are the single-array forms.
+func encodeInts(w *codec.Writer, vs []int32) {
+	w.PutInt32(int32(len(vs)))
+	i := 0
+	litStart := 0
+	flushLits := func(end int) {
+		if end > litStart {
+			w.PutInt32(int32(end - litStart))
+			for k := litStart; k < end; k++ {
+				w.PutInt32(vs[k])
+			}
+		}
+	}
+	n := len(vs)
+	for i < n {
+		j := i + 1
+		if j < n {
+			d := vs[j] - vs[i]
+			for j+1 < n && vs[j+1]-vs[j] == d {
+				j++
+			}
+			if runLen := j - i + 1; runLen >= minRun {
+				flushLits(i)
+				w.PutInt32(int32(-runLen))
+				w.PutInt32(vs[i])
+				w.PutInt32(d)
+				i = j + 1
+				litStart = i
+				continue
+			}
+		}
+		i++
+	}
+	flushLits(n)
+}
+
+func decodeInts(r *codec.Reader, f func(v int32)) {
+	total := int(r.Int32())
+	seen := 0
+	for seen < total {
+		h := r.Int32()
+		if h > 0 {
+			for k := int32(0); k < h; k++ {
+				f(r.Int32())
+			}
+			seen += int(h)
+			continue
+		}
+		count := int(-h)
+		v0, d := r.Int32(), r.Int32()
+		for k := int32(0); k < int32(count); k++ {
+			f(v0 + k*d)
+		}
+		seen += count
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"metachaos/internal/codec"
+)
+
+func roundTripPairs(as, bs []int32) ([]int32, []int32) {
+	var w codec.Writer
+	encodePairs(&w, as, bs)
+	var ga, gb []int32
+	decodePairs(codec.NewReader(w.Bytes()), func(a, b int32) {
+		ga = append(ga, a)
+		gb = append(gb, b)
+	})
+	return ga, gb
+}
+
+func TestRLEPairsRegular(t *testing.T) {
+	n := 1000
+	as := make([]int32, n)
+	bs := make([]int32, n)
+	for i := range as {
+		as[i] = 3                // constant
+		bs[i] = int32(100 + 2*i) // arithmetic
+	}
+	var w codec.Writer
+	encodePairs(&w, as, bs)
+	if w.Len() > 64 {
+		t.Errorf("regular stream of %d pairs encoded to %d bytes; want a handful of runs", n, w.Len())
+	}
+	ga, gb := roundTripPairs(as, bs)
+	for i := range as {
+		if ga[i] != as[i] || gb[i] != bs[i] {
+			t.Fatalf("pair %d: got (%d,%d) want (%d,%d)", i, ga[i], gb[i], as[i], bs[i])
+		}
+	}
+}
+
+func TestRLEPairsIrregular(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 500
+	as := make([]int32, n)
+	bs := make([]int32, n)
+	for i := range as {
+		as[i] = int32(rng.Intn(1000))
+		bs[i] = int32(rng.Intn(1000))
+	}
+	ga, gb := roundTripPairs(as, bs)
+	if len(ga) != n {
+		t.Fatalf("decoded %d pairs, want %d", len(ga), n)
+	}
+	for i := range as {
+		if ga[i] != as[i] || gb[i] != bs[i] {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+}
+
+func TestRLEPairsEmpty(t *testing.T) {
+	ga, gb := roundTripPairs(nil, nil)
+	if len(ga) != 0 || len(gb) != 0 {
+		t.Errorf("empty round trip produced %d/%d values", len(ga), len(gb))
+	}
+}
+
+func TestRLEPairsRunBoundaries(t *testing.T) {
+	// Alternating short runs and literals exercise the boundary logic.
+	as := []int32{1, 2, 3, 4, 9, 1, 1, 1, 1, 1, 7, 8}
+	bs := []int32{0, 0, 0, 0, 5, 2, 4, 6, 8, 10, 1, 1}
+	ga, gb := roundTripPairs(as, bs)
+	for i := range as {
+		if ga[i] != as[i] || gb[i] != bs[i] {
+			t.Fatalf("pair %d: got (%d,%d) want (%d,%d)", i, ga[i], gb[i], as[i], bs[i])
+		}
+	}
+}
+
+func TestRLEInts(t *testing.T) {
+	cases := [][]int32{
+		nil,
+		{42},
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{5, 5, 5, 5, 9, 1, 8, 2, 7},
+		{10, 8, 6, 4, 2, 0, -2},
+	}
+	for _, vs := range cases {
+		var w codec.Writer
+		encodeInts(&w, vs)
+		var got []int32
+		decodeInts(codec.NewReader(w.Bytes()), func(v int32) { got = append(got, v) })
+		if len(got) != len(vs) {
+			t.Fatalf("%v: decoded %d values", vs, len(got))
+		}
+		for i := range vs {
+			if got[i] != vs[i] {
+				t.Fatalf("%v: value %d = %d", vs, i, got[i])
+			}
+		}
+	}
+}
+
+func TestQuickRLEPairsRoundTrip(t *testing.T) {
+	f := func(seed int64, n8 uint8, runs bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8)
+		as := make([]int32, n)
+		bs := make([]int32, n)
+		for i := range as {
+			if runs && i > 0 && rng.Intn(3) != 0 {
+				as[i] = as[i-1] + int32(rng.Intn(2))
+				bs[i] = bs[i-1] + int32(rng.Intn(3))
+			} else {
+				as[i] = int32(rng.Intn(100))
+				bs[i] = int32(rng.Intn(100))
+			}
+		}
+		ga, gb := roundTripPairs(as, bs)
+		if len(ga) != n {
+			return false
+		}
+		for i := range as {
+			if ga[i] != as[i] || gb[i] != bs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRLEIntsRoundTrip(t *testing.T) {
+	f := func(vs []int32) bool {
+		var w codec.Writer
+		encodeInts(&w, vs)
+		var got []int32
+		decodeInts(codec.NewReader(w.Bytes()), func(v int32) { got = append(got, v) })
+		if len(got) != len(vs) {
+			return false
+		}
+		for i := range vs {
+			if got[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

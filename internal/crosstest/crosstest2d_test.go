@@ -1,0 +1,115 @@
+package crosstest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"metachaos/internal/chaoslib"
+	"metachaos/internal/codec"
+	"metachaos/internal/core"
+	"metachaos/internal/distarray"
+	"metachaos/internal/gidx"
+	"metachaos/internal/hpfrt"
+	"metachaos/internal/mbparti"
+	"metachaos/internal/mpsim"
+)
+
+// Two-dimensional cross-library transfers: a haloed Parti mesh, an HPF
+// array on a different process grid, and a CHAOS array over the
+// linearized cells all exchange random 2-D sections.
+
+func TestTwoDimensionalCrossLibrary(t *testing.T) {
+	const rows, cols, nprocs = 12, 10, 4
+	for trial := 0; trial < 6; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			var mismatch string
+			mpsim.RunSPMD(mpsim.Ideal(), nprocs, func(p *mpsim.Proc) {
+				rng := rand.New(rand.NewSource(int64(42 + trial)))
+				ctx := core.NewCtx(p, p.Comm())
+
+				// Parti source with a halo, on a squarish grid.
+				src, err := mbparti.NewArray(distarray.MustBlock2D(rows, cols, nprocs), p.Rank(), 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				src.FillGlobal(func(c []int) float64 { return float64(c[0]*1000 + c[1]) })
+
+				// HPF destination on a row-block grid.
+				dstHPF := hpfrt.NewArray(hpfrt.RowBlockMatrix(rows, cols, nprocs), p.Rank())
+
+				// Random sub-box moved between identical coordinates.
+				r0 := rng.Intn(rows - 2)
+				c0 := rng.Intn(cols - 2)
+				r1 := r0 + rng.Intn(rows-r0-1) + 1
+				c1 := c0 + rng.Intn(cols-c0-1) + 1
+				sec := gidx.NewSection([]int{r0, c0}, []int{r1, c1})
+
+				sched, err := core.ComputeSchedule(core.SingleProgram(p.Comm()),
+					&core.Spec{Lib: mbparti.Library, Obj: src, Set: core.NewSetOfRegions(sec), Ctx: ctx},
+					&core.Spec{Lib: hpfrt.Library, Obj: dstHPF, Set: core.NewSetOfRegions(sec), Ctx: ctx},
+					core.Cooperation)
+				if err != nil {
+					mismatch = err.Error()
+					return
+				}
+				sched.Move(src, dstHPF)
+
+				// Then on to a CHAOS array over linearized cells, using
+				// the same section expressed as an index list.
+				perm := rng.Perm(rows * cols)
+				lo, hi := p.Rank()*rows*cols/nprocs, (p.Rank()+1)*rows*cols/nprocs
+				mine := make([]int32, hi-lo)
+				for i := lo; i < hi; i++ {
+					mine[i-lo] = int32(perm[i])
+				}
+				dstChaos, err := chaoslib.NewArray(ctx, mine)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var linear []int32
+				sec.ForEach(func(_ int, c []int) {
+					linear = append(linear, int32(c[0]*cols+c[1]))
+				})
+				sched2, err := core.ComputeSchedule(core.SingleProgram(p.Comm()),
+					&core.Spec{Lib: hpfrt.Library, Obj: dstHPF, Set: core.NewSetOfRegions(sec), Ctx: ctx},
+					&core.Spec{Lib: chaoslib.Library, Obj: dstChaos, Set: core.NewSetOfRegions(chaoslib.IndexRegion(linear)), Ctx: ctx},
+					core.Duplication)
+				if err != nil {
+					mismatch = err.Error()
+					return
+				}
+				sched2.Move(dstHPF, dstChaos)
+
+				// Verify the chaos copy end to end.
+				got := map[int32]float64{}
+				var w codec.Writer
+				for k, g := range dstChaos.Indices() {
+					w.PutInt32(g)
+					w.PutFloat64(dstChaos.GetLocal(k))
+				}
+				for _, part := range p.Comm().Allgather(w.Bytes()) {
+					r := codec.NewReader(part)
+					for r.Remaining() > 0 {
+						g := r.Int32()
+						got[g] = r.Float64()
+					}
+				}
+				if p.Rank() != 0 {
+					return
+				}
+				sec.ForEach(func(_ int, c []int) {
+					g := int32(c[0]*cols + c[1])
+					want := float64(c[0]*1000 + c[1])
+					if got[g] != want {
+						mismatch = fmt.Sprintf("cell (%d,%d): %g want %g", c[0], c[1], got[g], want)
+					}
+				})
+			})
+			if mismatch != "" {
+				t.Fatal(mismatch)
+			}
+		})
+	}
+}

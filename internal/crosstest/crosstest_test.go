@@ -1,0 +1,439 @@
+// Package crosstest randomizes Meta-Chaos transfers across every
+// library pairing and checks them against the linearization contract:
+// after a move, the destination element at position k of its
+// SetOfRegions holds the source element at position k of its own.
+// This is the framework's central invariant, exercised over random
+// region shapes, distributions, methods and program splits.
+package crosstest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"metachaos/internal/chaoslib"
+	"metachaos/internal/codec"
+	"metachaos/internal/core"
+	"metachaos/internal/distarray"
+	"metachaos/internal/gidx"
+	"metachaos/internal/hpfrt"
+	"metachaos/internal/lparx"
+	"metachaos/internal/mbparti"
+	"metachaos/internal/mpsim"
+	"metachaos/internal/pcxxrt"
+)
+
+var kinds = []string{"hpf", "mbparti", "chaos", "pcxx", "lparx"}
+
+// side is one half of a transfer plus the bookkeeping to verify it.
+type side struct {
+	lib core.Library
+	obj core.DistObject
+	set *core.SetOfRegions
+	// elemAt maps a linearization position to a stable global element
+	// name used by fill and verification.
+	elemAt []int32
+	// snapshot gathers element-name -> value for the whole object.
+	snapshot func(comm *mpsim.Comm) map[int32]float64
+	// fill writes value f(name) into every owned element.
+	fill func(f func(g int32) float64)
+}
+
+// buildSide constructs a kind-flavoured object of n global elements
+// and a SetOfRegions selecting exactly m of them.  When m < 0, the
+// side chooses its own selection size (the source side does this; the
+// destination matches it).
+func buildSide(t *testing.T, rng *rand.Rand, kind string, ctx *core.Ctx, p *mpsim.Proc, n, m int) *side {
+	t.Helper()
+	nprocs := p.Size()
+	switch kind {
+	case "hpf", "mbparti":
+		var obj interface {
+			core.DistObject
+			FillGlobal(func([]int) float64)
+		}
+		var dist *distarray.Dist
+		if kind == "hpf" && rng.Intn(2) == 0 {
+			d, err := distarray.NewDist(gidx.Shape{n}, []int{nprocs}, []distarray.Kind{distarray.Cyclic})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dist = d
+		} else {
+			dist = hpfrt.BlockVector(n, nprocs)
+		}
+		if kind == "hpf" {
+			obj = hpfrt.NewArray(dist, p.Rank())
+		} else {
+			halo := rng.Intn(2)
+			if _, _, boxed := dist.LocalBox(p.Rank()); !boxed {
+				halo = 0
+			}
+			a, err := mbparti.NewArray(dist, p.Rank(), halo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obj = a
+		}
+		set, elems := randomSections(rng, n, m)
+		lib, _ := core.LookupLibrary(kind)
+		return &side{
+			lib:    lib,
+			obj:    obj,
+			set:    set,
+			elemAt: elems,
+			fill: func(f func(g int32) float64) {
+				obj.FillGlobal(func(c []int) float64 { return f(int32(c[0])) })
+			},
+			snapshot: func(comm *mpsim.Comm) map[int32]float64 {
+				return snapshotRegular(comm, dist, obj, p.Rank())
+			},
+		}
+
+	case "chaos":
+		perm := rng.Perm(n)
+		lo, hi := p.Rank()*n/nprocs, (p.Rank()+1)*n/nprocs
+		mine := make([]int32, hi-lo)
+		for i := lo; i < hi; i++ {
+			mine[i-lo] = int32(perm[i])
+		}
+		arr, err := chaoslib.NewArray(ctx, mine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		elems := randomDistinct(rng, n, m)
+		set := core.NewSetOfRegions(chaoslib.IndexRegion(elems))
+		return &side{
+			lib:    chaoslib.Library,
+			obj:    arr,
+			set:    set,
+			elemAt: elems,
+			fill:   func(f func(g int32) float64) { arr.FillGlobal(f) },
+			snapshot: func(comm *mpsim.Comm) map[int32]float64 {
+				out := map[int32]float64{}
+				var w codec.Writer
+				for k, g := range arr.Indices() {
+					w.PutInt32(g)
+					w.PutFloat64(arr.GetLocal(k))
+				}
+				for _, part := range comm.Allgather(w.Bytes()) {
+					r := codec.NewReader(part)
+					for r.Remaining() > 0 {
+						g := r.Int32()
+						out[g] = r.Float64()
+					}
+				}
+				return out
+			},
+		}
+
+	case "pcxx":
+		coll, err := pcxxrt.NewCollection(n, nprocs, 1, p.Rank())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var set *core.SetOfRegions
+		var elems []int32
+		if m < 0 {
+			// Free choice: a strided range.
+			step := rng.Intn(3) + 1
+			count := rng.Intn(n/step) + 1
+			lo := rng.Intn(n - (count-1)*step)
+			r := pcxxrt.RangeRegion{Lo: lo, Hi: lo + (count-1)*step + 1, Step: step}
+			set = core.NewSetOfRegions(r)
+			for k := 0; k < r.Size(); k++ {
+				elems = append(elems, int32(r.At(k)))
+			}
+		} else {
+			lo := rng.Intn(n - m + 1)
+			r := pcxxrt.RangeRegion{Lo: lo, Hi: lo + m, Step: 1}
+			set = core.NewSetOfRegions(r)
+			for k := 0; k < m; k++ {
+				elems = append(elems, int32(lo+k))
+			}
+		}
+		return &side{
+			lib:    pcxxrt.Library,
+			obj:    coll,
+			set:    set,
+			elemAt: elems,
+			fill: func(f func(g int32) float64) {
+				coll.ForEachOwned(func(i int, elem []float64) { elem[0] = f(int32(i)) })
+			},
+			snapshot: func(comm *mpsim.Comm) map[int32]float64 {
+				out := map[int32]float64{}
+				var w codec.Writer
+				coll.ForEachOwned(func(i int, elem []float64) {
+					w.PutInt32(int32(i))
+					w.PutFloat64(elem[0])
+				})
+				for _, part := range comm.Allgather(w.Bytes()) {
+					r := codec.NewReader(part)
+					for r.Remaining() > 0 {
+						g := r.Int32()
+						out[g] = r.Float64()
+					}
+				}
+				return out
+			},
+		}
+
+	case "lparx":
+		// A 1-D strip of 2-4 patches with random cut points, dealt
+		// round-robin to processes.
+		cuts := []int{0}
+		for cuts[len(cuts)-1] < n {
+			step := rng.Intn(n/2) + 1
+			next := cuts[len(cuts)-1] + step
+			if next > n {
+				next = n
+			}
+			cuts = append(cuts, next)
+		}
+		var patches []lparx.Patch
+		for i := 0; i+1 < len(cuts); i++ {
+			patches = append(patches, lparx.Patch{
+				Lo: []int{cuts[i]}, Hi: []int{cuts[i+1]}, Owner: i % nprocs,
+			})
+		}
+		dec, err := lparx.NewDecomposition(nprocs, patches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid := lparx.NewGrid(dec, p.Rank())
+		var set *core.SetOfRegions
+		var elems []int32
+		if m < 0 {
+			m = rng.Intn(n/2) + 1
+		}
+		lo := rng.Intn(n - m + 1)
+		set = core.NewSetOfRegions(lparx.BoxRegion{Lo: []int{lo}, Hi: []int{lo + m}})
+		for k := 0; k < m; k++ {
+			elems = append(elems, int32(lo+k))
+		}
+		return &side{
+			lib:    lparx.Library,
+			obj:    grid,
+			set:    set,
+			elemAt: elems,
+			fill: func(f func(g int32) float64) {
+				grid.FillGlobal(func(c []int) float64 { return f(int32(c[0])) })
+			},
+			snapshot: func(comm *mpsim.Comm) map[int32]float64 {
+				out := map[int32]float64{}
+				var w codec.Writer
+				for i := 0; i < dec.NumPatches(); i++ {
+					pt := dec.Patch(i)
+					if pt.Owner != p.Rank() {
+						continue
+					}
+					for x := pt.Lo[0]; x < pt.Hi[0]; x++ {
+						w.PutInt32(int32(x))
+						w.PutFloat64(grid.Get([]int{x}))
+					}
+				}
+				for _, part := range comm.Allgather(w.Bytes()) {
+					r := codec.NewReader(part)
+					for r.Remaining() > 0 {
+						g := r.Int32()
+						out[g] = r.Float64()
+					}
+				}
+				return out
+			},
+		}
+	}
+	t.Fatalf("unknown kind %q", kind)
+	return nil
+}
+
+// randomSections builds 1-3 non-overlapping-ish strided sections over
+// [0, n) and returns the set plus the element per position.  When
+// m >= 0 a single contiguous section of exactly m points is produced.
+func randomSections(rng *rand.Rand, n, m int) (*core.SetOfRegions, []int32) {
+	set := core.NewSetOfRegions()
+	var elems []int32
+	if m >= 0 {
+		lo := rng.Intn(n - m + 1)
+		set.Add(gidx.NewSection([]int{lo}, []int{lo + m}))
+		for k := 0; k < m; k++ {
+			elems = append(elems, int32(lo+k))
+		}
+		return set, elems
+	}
+	pieces := rng.Intn(3) + 1
+	for i := 0; i < pieces; i++ {
+		step := rng.Intn(3) + 1
+		count := rng.Intn(n/(2*step)) + 1
+		lo := rng.Intn(n - (count-1)*step)
+		sec := gidx.Section{Lo: []int{lo}, Hi: []int{lo + (count-1)*step + 1}, Step: []int{step}}
+		set.Add(sec)
+		for k := 0; k < sec.Size(); k++ {
+			elems = append(elems, int32(lo+k*step))
+		}
+	}
+	return set, elems
+}
+
+func randomDistinct(rng *rand.Rand, n, m int) []int32 {
+	if m < 0 {
+		m = rng.Intn(n/2) + 1
+	}
+	perm := rng.Perm(n)
+	out := make([]int32, m)
+	for i := 0; i < m; i++ {
+		out[i] = int32(perm[i])
+	}
+	return out
+}
+
+func snapshotRegular(comm *mpsim.Comm, dist *distarray.Dist, obj core.DistObject, rank int) map[int32]float64 {
+	type getter interface {
+		Get([]int) float64
+	}
+	g := obj.(getter)
+	out := map[int32]float64{}
+	var w codec.Writer
+	n := dist.Shape()[0]
+	for i := 0; i < n; i++ {
+		if dist.OwnerOf([]int{i}) == rank {
+			w.PutInt32(int32(i))
+			w.PutFloat64(g.Get([]int{i}))
+		}
+	}
+	for _, part := range comm.Allgather(w.Bytes()) {
+		r := codec.NewReader(part)
+		for r.Remaining() > 0 {
+			gi := r.Int32()
+			out[gi] = r.Float64()
+		}
+	}
+	return out
+}
+
+func TestRandomizedCrossLibraryCopies(t *testing.T) {
+	const n = 48
+	seed := int64(0)
+	for _, srcKind := range kinds {
+		for _, dstKind := range kinds {
+			for _, method := range []core.Method{core.Cooperation, core.Duplication} {
+				seed++
+				name := fmt.Sprintf("%s-to-%s-%s", srcKind, dstKind, method)
+				t.Run(name, func(t *testing.T) {
+					runRandomCopy(t, srcKind, dstKind, method, n, seed)
+				})
+			}
+		}
+	}
+}
+
+func runRandomCopy(t *testing.T, srcKind, dstKind string, method core.Method, n int, seed int64) {
+	nprocs := int(seed%3) + 2
+	var mismatch string
+	mpsim.RunSPMD(mpsim.Ideal(), nprocs, func(p *mpsim.Proc) {
+		// Every process derives the same pseudo-random configuration.
+		rng := rand.New(rand.NewSource(seed * 977))
+		ctx := core.NewCtx(p, p.Comm())
+		src := buildSide(t, rng, srcKind, ctx, p, n, -1)
+		dst := buildSide(t, rng, dstKind, ctx, p, n, src.set.Size())
+		fill := func(g int32) float64 { return float64(g)*13 + 0.25 }
+		src.fill(fill)
+
+		sched, err := core.ComputeSchedule(core.SingleProgram(p.Comm()),
+			&core.Spec{Lib: src.lib, Obj: src.obj, Set: src.set, Ctx: ctx},
+			&core.Spec{Lib: dst.lib, Obj: dst.obj, Set: dst.set, Ctx: ctx},
+			method)
+		if err != nil {
+			mismatch = fmt.Sprintf("ComputeSchedule: %v", err)
+			return
+		}
+		sched.Move(src.obj, dst.obj)
+
+		dstSnap := dst.snapshot(p.Comm())
+		if p.Rank() != 0 {
+			return
+		}
+		for k := range src.elemAt {
+			want := fill(src.elemAt[k])
+			got := dstSnap[dst.elemAt[k]]
+			if got != want {
+				mismatch = fmt.Sprintf("position %d: dst element %d = %g, want src element %d = %g",
+					k, dst.elemAt[k], got, src.elemAt[k], want)
+				return
+			}
+		}
+	})
+	if mismatch != "" {
+		t.Fatal(mismatch)
+	}
+}
+
+// TestRandomizedReverseMoves checks schedule symmetry across random
+// pairings: a reverse move puts the source's original values back even
+// after the source is wiped.
+func TestRandomizedReverseMoves(t *testing.T) {
+	const n = 32
+	for i, srcKind := range kinds {
+		srcKind := srcKind
+		t.Run(srcKind, func(t *testing.T) {
+			seed := int64(1000 + i)
+			var mismatch string
+			mpsim.RunSPMD(mpsim.Ideal(), 3, func(p *mpsim.Proc) {
+				rng := rand.New(rand.NewSource(seed))
+				ctx := core.NewCtx(p, p.Comm())
+				src := buildSide(t, rng, srcKind, ctx, p, n, -1)
+				dst := buildSide(t, rng, "hpf", ctx, p, n, src.set.Size())
+				fill := func(g int32) float64 { return float64(g) + 0.5 }
+				src.fill(fill)
+				sched, err := core.ComputeSchedule(core.SingleProgram(p.Comm()),
+					&core.Spec{Lib: src.lib, Obj: src.obj, Set: src.set, Ctx: ctx},
+					&core.Spec{Lib: dst.lib, Obj: dst.obj, Set: dst.set, Ctx: ctx},
+					core.Cooperation)
+				if err != nil {
+					mismatch = err.Error()
+					return
+				}
+				sched.Move(src.obj, dst.obj)
+				src.fill(func(int32) float64 { return -1 }) // wipe
+				sched.MoveReverse(src.obj, dst.obj)
+				snap := src.snapshot(p.Comm())
+				if p.Rank() != 0 {
+					return
+				}
+				for _, g := range src.elemAt {
+					if snap[g] != fill(g) {
+						mismatch = fmt.Sprintf("element %d restored to %g, want %g", g, snap[g], fill(g))
+						return
+					}
+				}
+			})
+			if mismatch != "" {
+				t.Fatal(mismatch)
+			}
+		})
+	}
+}
+
+// TestSoakRandomizedCopies runs a long randomized soak across all
+// pairings; skipped in -short mode.
+func TestSoakRandomizedCopies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	seed := int64(5000)
+	for round := 0; round < 4; round++ {
+		for _, srcKind := range kinds {
+			for _, dstKind := range kinds {
+				seed++
+				method := core.Cooperation
+				if seed%2 == 0 {
+					method = core.Duplication
+				}
+				runRandomCopy(t, srcKind, dstKind, method, 40+int(seed%37), seed)
+				if t.Failed() {
+					t.Fatalf("soak failed at round %d %s->%s seed %d", round, srcKind, dstKind, seed)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,396 @@
+// Package distarray implements the regular distribution engine shared
+// by the Multiblock Parti and HPF runtime analogues: multi-dimensional
+// arrays partitioned over a process grid with HPF-style BLOCK or CYCLIC
+// distribution per dimension, and the global-to-local index translation
+// those libraries perform on every access.
+package distarray
+
+import (
+	"fmt"
+
+	"metachaos/internal/gidx"
+)
+
+// Kind selects how one array dimension is split over one process-grid
+// dimension.
+type Kind int
+
+const (
+	// Block gives each process one contiguous chunk of ceil(n/p)
+	// indices, HPF BLOCK semantics.
+	Block Kind = iota
+	// Cyclic deals indices round-robin, HPF CYCLIC(1) semantics.
+	Cyclic
+	// BlockCyclic deals fixed-size blocks round-robin, HPF CYCLIC(k)
+	// and ScaLAPACK block-cyclic semantics; the block size comes from
+	// the distribution's Params.
+	BlockCyclic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Block:
+		return "BLOCK"
+	case Cyclic:
+		return "CYCLIC"
+	case BlockCyclic:
+		return "CYCLIC(k)"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Dist is an immutable description of how a dense global index space is
+// partitioned over a process grid.  It is pure arithmetic: the same
+// descriptor is held by every process (and, under Meta-Chaos's
+// "duplication" schedule method, by processes of other programs).
+type Dist struct {
+	shape gidx.Shape
+	grid  []int
+	kinds []Kind
+	// blockSize[d] is ceil(shape[d]/grid[d]) for Block dims, the
+	// CYCLIC(k) parameter for BlockCyclic dims, unused for Cyclic.
+	blockSize []int
+}
+
+// NewDist validates and builds a distribution of shape over a process
+// grid; len(grid) == len(shape) == len(kinds), and the number of
+// processes is the product of grid extents.  BlockCyclic dimensions
+// use a default block size of 1 (equivalent to Cyclic); use
+// NewDistParams to set CYCLIC(k) block sizes.
+func NewDist(shape gidx.Shape, grid []int, kinds []Kind) (*Dist, error) {
+	return NewDistParams(shape, grid, kinds, nil)
+}
+
+// NewDistParams builds a distribution with per-dimension parameters:
+// params[d] is the CYCLIC(k) block size for BlockCyclic dimensions
+// (ignored for Block and Cyclic).  A nil params means block size 1
+// everywhere.
+func NewDistParams(shape gidx.Shape, grid []int, kinds []Kind, params []int) (*Dist, error) {
+	if !shape.Valid() {
+		return nil, fmt.Errorf("distarray: invalid shape %v", shape)
+	}
+	if len(grid) != len(shape) || len(kinds) != len(shape) {
+		return nil, fmt.Errorf("distarray: shape rank %d, grid rank %d, kinds rank %d",
+			len(shape), len(grid), len(kinds))
+	}
+	if params != nil && len(params) != len(shape) {
+		return nil, fmt.Errorf("distarray: shape rank %d but %d params", len(shape), len(params))
+	}
+	for d, g := range grid {
+		if g <= 0 {
+			return nil, fmt.Errorf("distarray: grid extent %d in dim %d", g, d)
+		}
+		switch kinds[d] {
+		case Block, Cyclic:
+		case BlockCyclic:
+			if params != nil && params[d] <= 0 {
+				return nil, fmt.Errorf("distarray: CYCLIC(k) block size %d in dim %d", params[d], d)
+			}
+		default:
+			return nil, fmt.Errorf("distarray: unknown kind %v in dim %d", kinds[d], d)
+		}
+	}
+	dist := &Dist{
+		shape:     append(gidx.Shape(nil), shape...),
+		grid:      append([]int(nil), grid...),
+		kinds:     append([]Kind(nil), kinds...),
+		blockSize: make([]int, len(shape)),
+	}
+	for d := range shape {
+		switch kinds[d] {
+		case Block:
+			dist.blockSize[d] = (shape[d] + grid[d] - 1) / grid[d]
+		case BlockCyclic:
+			dist.blockSize[d] = 1
+			if params != nil {
+				dist.blockSize[d] = params[d]
+			}
+		}
+	}
+	return dist, nil
+}
+
+// Params returns the per-dimension distribution parameters (CYCLIC(k)
+// block sizes; meaningful only for BlockCyclic dimensions).
+func (d *Dist) Params() []int { return append([]int(nil), d.blockSize...) }
+
+// MustBlock2D is a convenience constructor for the common case in the
+// paper's experiments: a 2-D array distributed (BLOCK, BLOCK) over a
+// nearly-square grid of nprocs processes.
+func MustBlock2D(rows, cols, nprocs int) *Dist {
+	gr, gc := SquarishGrid(nprocs)
+	d, err := NewDist(gidx.Shape{rows, cols}, []int{gr, gc}, []Kind{Block, Block})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// SquarishGrid factors n into two near-equal factors (gr <= gc).
+func SquarishGrid(n int) (gr, gc int) {
+	gr = 1
+	for f := 1; f*f <= n; f++ {
+		if n%f == 0 {
+			gr = f
+		}
+	}
+	return gr, n / gr
+}
+
+// Shape returns the global shape.
+func (d *Dist) Shape() gidx.Shape { return d.shape }
+
+// Grid returns the process grid extents.
+func (d *Dist) Grid() []int { return d.grid }
+
+// Kinds returns the per-dimension distribution kinds.
+func (d *Dist) Kinds() []Kind { return d.kinds }
+
+// NProcs returns the number of processes the array is spread over.
+func (d *Dist) NProcs() int {
+	n := 1
+	for _, g := range d.grid {
+		n *= g
+	}
+	return n
+}
+
+// GridCoords returns the process-grid coordinates of rank (row-major
+// rank ordering over the grid).
+func (d *Dist) GridCoords(rank int) []int {
+	return gidx.Shape(d.grid).Coords(rank, nil)
+}
+
+// gridRank is the inverse of GridCoords.
+func (d *Dist) gridRank(gcoords []int) int {
+	return gidx.Shape(d.grid).Linear(gcoords)
+}
+
+// ownerDim returns the grid coordinate owning global index c in dim d.
+func (d *Dist) ownerDim(dim, c int) int {
+	switch d.kinds[dim] {
+	case Cyclic:
+		return c % d.grid[dim]
+	case BlockCyclic:
+		return (c / d.blockSize[dim]) % d.grid[dim]
+	}
+	return c / d.blockSize[dim]
+}
+
+// localDim returns the local index of global index c in dim d.
+func (d *Dist) localDim(dim, c int) int {
+	switch d.kinds[dim] {
+	case Cyclic:
+		return c / d.grid[dim]
+	case BlockCyclic:
+		b, p := d.blockSize[dim], d.grid[dim]
+		localBlock := c / b / p
+		return localBlock*b + c%b
+	}
+	return c - (c/d.blockSize[dim])*d.blockSize[dim]
+}
+
+// localCountDim returns how many indices of dim d the grid coordinate g
+// owns.
+func (d *Dist) localCountDim(dim, g int) int {
+	n, p := d.shape[dim], d.grid[dim]
+	switch d.kinds[dim] {
+	case Cyclic:
+		if g >= n {
+			return 0
+		}
+		return (n - g + p - 1) / p
+	case BlockCyclic:
+		b := d.blockSize[dim]
+		fullCycles := n / (b * p)
+		count := fullCycles * b
+		rem := n - fullCycles*b*p // indices in the trailing partial cycle
+		lo := g * b
+		if rem > lo {
+			extra := rem - lo
+			if extra > b {
+				extra = b
+			}
+			count += extra
+		}
+		return count
+	}
+	b := d.blockSize[dim]
+	lo := g * b
+	if lo >= n {
+		return 0
+	}
+	hi := lo + b
+	if hi > n {
+		hi = n
+	}
+	return hi - lo
+}
+
+// OwnerOf returns the rank owning the element at global coords.
+func (d *Dist) OwnerOf(coords []int) int {
+	g := make([]int, len(coords))
+	for dim, c := range coords {
+		g[dim] = d.ownerDim(dim, c)
+	}
+	return d.gridRank(g)
+}
+
+// LocalCounts returns the per-dimension extent of rank's local tile.
+func (d *Dist) LocalCounts(rank int) []int {
+	g := d.GridCoords(rank)
+	out := make([]int, len(d.shape))
+	for dim := range d.shape {
+		out[dim] = d.localCountDim(dim, g[dim])
+	}
+	return out
+}
+
+// LocalSize returns the number of elements rank owns.
+func (d *Dist) LocalSize(rank int) int {
+	n := 1
+	for _, c := range d.LocalCounts(rank) {
+		n *= c
+	}
+	return n
+}
+
+// Locate returns the owning rank and the row-major offset into that
+// rank's local tile for the element at global coords.
+func (d *Dist) Locate(coords []int) (rank, offset int) {
+	g := make([]int, len(coords))
+	for dim, c := range coords {
+		if c < 0 || c >= d.shape[dim] {
+			panic(fmt.Sprintf("distarray: coord %d out of range in dim %d (extent %d)",
+				c, dim, d.shape[dim]))
+		}
+		g[dim] = d.ownerDim(dim, c)
+	}
+	rank = d.gridRank(g)
+	offset = 0
+	for dim, c := range coords {
+		offset = offset*d.localCountDim(dim, g[dim]) + d.localDim(dim, c)
+	}
+	return rank, offset
+}
+
+// LocalCoords returns the owning rank and per-dimension local tile
+// coordinates of the element at global coords.
+func (d *Dist) LocalCoords(coords []int, local []int) (rank int, out []int) {
+	if local == nil {
+		local = make([]int, len(coords))
+	}
+	g := make([]int, len(coords))
+	for dim, c := range coords {
+		g[dim] = d.ownerDim(dim, c)
+		local[dim] = d.localDim(dim, c)
+	}
+	return d.gridRank(g), local
+}
+
+// LocalBox returns the half-open global box owned by rank, which exists
+// only when every dimension is Block-distributed; ok is false otherwise.
+func (d *Dist) LocalBox(rank int) (lo, hi []int, ok bool) {
+	for _, k := range d.kinds {
+		if k != Block {
+			return nil, nil, false
+		}
+	}
+	g := d.GridCoords(rank)
+	lo = make([]int, len(d.shape))
+	hi = make([]int, len(d.shape))
+	for dim := range d.shape {
+		lo[dim] = g[dim] * d.blockSize[dim]
+		hi[dim] = lo[dim] + d.blockSize[dim]
+		if lo[dim] > d.shape[dim] {
+			lo[dim] = d.shape[dim]
+		}
+		if hi[dim] > d.shape[dim] {
+			hi[dim] = d.shape[dim]
+		}
+	}
+	return lo, hi, true
+}
+
+// GlobalOf maps rank-local tile coordinates back to global coordinates,
+// the inverse of Locate's per-dimension translation.
+func (d *Dist) GlobalOf(rank int, local []int) []int {
+	g := d.GridCoords(rank)
+	out := make([]int, len(d.shape))
+	for dim, lc := range local {
+		switch d.kinds[dim] {
+		case Cyclic:
+			out[dim] = g[dim] + lc*d.grid[dim]
+		case BlockCyclic:
+			b := d.blockSize[dim]
+			out[dim] = (lc/b*d.grid[dim]+g[dim])*b + lc%b
+		default:
+			out[dim] = g[dim]*d.blockSize[dim] + lc
+		}
+	}
+	return out
+}
+
+// Array is one process's portion of a distributed array of float64
+// elements: the shared distribution descriptor plus the local tile.
+type Array struct {
+	dist  *Dist
+	rank  int
+	local []float64
+}
+
+// NewArray allocates rank's tile of a distributed array.
+func NewArray(dist *Dist, rank int) *Array {
+	if rank < 0 || rank >= dist.NProcs() {
+		panic(fmt.Sprintf("distarray: rank %d outside distribution over %d procs", rank, dist.NProcs()))
+	}
+	return &Array{dist: dist, rank: rank, local: make([]float64, dist.LocalSize(rank))}
+}
+
+// Dist returns the distribution descriptor.
+func (a *Array) Dist() *Dist { return a.dist }
+
+// Rank returns the owning process rank the tile belongs to.
+func (a *Array) Rank() int { return a.rank }
+
+// Local returns the local tile storage in row-major order.
+func (a *Array) Local() []float64 { return a.local }
+
+// Get reads the element at global coords, which must be owned locally.
+func (a *Array) Get(coords []int) float64 {
+	rank, off := a.dist.Locate(coords)
+	if rank != a.rank {
+		panic(fmt.Sprintf("distarray: rank %d reading element %v owned by rank %d", a.rank, coords, rank))
+	}
+	return a.local[off]
+}
+
+// Set writes the element at global coords, which must be owned locally.
+func (a *Array) Set(coords []int, v float64) {
+	rank, off := a.dist.Locate(coords)
+	if rank != a.rank {
+		panic(fmt.Sprintf("distarray: rank %d writing element %v owned by rank %d", a.rank, coords, rank))
+	}
+	a.local[off] = v
+}
+
+// FillGlobal sets every locally owned element to f(globalCoords),
+// letting tests and examples initialize a distributed array from a
+// global definition without communication.
+func (a *Array) FillGlobal(f func(coords []int) float64) {
+	counts := a.dist.LocalCounts(a.rank)
+	if len(a.local) == 0 {
+		return
+	}
+	local := make([]int, len(counts))
+	for off := 0; off < len(a.local); off++ {
+		a.local[off] = f(a.dist.GlobalOf(a.rank, local))
+		for d := len(local) - 1; d >= 0; d-- {
+			local[d]++
+			if local[d] < counts[d] {
+				break
+			}
+			local[d] = 0
+		}
+	}
+}

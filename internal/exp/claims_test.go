@@ -1,0 +1,120 @@
+package exp
+
+import "testing"
+
+// The paper's qualitative claims, asserted over the fully regenerated
+// tables and figures.  This is the reproduction's acceptance test: the
+// absolute numbers may drift with the cost model, but these shapes are
+// what the paper argues and what must keep holding.  Skipped under
+// -short (the full evaluation takes a few seconds).
+
+func TestClaimsTables12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation skipped in -short mode")
+	}
+	t1 := Table1()
+	insp, exec := t1.Rows[0].Values, t1.Rows[1].Values
+	for i := 1; i < len(insp); i++ {
+		if insp[i] >= insp[i-1] {
+			t.Errorf("Table 1: inspector not decreasing at col %d: %g -> %g", i, insp[i-1], insp[i])
+		}
+		if exec[i] >= exec[i-1] {
+			t.Errorf("Table 1: executor not decreasing at col %d: %g -> %g", i, exec[i-1], exec[i])
+		}
+	}
+
+	t2 := Table2()
+	chaosSched := t2.Rows[0].Values
+	coopSched := t2.Rows[2].Values
+	dupSched := t2.Rows[4].Values
+	chaosCopy := t2.Rows[1].Values
+	coopCopy := t2.Rows[3].Values
+	for i := range chaosSched {
+		// Cooperation ~ CHAOS ("very similar"): within 50% either way.
+		if r := coopSched[i] / chaosSched[i]; r < 0.5 || r > 1.5 {
+			t.Errorf("Table 2 col %d: cooperation/CHAOS schedule ratio %.2f outside [0.5, 1.5]", i, r)
+		}
+		// Duplication ~ 2x cooperation.
+		if r := dupSched[i] / coopSched[i]; r < 1.6 || r > 2.6 {
+			t.Errorf("Table 2 col %d: duplication/cooperation ratio %.2f outside [1.6, 2.6]", i, r)
+		}
+		// Meta-Chaos copy <= CHAOS copy (no extra staging).
+		if coopCopy[i] > chaosCopy[i] {
+			t.Errorf("Table 2 col %d: Meta-Chaos copy %.1f exceeds CHAOS copy %.1f", i, coopCopy[i], chaosCopy[i])
+		}
+	}
+}
+
+func TestClaimsTable5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation skipped in -short mode")
+	}
+	t5 := Table5()
+	partiSched := t5.Rows[0].Values
+	partiCopy := t5.Rows[1].Values
+	coopSched := t5.Rows[2].Values
+	coopCopy := t5.Rows[3].Values
+	dupSched := t5.Rows[4].Values
+	dupCopy := t5.Rows[5].Values
+	for i := range partiSched {
+		if !(partiSched[i] < dupSched[i] && dupSched[i] < coopSched[i]) {
+			t.Errorf("Table 5 col %d: schedule ordering parti(%.1f) < dup(%.1f) < coop(%.1f) violated",
+				i, partiSched[i], dupSched[i], coopSched[i])
+		}
+		// The two methods build equivalent schedules; lane ordering may
+		// differ, so allow sub-percent timing noise.
+		if r := dupCopy[i] / coopCopy[i]; r < 0.99 || r > 1.01 {
+			t.Errorf("Table 5 col %d: coop and dup copies differ (%.3f vs %.3f)", i, coopCopy[i], dupCopy[i])
+		}
+		// Meta-Chaos never copies slower than Parti (and wins where
+		// local copies dominate).
+		if coopCopy[i] > partiCopy[i]*1.02 {
+			t.Errorf("Table 5 col %d: Meta-Chaos copy %.1f slower than Parti %.1f", i, coopCopy[i], partiCopy[i])
+		}
+	}
+	// At 2 processes the copy is all-local and Meta-Chaos's direct copy
+	// must clearly win over Parti's staging buffer.
+	if coopCopy[0] >= partiCopy[0]*0.95 {
+		t.Errorf("Table 5 @2: Meta-Chaos local copy %.1f not faster than Parti staging %.1f",
+			coopCopy[0], partiCopy[0])
+	}
+}
+
+func TestClaimsFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation skipped in -short mode")
+	}
+	f10 := Figure10()
+	totals := f10.Rows[4].Values // server procs: 1,2,4,8,12,16
+	if !(totals[3] < totals[0] && totals[3] < totals[1] && totals[3] < totals[2]) {
+		t.Errorf("Figure 10: 8-process total %.0f not below smaller servers %v", totals[3], totals[:3])
+	}
+	if totals[4] < totals[3]*0.98 {
+		t.Errorf("Figure 10: 12-process total %.0f clearly beats 8-process %.0f; contention shape lost",
+			totals[4], totals[3])
+	}
+	sched := f10.Rows[0].Values
+	if !(sched[2] < sched[0] && sched[5] > sched[2]) {
+		t.Errorf("Figure 10: schedule times %v should dip toward 4 processes then rise", sched)
+	}
+
+	// Amortization: 20 vectors through the 8-process server beat the
+	// sequential client by at least 2.5x (paper: 4.5x).
+	local20 := RunClientLocal(1, 20) * 20
+	b := RunClientServer(CSConfig{ClientProcs: 1, ServerProcs: 8, Vectors: 20})
+	if speedup := local20 / b.Total(); speedup < 2.5 {
+		t.Errorf("Figure 13: speedup %.2f below 2.5", speedup)
+	}
+
+	f15 := Figure15()
+	one := f15.Rows[0].Values // servers: 2,4,8,12,16
+	for i, v := range one {
+		if !(v == v) || v < 1 || v > 10 {
+			t.Errorf("Figure 15: 1-client break-even at col %d = %g, want a small finite count", i, v)
+		}
+	}
+	two := f15.Rows[1].Values
+	if two[0] == two[0] { // not NaN
+		t.Errorf("Figure 15: 2-client/2-server break-even %g, paper shows none (want NaN)", two[0])
+	}
+}

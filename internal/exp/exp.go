@@ -1,0 +1,156 @@
+// Package exp implements the paper's evaluation: one function per
+// table and figure, each returning a structured result that the
+// cmd/mctables and cmd/mcfigures binaries print and the root
+// benchmarks re-run.  Workload sizes, machine profiles and process
+// counts follow Section 5 of the paper; the tables embed the paper's
+// published numbers so the output shows paper-vs-measured side by
+// side.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"metachaos/internal/mpsim"
+)
+
+// Table is one reproduced table or figure series.
+type Table struct {
+	// ID is the paper's label, e.g. "Table 2" or "Figure 10".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Unit is the unit of every value (usually "msec").
+	Unit string
+	// ColHeader names the column dimension (e.g. "processors").
+	ColHeader string
+	// Cols are the column labels.
+	Cols []string
+	// Rows are the measured series.
+	Rows []Row
+	// Notes carries the expected qualitative shape from the paper.
+	Notes []string
+}
+
+// Row is one measured series with the paper's reference values.
+type Row struct {
+	Label string
+	// Values are this reproduction's measurements.
+	Values []float64
+	// Paper are the published values (nil when the paper gives only a
+	// figure, not numbers).
+	Paper []float64
+}
+
+// Format renders the table as aligned text with measured and paper
+// values interleaved.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "(values in %s; 'paper' rows are the published IPPS'97 numbers)\n\n", t.Unit)
+
+	width := 12
+	for _, c := range t.Cols {
+		if len(c)+2 > width {
+			width = len(c) + 2
+		}
+	}
+	label := 34
+	fmt.Fprintf(&b, "%-*s", label, t.ColHeader)
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%*s", width, c)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", label+width*len(t.Cols)) + "\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", label, r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%*s", width, formatVal(v))
+		}
+		b.WriteString("\n")
+		if r.Paper != nil {
+			fmt.Fprintf(&b, "%-*s", label, "  (paper)")
+			for _, v := range r.Paper {
+				fmt.Fprintf(&b, "%*s", width, formatVal(v))
+			}
+			b.WriteString("\n")
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values for plotting tools:
+// a header row, one row per measured series, and "(paper)" rows for
+// the published numbers.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", csvEscape(t.ColHeader))
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, ",%s", csvEscape(c))
+	}
+	b.WriteString("\n")
+	writeRow := func(label string, vals []float64) {
+		fmt.Fprintf(&b, "%s", csvEscape(label))
+		for _, v := range vals {
+			if v != v { // NaN
+				b.WriteString(",")
+			} else {
+				fmt.Fprintf(&b, ",%g", v)
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, r := range t.Rows {
+		writeRow(r.Label, r.Values)
+		if r.Paper != nil {
+			writeRow(r.Label+" (paper)", r.Paper)
+		}
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+	}
+	return s
+}
+
+func formatVal(v float64) string {
+	switch {
+	case v != v: // NaN marks absent cells
+		return "-"
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// ms converts seconds to milliseconds.
+func ms(s float64) float64 { return s * 1000 }
+
+// timePhase measures f between barriers, returning elapsed virtual
+// seconds; with the closing barrier the result approximates the
+// slowest process's time on every rank.
+func timePhase(p *mpsim.Proc, comm *mpsim.Comm, f func()) float64 {
+	comm.Barrier()
+	t0 := p.Clock()
+	f()
+	comm.Barrier()
+	return p.Clock() - t0
+}
+
+// colLabels renders integer column labels.
+func colLabels(vals []int) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = fmt.Sprint(v)
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{
+		ID:        "Table X",
+		Title:     "a test table",
+		Unit:      "msec",
+		ColHeader: "processors",
+		Cols:      []string{"2", "4"},
+		Rows: []Row{
+			{Label: "series", Values: []float64{123.4, 5.67}, Paper: []float64{100, 6}},
+			{Label: "absent", Values: []float64{math.NaN(), 9.5}},
+		},
+		Notes: []string{"a note"},
+	}
+	out := tbl.Format()
+	for _, want := range []string{"Table X", "a test table", "series", "(paper)", "123", "5.67", "a note", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeshWorkloadShape(t *testing.T) {
+	perm := meshPerm()
+	if len(perm) != irrPoints {
+		t.Fatalf("perm has %d entries", len(perm))
+	}
+	seen := make([]bool, irrPoints)
+	for _, v := range perm {
+		if seen[v] {
+			t.Fatal("perm is not a permutation")
+		}
+		seen[v] = true
+	}
+	ia, ib := meshEdges(perm)
+	if len(ia) != 2*regN*(regN-1) || len(ib) != len(ia) {
+		t.Fatalf("edge count %d, want %d", len(ia), 2*regN*(regN-1))
+	}
+	// Ownership partitions the nodes.
+	total := 0
+	for r := 0; r < 4; r++ {
+		total += len(irregOwned(perm, 4, r))
+	}
+	if total != irrPoints {
+		t.Fatalf("irregular ownership covers %d of %d", total, irrPoints)
+	}
+	// Edge chunks partition the endpoint list.
+	total = 0
+	for r := 0; r < 4; r++ {
+		total += len(edgeChunk(ia, ib, 4, r))
+	}
+	if total != 2*len(ia) {
+		t.Fatalf("edge chunks cover %d endpoints, want %d", total, 2*len(ia))
+	}
+}
+
+func TestClientServerBreakdownSane(t *testing.T) {
+	b := RunClientServer(CSConfig{ClientProcs: 1, ServerProcs: 2, Vectors: 2})
+	for name, v := range map[string]float64{
+		"schedule":    b.Schedule,
+		"send matrix": b.SendMatrix,
+		"server":      b.Server,
+		"vector":      b.Vector,
+	} {
+		if v <= 0 {
+			t.Errorf("%s component %g, want positive", name, v)
+		}
+	}
+	if b.Total() < b.Schedule+b.SendMatrix {
+		t.Error("total smaller than its parts")
+	}
+	// Doubling the vectors roughly doubles the per-vector components
+	// and leaves the one-time components unchanged.
+	b2 := RunClientServer(CSConfig{ClientProcs: 1, ServerProcs: 2, Vectors: 4})
+	if math.Abs(b2.Schedule-b.Schedule) > 0.2*b.Schedule {
+		t.Errorf("schedule time changed with vector count: %g vs %g", b.Schedule, b2.Schedule)
+	}
+	if b2.Server < 1.5*b.Server {
+		t.Errorf("server time did not scale with vectors: %g vs %g", b.Server, b2.Server)
+	}
+}
+
+func TestClientLocalBaselineScales(t *testing.T) {
+	one := RunClientLocal(1, 2)
+	two := RunClientLocal(2, 2)
+	if two >= one {
+		t.Errorf("2-process local matvec (%g) not faster than sequential (%g)", two, one)
+	}
+}
+
+func TestServerSweetSpotAtEight(t *testing.T) {
+	// The headline client/server claim: with contention and internal
+	// communication modeled, eight server processes beat sixteen for a
+	// single-vector exchange... totals must dip by 8 and not improve
+	// much beyond.
+	t4 := RunClientServer(CSConfig{ClientProcs: 1, ServerProcs: 4, Vectors: 1}).Total()
+	t8 := RunClientServer(CSConfig{ClientProcs: 1, ServerProcs: 8, Vectors: 1}).Total()
+	t16 := RunClientServer(CSConfig{ClientProcs: 1, ServerProcs: 16, Vectors: 1}).Total()
+	if !(t8 < t4) {
+		t.Errorf("8-process server (%.1fms) not faster than 4 (%.1fms)", ms(t8), ms(t4))
+	}
+	if t16 < 0.9*t8 {
+		t.Errorf("16-process server (%.1fms) much faster than 8 (%.1fms); contention model too weak", ms(t16), ms(t8))
+	}
+}
+
+func TestCoupledProgramsScheduleFlatInPreg(t *testing.T) {
+	perm := meshPerm()
+	s2, _ := runCoupledPrograms(perm, 2, 4)
+	s8, _ := runCoupledPrograms(perm, 8, 4)
+	// The paper's Table 3 observation: schedule time is set by Pirreg.
+	if diff := math.Abs(s8-s2) / s2; diff > 0.25 {
+		t.Errorf("schedule time varies %.0f%% with Preg (%.1f vs %.1f ms); should be nearly flat",
+			diff*100, ms(s2), ms(s8))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{
+		ColHeader: "p, or \"procs\"",
+		Cols:      []string{"2", "4"},
+		Rows: []Row{
+			{Label: "x", Values: []float64{1.5, 2}, Paper: []float64{1, 2}},
+			{Label: "gap", Values: []float64{math.NaN(), 3}},
+		},
+	}
+	csv := tbl.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv has %d lines:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], `"p, or ""procs"""`) {
+		t.Errorf("header not escaped: %q", lines[0])
+	}
+	if lines[1] != "x,1.5,2" {
+		t.Errorf("row: %q", lines[1])
+	}
+	if lines[2] != "x (paper),1,2" {
+		t.Errorf("paper row: %q", lines[2])
+	}
+	if lines[3] != "gap,,3" {
+		t.Errorf("NaN cell: %q", lines[3])
+	}
+}
+
+func TestAblationDirections(t *testing.T) {
+	// Each ablation must show its expected direction.
+	agg := AblationAggregation()
+	for i := range agg.Cols {
+		if agg.Rows[1].Values[i] <= agg.Rows[0].Values[i] {
+			t.Errorf("aggregation ablation: per-element (%g) not slower than aggregated (%g) at col %d",
+				agg.Rows[1].Values[i], agg.Rows[0].Values[i], i)
+		}
+	}
+	tt := AblationTTable()
+	for i := range tt.Cols {
+		if tt.Rows[1].Values[i] >= tt.Rows[0].Values[i] {
+			t.Errorf("ttable ablation: replicated lookup (%g) not faster than paged (%g) at col %d",
+				tt.Rows[1].Values[i], tt.Rows[0].Values[i], i)
+		}
+	}
+	reuse := AblationScheduleReuse()
+	for i := range reuse.Cols {
+		if reuse.Rows[1].Values[i] <= 2*reuse.Rows[0].Values[i] {
+			t.Errorf("reuse ablation: rebuild (%g) not much slower than reuse (%g) at col %d",
+				reuse.Rows[1].Values[i], reuse.Rows[0].Values[i], i)
+		}
+	}
+}
+
+func TestExtensionExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension experiments skipped in -short mode")
+	}
+	s, c := ExtensionMatrix()
+	if len(s.Rows) != 5 || len(c.Rows) != 5 {
+		t.Fatalf("matrix has %d/%d rows", len(s.Rows), len(c.Rows))
+	}
+	// Chaos rows/columns dominate the schedule matrix.
+	chaosRow := s.Rows[2].Values
+	regular := s.Rows[0].Values[0] // mbparti -> mbparti
+	for j, v := range chaosRow {
+		if v < 3*regular {
+			t.Errorf("chaos schedule to %s (%g) not clearly above regular (%g)", s.Cols[j], v, regular)
+		}
+	}
+	app := Figure1Application()
+	for i, v := range app.Rows[3].Values {
+		if v <= 0 || v >= 100 {
+			t.Errorf("Meta-Chaos share at col %d = %g%%", i, v)
+		}
+	}
+}
+
+func TestPlotRendering(t *testing.T) {
+	tbl := &Table{
+		ID: "Figure X", Title: "plot test", Unit: "msec",
+		Cols: []string{"1", "2"},
+		Rows: []Row{
+			{Label: "a", Values: []float64{100, 50}},
+			{Label: "b", Values: []float64{math.NaN(), 25}},
+		},
+	}
+	out := tbl.Plot()
+	for _, want := range []string{"Figure X", "a\n", "(n/a)", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The 100 bar must be twice the 50 bar.
+	lines := strings.Split(out, "\n")
+	count := func(s string) int { return strings.Count(s, "#") }
+	var b100, b50 int
+	for _, l := range lines {
+		if strings.Contains(l, "100") {
+			b100 = count(l)
+		}
+		if strings.Contains(l, "50.0") {
+			b50 = count(l)
+		}
+	}
+	if b100 != 2*b50 || b100 == 0 {
+		t.Errorf("bar scaling: %d vs %d", b100, b50)
+	}
+}
+
+// TestCalibrationPinned guards the cost-model calibration: the key
+// headline cells must stay in their bands (wide enough for incidental
+// drift, tight enough to catch a broken constant).
+func TestCalibrationPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration check skipped in -short mode")
+	}
+	within := func(name string, v, lo, hi float64) {
+		if v < lo || v > hi {
+			t.Errorf("%s = %.1f outside calibration band [%.0f, %.0f]", name, v, lo, hi)
+		}
+	}
+	t5 := Table5()
+	within("Table5 parti copy @2", t5.Rows[1].Values[0], 200, 900)
+	within("Table5 MC coop schedule @2", t5.Rows[2].Values[0], 20, 120)
+	b := RunClientServer(CSConfig{ClientProcs: 1, ServerProcs: 8, Vectors: 1})
+	within("Figure10 total @8 (msec)", ms(b.Total()), 150, 600)
+	within("Figure10 send matrix @8 (msec)", ms(b.SendMatrix), 100, 400)
+}

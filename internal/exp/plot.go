@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Plot renders the table's rows as horizontal ASCII bar charts, one
+// block per row, scaled to the table's maximum value — a terminal
+// stand-in for the paper's stacked-bar figures.
+func (t *Table) Plot() string {
+	const width = 48
+	maxV := 0.0
+	for _, r := range t.Rows {
+		for _, v := range r.Values {
+			if v == v && v > maxV { // skip NaN
+				maxV = v
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "(bars scaled to %s; full bar = %s)\n", t.Unit, formatVal(maxV))
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "\n%s\n", r.Label)
+		for i, v := range r.Values {
+			label := ""
+			if i < len(t.Cols) {
+				label = t.Cols[i]
+			}
+			if v != v {
+				fmt.Fprintf(&b, "  %6s |%s\n", label, " (n/a)")
+				continue
+			}
+			n := 0
+			if maxV > 0 {
+				n = int(v / maxV * width)
+			}
+			fmt.Fprintf(&b, "  %6s |%s %s\n", label, strings.Repeat("#", n), formatVal(v))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package hpfrt
+
+import (
+	"testing"
+
+	"metachaos/internal/core"
+	"metachaos/internal/distarray"
+	"metachaos/internal/gidx"
+	"metachaos/internal/mpsim"
+)
+
+func TestAssignSectionAcrossShapes(t *testing.T) {
+	// dst(0:9, 5) = src(10, 0:9): a column receives a row slice from a
+	// differently-shaped, differently-distributed array.
+	const nprocs = 4
+	mpsim.RunSPMD(mpsim.Ideal(), nprocs, func(p *mpsim.Proc) {
+		ctx := core.NewCtx(p, p.Comm())
+		src := NewArray(distarray.MustBlock2D(16, 12, nprocs), p.Rank())
+		dst := NewArray(RowBlockMatrix(10, 8, nprocs), p.Rank())
+		src.FillGlobal(func(c []int) float64 { return float64(c[0]*100 + c[1]) })
+
+		srcSec := gidx.NewSection([]int{10, 0}, []int{11, 10}) // row 10, cols 0..9
+		dstSec := gidx.NewSection([]int{0, 5}, []int{10, 6})   // col 5, rows 0..9
+		if err := Assign(ctx, dst, dstSec, src, srcSec); err != nil {
+			t.Errorf("Assign: %v", err)
+			return
+		}
+		for i := 0; i < 10; i++ {
+			if dst.Dist().OwnerOf([]int{i, 5}) == p.Rank() {
+				want := float64(10*100 + i)
+				if got := dst.Get([]int{i, 5}); got != want {
+					t.Errorf("dst[%d,5]=%g want %g", i, got, want)
+				}
+			}
+		}
+	})
+}
+
+func TestAssignmentReuse(t *testing.T) {
+	const n, nprocs = 12, 2
+	mpsim.RunSPMD(mpsim.Ideal(), nprocs, func(p *mpsim.Proc) {
+		ctx := core.NewCtx(p, p.Comm())
+		src := NewArray(BlockVector(n, nprocs), p.Rank())
+		dst := NewArray(BlockVector(n, nprocs), p.Rank())
+		a, err := NewAssignment(ctx, dst, gidx.NewSection([]int{6}, []int{12}),
+			src, gidx.NewSection([]int{0}, []int{6}))
+		if err != nil {
+			t.Errorf("%v", err)
+			return
+		}
+		for iter := 0; iter < 3; iter++ {
+			src.FillGlobal(func(c []int) float64 { return float64(iter*100 + c[0]) })
+			a.Apply(dst, src)
+			for g := 6; g < 12; g++ {
+				if dst.Dist().OwnerOf([]int{g}) == p.Rank() {
+					want := float64(iter*100 + g - 6)
+					if got := dst.Get([]int{g}); got != want {
+						t.Errorf("iter %d: dst[%d]=%g want %g", iter, g, got, want)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestAssignValidation(t *testing.T) {
+	mpsim.RunSPMD(mpsim.Ideal(), 2, func(p *mpsim.Proc) {
+		ctx := core.NewCtx(p, p.Comm())
+		a := NewArray(BlockVector(10, 2), p.Rank())
+		b := NewArray(BlockVector(10, 2), p.Rank())
+		// Out-of-bounds section.
+		if err := Assign(ctx, a, gidx.NewSection([]int{0}, []int{11}), b,
+			gidx.NewSection([]int{0}, []int{11})); err == nil {
+			t.Error("out-of-bounds accepted")
+		}
+		// Count mismatch.
+		if err := Assign(ctx, a, gidx.NewSection([]int{0}, []int{4}), b,
+			gidx.NewSection([]int{0}, []int{5})); err == nil {
+			t.Error("count mismatch accepted")
+		}
+	})
+}
+
+func TestAssignStrided(t *testing.T) {
+	// dst(0:12:2) = src(1:7:1): strided destination from a dense source.
+	const n, nprocs = 14, 2
+	mpsim.RunSPMD(mpsim.Ideal(), nprocs, func(p *mpsim.Proc) {
+		ctx := core.NewCtx(p, p.Comm())
+		src := NewArray(BlockVector(n, nprocs), p.Rank())
+		dst := NewArray(BlockVector(n, nprocs), p.Rank())
+		src.FillGlobal(func(c []int) float64 { return float64(c[0] + 50) })
+		srcSec := gidx.NewSection([]int{1}, []int{8})
+		dstSec := gidx.Section{Lo: []int{0}, Hi: []int{13}, Step: []int{2}}
+		if err := Assign(ctx, dst, dstSec, src, srcSec); err != nil {
+			t.Errorf("%v", err)
+			return
+		}
+		for k := 0; k < 7; k++ {
+			g := 2 * k
+			if dst.Dist().OwnerOf([]int{g}) == p.Rank() {
+				want := float64(1 + k + 50)
+				if got := dst.Get([]int{g}); got != want {
+					t.Errorf("dst[%d]=%g want %g", g, got, want)
+				}
+			}
+		}
+	})
+}

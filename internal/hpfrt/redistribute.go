@@ -1,0 +1,60 @@
+package hpfrt
+
+import (
+	"fmt"
+
+	"metachaos/internal/core"
+	"metachaos/internal/gidx"
+)
+
+// Redistribution implements HPF's REDISTRIBUTE/REALIGN: moving an
+// array between two distributions of the same global shape (for
+// example BLOCK to CYCLIC before a transpose-heavy phase).  It is
+// built directly on a Meta-Chaos schedule over the full index space —
+// the runtime using the interoperability framework on itself — and is
+// reusable across iterations like any schedule.
+type Redistribution struct {
+	sched *core.Schedule
+	shape gidx.Shape
+}
+
+// NewRedistribution builds the reusable schedule carrying src's
+// distribution onto dst's.  Both arrays must share a global shape.
+// Collective over ctx.Comm.
+func NewRedistribution(ctx *core.Ctx, src, dst *Array) (*Redistribution, error) {
+	if src.Dist().Shape().String() != dst.Dist().Shape().String() {
+		return nil, fmt.Errorf("hpfrt: redistribute between shapes %v and %v",
+			src.Dist().Shape(), dst.Dist().Shape())
+	}
+	full := core.NewSetOfRegions(gidx.FullSection(src.Dist().Shape()))
+	sched, err := core.ComputeSchedule(core.SingleProgram(ctx.Comm),
+		&core.Spec{Lib: Library, Obj: src, Set: full, Ctx: ctx},
+		&core.Spec{Lib: Library, Obj: dst, Set: core.NewSetOfRegions(gidx.FullSection(dst.Dist().Shape())), Ctx: ctx},
+		core.Duplication)
+	if err != nil {
+		return nil, fmt.Errorf("hpfrt: building redistribution schedule: %w", err)
+	}
+	return &Redistribution{sched: sched, shape: src.Dist().Shape()}, nil
+}
+
+// Apply copies src's contents into dst under the new distribution.
+// Collective; reusable.
+func (r *Redistribution) Apply(src, dst *Array) {
+	r.sched.Move(src, dst)
+}
+
+// ApplyReverse copies dst's contents back into src (the schedules are
+// symmetric).
+func (r *Redistribution) ApplyReverse(src, dst *Array) {
+	r.sched.MoveReverse(src, dst)
+}
+
+// Redistribute is the one-shot convenience: build, apply, discard.
+func Redistribute(ctx *core.Ctx, src, dst *Array) error {
+	r, err := NewRedistribution(ctx, src, dst)
+	if err != nil {
+		return err
+	}
+	r.Apply(src, dst)
+	return nil
+}

@@ -1,0 +1,107 @@
+package hpfrt
+
+import (
+	"testing"
+
+	"metachaos/internal/core"
+	"metachaos/internal/distarray"
+	"metachaos/internal/gidx"
+	"metachaos/internal/mpsim"
+)
+
+func mustDist(t *testing.T, shape gidx.Shape, grid []int, kinds []distarray.Kind) *distarray.Dist {
+	t.Helper()
+	d, err := distarray.NewDist(shape, grid, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRedistributeBlockToCyclic(t *testing.T) {
+	const n, nprocs = 23, 3
+	mpsim.RunSPMD(mpsim.Ideal(), nprocs, func(p *mpsim.Proc) {
+		ctx := core.NewCtx(p, p.Comm())
+		src := NewArray(BlockVector(n, nprocs), p.Rank())
+		src.FillGlobal(func(c []int) float64 { return float64(c[0]*c[0] + 1) })
+		dst := NewArray(mustDist(t, gidx.Shape{n}, []int{nprocs},
+			[]distarray.Kind{distarray.Cyclic}), p.Rank())
+
+		if err := Redistribute(ctx, src, dst); err != nil {
+			t.Errorf("Redistribute: %v", err)
+			return
+		}
+		for g := 0; g < n; g++ {
+			if dst.Dist().OwnerOf([]int{g}) == p.Rank() {
+				if got := dst.Get([]int{g}); got != float64(g*g+1) {
+					t.Errorf("dst[%d]=%g want %d", g, got, g*g+1)
+				}
+			}
+		}
+	})
+}
+
+func TestRedistributionRoundTrip(t *testing.T) {
+	// BLOCK -> CYCLIC -> BLOCK restores the original exactly, reusing
+	// a single symmetric schedule.
+	const n, nprocs = 18, 2
+	mpsim.RunSPMD(mpsim.Ideal(), nprocs, func(p *mpsim.Proc) {
+		ctx := core.NewCtx(p, p.Comm())
+		a := NewArray(BlockVector(n, nprocs), p.Rank())
+		a.FillGlobal(func(c []int) float64 { return float64(7*c[0] + 2) })
+		b := NewArray(mustDist(t, gidx.Shape{n}, []int{nprocs},
+			[]distarray.Kind{distarray.Cyclic}), p.Rank())
+
+		r, err := NewRedistribution(ctx, a, b)
+		if err != nil {
+			t.Errorf("%v", err)
+			return
+		}
+		r.Apply(a, b)
+		// Wipe a, then bring everything back.
+		for i := range a.Local() {
+			a.Local()[i] = -1
+		}
+		r.ApplyReverse(a, b)
+		lo, hi, _ := a.Dist().LocalBox(p.Rank())
+		for g := lo[0]; g < hi[0]; g++ {
+			if got := a.Get([]int{g}); got != float64(7*g+2) {
+				t.Errorf("restored a[%d]=%g want %d", g, got, 7*g+2)
+			}
+		}
+	})
+}
+
+func TestRedistribute2DAcrossGrids(t *testing.T) {
+	// (BLOCK, BLOCK) on a 2x2 grid to (BLOCK, BLOCK) on a 4x1 grid.
+	const n, nprocs = 8, 4
+	mpsim.RunSPMD(mpsim.Ideal(), nprocs, func(p *mpsim.Proc) {
+		ctx := core.NewCtx(p, p.Comm())
+		src := NewArray(distarray.MustBlock2D(n, n, nprocs), p.Rank())
+		src.FillGlobal(func(c []int) float64 { return float64(c[0]*n + c[1]) })
+		dst := NewArray(RowBlockMatrix(n, n, nprocs), p.Rank())
+		if err := Redistribute(ctx, src, dst); err != nil {
+			t.Errorf("%v", err)
+			return
+		}
+		lo, hi, _ := dst.Dist().LocalBox(p.Rank())
+		for i := lo[0]; i < hi[0]; i++ {
+			for j := lo[1]; j < hi[1]; j++ {
+				if got := dst.Get([]int{i, j}); got != float64(i*n+j) {
+					t.Errorf("dst[%d,%d]=%g", i, j, got)
+				}
+			}
+		}
+	})
+}
+
+func TestRedistributeShapeMismatch(t *testing.T) {
+	mpsim.RunSPMD(mpsim.Ideal(), 2, func(p *mpsim.Proc) {
+		ctx := core.NewCtx(p, p.Comm())
+		a := NewArray(BlockVector(10, 2), p.Rank())
+		b := NewArray(BlockVector(11, 2), p.Rank())
+		if err := Redistribute(ctx, a, b); err == nil {
+			t.Error("shape mismatch accepted")
+		}
+	})
+}

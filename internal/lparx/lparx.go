@@ -1,0 +1,384 @@
+// Package lparx is an LPARX-style runtime analogue: distributed grids
+// defined as unions of arbitrary rectangular patches, each patch owned
+// wholly by one process — the decomposition shape adaptive mesh
+// refinement codes use (the paper's introduction lists LPARX and
+// AMR++/P++ among the libraries Meta-Chaos should interoperate with).
+//
+// It is the repository's fifth Meta-Chaos library, added after the
+// paper's four to exercise the extensibility claim with a distribution
+// that is neither a regular grid nor a pointwise table: its Region
+// type is a rectangular box over the global index space, and
+// dereferencing walks the replicated patch list.
+package lparx
+
+import (
+	"fmt"
+
+	"metachaos/internal/codec"
+	"metachaos/internal/core"
+	"metachaos/internal/gidx"
+)
+
+// Patch is one rectangular piece of a decomposition: the half-open box
+// [Lo, Hi) owned by process Owner.
+type Patch struct {
+	Lo, Hi []int
+	Owner  int
+}
+
+// Size returns the number of points in the patch.
+func (pt Patch) Size() int {
+	n := 1
+	for d := range pt.Lo {
+		n *= pt.Hi[d] - pt.Lo[d]
+	}
+	return n
+}
+
+func (pt Patch) contains(coords []int) bool {
+	for d, c := range coords {
+		if c < pt.Lo[d] || c >= pt.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Decomposition is the replicated patch list of one distributed grid.
+// Patches must be disjoint; the union need not cover a rectangle (AMR
+// levels rarely do).
+type Decomposition struct {
+	rank    int // dimensionality
+	nprocs  int
+	patches []Patch
+	// base[i] is the element offset of patch i within its owner's
+	// local storage.
+	base []int
+}
+
+// NewDecomposition validates the patch list.  Patches are stored in
+// the given order; each process's storage concatenates its patches in
+// that order (row-major within a patch).
+func NewDecomposition(nprocs int, patches []Patch) (*Decomposition, error) {
+	if len(patches) == 0 {
+		return nil, fmt.Errorf("lparx: decomposition needs at least one patch")
+	}
+	rank := len(patches[0].Lo)
+	d := &Decomposition{rank: rank, nprocs: nprocs}
+	perOwner := make([]int, nprocs)
+	for i, pt := range patches {
+		if len(pt.Lo) != rank || len(pt.Hi) != rank {
+			return nil, fmt.Errorf("lparx: patch %d has rank %d/%d, want %d", i, len(pt.Lo), len(pt.Hi), rank)
+		}
+		for dim := range pt.Lo {
+			if pt.Hi[dim] <= pt.Lo[dim] {
+				return nil, fmt.Errorf("lparx: patch %d is empty in dim %d", i, dim)
+			}
+		}
+		if pt.Owner < 0 || pt.Owner >= nprocs {
+			return nil, fmt.Errorf("lparx: patch %d owned by rank %d of %d", i, pt.Owner, nprocs)
+		}
+		for j := 0; j < i; j++ {
+			if overlap(patches[j], pt) {
+				return nil, fmt.Errorf("lparx: patches %d and %d overlap", j, i)
+			}
+		}
+		d.base = append(d.base, perOwner[pt.Owner])
+		perOwner[pt.Owner] += pt.Size()
+	}
+	d.patches = append([]Patch(nil), patches...)
+	return d, nil
+}
+
+func overlap(a, b Patch) bool {
+	for d := range a.Lo {
+		if a.Hi[d] <= b.Lo[d] || b.Hi[d] <= a.Lo[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rank returns the decomposition's dimensionality.
+func (d *Decomposition) Rank() int { return d.rank }
+
+// NumPatches returns the patch count.
+func (d *Decomposition) NumPatches() int { return len(d.patches) }
+
+// Patch returns patch i.
+func (d *Decomposition) Patch(i int) Patch { return d.patches[i] }
+
+// LocalSize returns the number of points rank owns.
+func (d *Decomposition) LocalSize(rank int) int {
+	n := 0
+	for _, pt := range d.patches {
+		if pt.Owner == rank {
+			n += pt.Size()
+		}
+	}
+	return n
+}
+
+// locate resolves global coords to (owner, local element offset), or
+// ok=false when no patch covers the point.
+func (d *Decomposition) locate(coords []int) (core.Loc, bool) {
+	for i, pt := range d.patches {
+		if pt.contains(coords) {
+			off := d.base[i]
+			stride := 1
+			inner := 0
+			for dim := d.rank - 1; dim >= 0; dim-- {
+				inner += (coords[dim] - pt.Lo[dim]) * stride
+				stride *= pt.Hi[dim] - pt.Lo[dim]
+			}
+			return core.Loc{Proc: int32(pt.Owner), Off: int32(off + inner)}, true
+		}
+	}
+	return core.Loc{}, false
+}
+
+// Grid is one process's storage for a decomposed grid.
+type Grid struct {
+	dec  *Decomposition
+	rank int
+	data []float64
+}
+
+// NewGrid allocates rank's patches of the decomposition.
+func NewGrid(dec *Decomposition, rank int) *Grid {
+	return &Grid{dec: dec, rank: rank, data: make([]float64, dec.LocalSize(rank))}
+}
+
+// Dec returns the decomposition.
+func (g *Grid) Dec() *Decomposition { return g.dec }
+
+// ElemWords reports one word per point.
+func (g *Grid) ElemWords() int { return 1 }
+
+// Local returns the local storage (owned patches concatenated).
+func (g *Grid) Local() []float64 { return g.data }
+
+// Get reads a locally owned point by global coordinates.
+func (g *Grid) Get(coords []int) float64 {
+	loc, ok := g.dec.locate(coords)
+	if !ok || int(loc.Proc) != g.rank {
+		panic(fmt.Sprintf("lparx: rank %d reading %v (owned=%v)", g.rank, coords, ok))
+	}
+	return g.data[loc.Off]
+}
+
+// Set writes a locally owned point by global coordinates.
+func (g *Grid) Set(coords []int, v float64) {
+	loc, ok := g.dec.locate(coords)
+	if !ok || int(loc.Proc) != g.rank {
+		panic(fmt.Sprintf("lparx: rank %d writing %v (owned=%v)", g.rank, coords, ok))
+	}
+	g.data[loc.Off] = v
+}
+
+// FillGlobal sets every locally owned point to f(coords).
+func (g *Grid) FillGlobal(f func(coords []int) float64) {
+	for i, pt := range g.dec.patches {
+		if pt.Owner != g.rank {
+			continue
+		}
+		sec := gidx.NewSection(pt.Lo, pt.Hi)
+		base := g.dec.base[i]
+		sec.ForEach(func(pos int, coords []int) {
+			g.data[base+pos] = f(coords)
+		})
+	}
+}
+
+// view is a descriptor-only remote image of a grid.
+type view struct{ dec *Decomposition }
+
+func (v *view) ElemWords() int   { return 1 }
+func (v *view) Local() []float64 { return nil }
+
+// decOf extracts the decomposition from a grid or view.
+func decOf(o core.DistObject) *Decomposition {
+	switch t := o.(type) {
+	case *Grid:
+		return t.dec
+	case *view:
+		return t.dec
+	}
+	panic(fmt.Sprintf("lparx: object of type %T is not an LPARX grid", o))
+}
+
+// BoxRegion is LPARX's Region type: a half-open rectangular box in the
+// global index space, linearized row-major.  Every point of the box
+// must be covered by the decomposition when the region is
+// dereferenced.
+type BoxRegion struct {
+	Lo, Hi []int
+}
+
+// Size returns the number of points in the box.
+func (r BoxRegion) Size() int {
+	return gidx.NewSection(r.Lo, r.Hi).Size()
+}
+
+func (r BoxRegion) section() gidx.Section { return gidx.NewSection(r.Lo, r.Hi) }
+
+// Lib implements the Meta-Chaos inquiry interface for LPARX grids.
+type Lib struct{}
+
+// Library is the registered LPARX binding.
+var Library = Lib{}
+
+func init() { core.RegisterLibrary(Library) }
+
+// Name returns the registry name.
+func (Lib) Name() string { return "lparx" }
+
+func region(set *core.SetOfRegions, i int) BoxRegion {
+	r, ok := set.Region(i).(BoxRegion)
+	if !ok {
+		panic(fmt.Sprintf("lparx: region %d has type %T, want BoxRegion", i, set.Region(i)))
+	}
+	return r
+}
+
+// DerefRange returns the locations of set positions [lo, hi): a patch
+// lookup per point against the replicated decomposition.
+func (Lib) DerefRange(ctx *core.Ctx, o core.DistObject, set *core.SetOfRegions, lo, hi int) []core.Loc {
+	dec := decOf(o)
+	out := make([]core.Loc, 0, hi-lo)
+	coords := make([]int, dec.rank)
+	for _, span := range set.SplitRange(lo, hi) {
+		sec := region(set, span.Index).section()
+		for k := span.Lo; k < span.Hi; k++ {
+			sec.PointAt(k, coords)
+			loc, ok := dec.locate(coords)
+			if !ok {
+				panic(fmt.Sprintf("lparx: region point %v not covered by any patch", coords))
+			}
+			out = append(out, loc)
+		}
+	}
+	ctx.P.ChargeSectionOps((hi - lo) * dec.NumPatches())
+	return out
+}
+
+// DerefAt returns the locations of the given set positions.
+func (l Lib) DerefAt(ctx *core.Ctx, o core.DistObject, set *core.SetOfRegions, positions []int32) []core.Loc {
+	dec := decOf(o)
+	out := make([]core.Loc, len(positions))
+	coords := make([]int, dec.rank)
+	for i, pos := range positions {
+		ri, inner := set.RegionOf(int(pos))
+		region(set, ri).section().PointAt(inner, coords)
+		loc, ok := dec.locate(coords)
+		if !ok {
+			panic(fmt.Sprintf("lparx: region point %v not covered by any patch", coords))
+		}
+		out[i] = loc
+	}
+	ctx.P.ChargeSectionOps(len(positions) * dec.NumPatches())
+	return out
+}
+
+// OwnedPositions intersects each region box with the caller's patches.
+func (Lib) OwnedPositions(ctx *core.Ctx, o core.DistObject, set *core.SetOfRegions) []core.PosLoc {
+	dec := decOf(o)
+	me := ctx.Comm.Rank()
+	var out []core.PosLoc
+	work := 0
+	for i := 0; i < set.Len(); i++ {
+		sec := region(set, i).section()
+		base := set.Base(i)
+		for pi, pt := range dec.patches {
+			if pt.Owner != me {
+				continue
+			}
+			sub, ok := sec.IntersectBox(pt.Lo, pt.Hi)
+			if !ok {
+				continue
+			}
+			pbase := dec.base[pi]
+			psec := gidx.NewSection(pt.Lo, pt.Hi)
+			sub.ForEach(func(_ int, coords []int) {
+				out = append(out, core.PosLoc{
+					Pos: int32(base + sec.IndexOf(coords)),
+					Off: int32(pbase + psec.IndexOf(coords)),
+				})
+				work++
+			})
+		}
+	}
+	// Positions accumulate per (region, patch) pair; sort by position
+	// to satisfy the interface contract.
+	insertionSortPosLocs(out)
+	ctx.P.ChargeSectionOps(work + set.Len()*dec.NumPatches())
+	return out
+}
+
+// insertionSortPosLocs sorts by Pos; the input is a concatenation of
+// sorted runs, which insertion sort handles in near-linear time for
+// typical patch counts.
+func insertionSortPosLocs(a []core.PosLoc) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j].Pos < a[j-1].Pos; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// EncodeDescriptor serializes the patch list; compact (patch counts
+// are small even for deep AMR hierarchies).
+func (Lib) EncodeDescriptor(ctx *core.Ctx, o core.DistObject) ([]byte, bool) {
+	dec := decOf(o)
+	var w codec.Writer
+	w.PutInt32(int32(dec.nprocs))
+	w.PutInt32(int32(len(dec.patches)))
+	for _, pt := range dec.patches {
+		w.PutInts(pt.Lo)
+		w.PutInts(pt.Hi)
+		w.PutInt32(int32(pt.Owner))
+	}
+	return w.Bytes(), true
+}
+
+// DecodeDescriptor rebuilds a descriptor-only view.
+func (Lib) DecodeDescriptor(data []byte) (core.DistObject, error) {
+	r := codec.NewReader(data)
+	nprocs := int(r.Int32())
+	n := int(r.Int32())
+	patches := make([]Patch, n)
+	for i := range patches {
+		patches[i] = Patch{Lo: r.Ints(), Hi: r.Ints(), Owner: int(r.Int32())}
+	}
+	dec, err := NewDecomposition(nprocs, patches)
+	if err != nil {
+		return nil, fmt.Errorf("lparx: decoding descriptor: %w", err)
+	}
+	return &view{dec: dec}, nil
+}
+
+// EncodeRegion serializes a box region.
+func (Lib) EncodeRegion(r core.Region) []byte {
+	br, ok := r.(BoxRegion)
+	if !ok {
+		panic(fmt.Sprintf("lparx: encoding region of type %T", r))
+	}
+	var w codec.Writer
+	w.PutInts(br.Lo)
+	w.PutInts(br.Hi)
+	return w.Bytes()
+}
+
+// DecodeRegion deserializes a box region.
+func (Lib) DecodeRegion(data []byte) (core.Region, error) {
+	r := codec.NewReader(data)
+	return BoxRegion{Lo: r.Ints(), Hi: r.Ints()}, nil
+}
+
+// Interface checks.
+var (
+	_ core.Library         = Lib{}
+	_ core.DescriptorCodec = Lib{}
+	_ core.RegionCodec     = Lib{}
+	_ core.DistObject      = (*Grid)(nil)
+)

@@ -1,0 +1,166 @@
+// Package mbparti is the Multiblock Parti analogue: a runtime library
+// for regularly block-distributed (multiblock) arrays with ghost-cell
+// halos, regular-section communication schedules built by box
+// intersection, and ghost exchange for stencil sweeps.  It implements
+// the Meta-Chaos inquiry interface (via seclib) with regular array
+// sections as its Region type.
+package mbparti
+
+import (
+	"fmt"
+
+	"metachaos/internal/core"
+	"metachaos/internal/distarray"
+	"metachaos/internal/seclib"
+)
+
+// Library is the Meta-Chaos binding for Multiblock Parti arrays.
+var Library = seclib.New("mbparti")
+
+func init() { core.RegisterLibrary(Library) }
+
+// Array is one process's portion of a block-distributed array of
+// float64 with a ghost-cell halo of uniform width.  The local tile is
+// stored row-major with the halo margins included, so an interior
+// element's neighbours are addressable even when owned remotely (after
+// a ghost exchange).
+type Array struct {
+	dist   *distarray.Dist
+	rank   int
+	halo   int
+	counts []int // interior extents of the local tile
+	gshape []int // padded extents (counts + 2*halo)
+	data   []float64
+}
+
+// NewArray allocates rank's halo-padded tile of a distributed array.
+// Halo must be non-negative; distributions with a halo must be Block
+// in every dimension (ghost regions of cyclic distributions are not
+// meaningful).
+func NewArray(dist *distarray.Dist, rank, halo int) (*Array, error) {
+	if halo < 0 {
+		return nil, fmt.Errorf("mbparti: negative halo %d", halo)
+	}
+	if halo > 0 {
+		if _, _, ok := dist.LocalBox(rank); !ok {
+			return nil, fmt.Errorf("mbparti: halo requires Block distribution in every dimension")
+		}
+	}
+	a := &Array{dist: dist, rank: rank, halo: halo, counts: dist.LocalCounts(rank)}
+	size := 1
+	for _, c := range a.counts {
+		a.gshape = append(a.gshape, c+2*halo)
+		size *= c + 2*halo
+	}
+	a.data = make([]float64, size)
+	return a, nil
+}
+
+// MustNewArray is NewArray for static configurations known to be valid.
+func MustNewArray(dist *distarray.Dist, rank, halo int) *Array {
+	a, err := NewArray(dist, rank, halo)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Dist returns the distribution descriptor.
+func (a *Array) Dist() *distarray.Dist { return a.dist }
+
+// Rank returns the owning process's program rank.
+func (a *Array) Rank() int { return a.rank }
+
+// ElemWords reports one word per element (Parti arrays hold doubles).
+func (a *Array) ElemWords() int { return 1 }
+
+// Local returns the halo-padded local tile.
+func (a *Array) Local() []float64 { return a.data }
+
+// SecDist exposes the distribution for seclib.
+func (a *Array) SecDist() *distarray.Dist { return a.dist }
+
+// Halo returns the ghost margin width.
+func (a *Array) Halo() int { return a.halo }
+
+// offsetLocal converts interior local coordinates (which may extend
+// into the halo by up to halo cells) to a storage offset.
+func (a *Array) offsetLocal(local []int) int {
+	off := 0
+	for d, lc := range local {
+		p := lc + a.halo
+		if p < 0 || p >= a.gshape[d] {
+			panic(fmt.Sprintf("mbparti: local coordinate %d outside padded tile (dim %d, extent %d, halo %d)",
+				lc, d, a.counts[d], a.halo))
+		}
+		off = off*a.gshape[d] + p
+	}
+	return off
+}
+
+// OffsetOf returns the storage offset of the element at global coords,
+// which must be owned locally.
+func (a *Array) OffsetOf(global []int) int {
+	rank, local := a.dist.LocalCoords(global, nil)
+	if rank != a.rank {
+		panic(fmt.Sprintf("mbparti: rank %d addressing element %v owned by rank %d", a.rank, global, rank))
+	}
+	return a.offsetLocal(local)
+}
+
+// Get reads a locally owned element by global coordinates.
+func (a *Array) Get(global []int) float64 { return a.data[a.OffsetOf(global)] }
+
+// Set writes a locally owned element by global coordinates.
+func (a *Array) Set(global []int, v float64) { a.data[a.OffsetOf(global)] = v }
+
+// GetPadded reads by local coordinates that may reach into the halo,
+// for stencil code after a ghost exchange.
+func (a *Array) GetPadded(local []int) float64 { return a.data[a.offsetLocal(local)] }
+
+// FillGlobal sets every locally owned interior element to
+// f(globalCoords).
+func (a *Array) FillGlobal(f func(coords []int) float64) {
+	if a.interiorSize() == 0 {
+		return
+	}
+	local := make([]int, len(a.counts))
+	for {
+		global := a.dist.GlobalOf(a.rank, local)
+		a.data[a.offsetLocal(local)] = f(global)
+		if !incr(local, a.counts) {
+			return
+		}
+	}
+}
+
+// interiorSize returns the number of interior (owned) elements.
+func (a *Array) interiorSize() int {
+	n := 1
+	for _, c := range a.counts {
+		n *= c
+	}
+	return n
+}
+
+// incr advances local coordinates row-major; it reports false after
+// the last coordinate.
+func incr(local, counts []int) bool {
+	for d := len(local) - 1; d >= 0; d-- {
+		local[d]++
+		if local[d] < counts[d] {
+			return true
+		}
+		local[d] = 0
+	}
+	return false
+}
+
+// Interface checks.
+var (
+	_ core.DistObject      = (*Array)(nil)
+	_ seclib.Object        = (*Array)(nil)
+	_ core.Library         = Library
+	_ core.DescriptorCodec = Library
+	_ core.RegionCodec     = Library
+)

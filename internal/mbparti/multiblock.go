@@ -1,0 +1,122 @@
+package mbparti
+
+import (
+	"fmt"
+
+	"metachaos/internal/gidx"
+	"metachaos/internal/mpsim"
+)
+
+// Multiblock is the library's namesake feature: a set of block
+// arrays (the "blocks" of a multiblock mesh) plus the interface
+// conditions between them.  A multiblock CFD code sweeps each block
+// with its own ghost exchange and, once per time step, copies every
+// inter-block interface section from one block onto its partner (the
+// Section 5.3 workload).  The inspector builds all schedules once;
+// the executors reuse them every step.
+type Multiblock struct {
+	comm   *mpsim.Comm
+	blocks []*Array
+	ghosts []*GhostSchedule
+	ifaces []*ifaceDef
+	built  bool
+}
+
+type ifaceDef struct {
+	srcBlock, dstBlock int
+	srcSec, dstSec     gidx.Section
+	sched              *CopySchedule
+}
+
+// NewMultiblock creates an empty multiblock domain over the given
+// communicator.
+func NewMultiblock(comm *mpsim.Comm) *Multiblock {
+	return &Multiblock{comm: comm}
+}
+
+// AddBlockArray registers a block backed by an existing array and
+// returns its identifier.  All processes must add the same blocks in
+// the same order.
+func (mb *Multiblock) AddBlockArray(a *Array) (int, error) {
+	if mb.built {
+		return 0, fmt.Errorf("mbparti: cannot add blocks after BuildSchedules")
+	}
+	if a.Dist().NProcs() != mb.comm.Size() {
+		return 0, fmt.Errorf("mbparti: block distributed over %d procs, communicator has %d",
+			a.Dist().NProcs(), mb.comm.Size())
+	}
+	mb.blocks = append(mb.blocks, a)
+	return len(mb.blocks) - 1, nil
+}
+
+// Block returns the array backing block id.
+func (mb *Multiblock) Block(id int) *Array { return mb.blocks[id] }
+
+// NumBlocks returns how many blocks the domain has.
+func (mb *Multiblock) NumBlocks() int { return len(mb.blocks) }
+
+// AddInterface declares that the srcSec section of block src drives
+// the dstSec section of block dst (an inter-block boundary
+// condition).  Sections must hold the same number of points.
+func (mb *Multiblock) AddInterface(src int, srcSec gidx.Section, dst int, dstSec gidx.Section) error {
+	if mb.built {
+		return fmt.Errorf("mbparti: cannot add interfaces after BuildSchedules")
+	}
+	if src < 0 || src >= len(mb.blocks) || dst < 0 || dst >= len(mb.blocks) {
+		return fmt.Errorf("mbparti: interface references unknown block (%d -> %d of %d)", src, dst, len(mb.blocks))
+	}
+	if srcSec.Size() != dstSec.Size() {
+		return fmt.Errorf("mbparti: interface sections hold %d and %d points", srcSec.Size(), dstSec.Size())
+	}
+	mb.ifaces = append(mb.ifaces, &ifaceDef{srcBlock: src, dstBlock: dst, srcSec: srcSec, dstSec: dstSec})
+	return nil
+}
+
+// BuildSchedules is the inspector: it builds every block's ghost
+// schedule and every interface's copy schedule.  Collective.
+func (mb *Multiblock) BuildSchedules(p *mpsim.Proc) error {
+	if mb.built {
+		return fmt.Errorf("mbparti: schedules already built")
+	}
+	mb.ghosts = make([]*GhostSchedule, len(mb.blocks))
+	for i, blk := range mb.blocks {
+		gs, err := BuildGhostSchedule(p, mb.comm, blk)
+		if err != nil {
+			return fmt.Errorf("mbparti: block %d ghost schedule: %w", i, err)
+		}
+		mb.ghosts[i] = gs
+	}
+	for i, ifc := range mb.ifaces {
+		cs, err := BuildCopySchedule(p, mb.comm,
+			mb.blocks[ifc.srcBlock], ifc.srcSec, mb.blocks[ifc.dstBlock], ifc.dstSec)
+		if err != nil {
+			return fmt.Errorf("mbparti: interface %d schedule: %w", i, err)
+		}
+		ifc.sched = cs
+	}
+	mb.built = true
+	return nil
+}
+
+// ExchangeGhosts refreshes every block's halo (executor).
+func (mb *Multiblock) ExchangeGhosts(p *mpsim.Proc) {
+	mb.requireBuilt()
+	for i, gs := range mb.ghosts {
+		gs.Exchange(p, mb.blocks[i])
+	}
+}
+
+// UpdateInterfaces copies every registered interface section
+// (executor), in registration order.
+func (mb *Multiblock) UpdateInterfaces(p *mpsim.Proc) {
+	mb.requireBuilt()
+	for _, ifc := range mb.ifaces {
+		ifc.sched.Execute(p, mb.blocks[ifc.srcBlock], mb.blocks[ifc.dstBlock])
+	}
+}
+
+func (mb *Multiblock) requireBuilt() {
+	if !mb.built {
+		panic("mbparti: BuildSchedules must run before the executors")
+	}
+}

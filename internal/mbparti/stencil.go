@@ -1,0 +1,53 @@
+package mbparti
+
+import (
+	"fmt"
+
+	"metachaos/internal/mpsim"
+)
+
+// Stencil5 computes the paper's Loop 1 sweep over a structured mesh:
+//
+//	a(i,j) = a(i,j-1) + a(i-1,j) + a(i+1,j) + a(i,j+1)
+//
+// for interior points 1..n-2 in both dimensions, with forall
+// (gather-then-write) semantics.  The array must be 2-D with a halo of
+// at least 1 and the halo must be current (call GhostSchedule.Exchange
+// first).  It charges the virtual clock for the arithmetic and the
+// indirect accesses.
+func Stencil5(p *mpsim.Proc, a *Array) {
+	if len(a.counts) != 2 {
+		panic(fmt.Sprintf("mbparti: Stencil5 needs a 2-D array, got %d-D", len(a.counts)))
+	}
+	if a.halo < 1 {
+		panic("mbparti: Stencil5 needs a halo of at least 1")
+	}
+	shape := a.dist.Shape()
+	myLo, myHi, _ := a.dist.LocalBox(a.rank)
+	// Clip the global interior to my tile.
+	iLo0, iHi0 := max(1, myLo[0]), min(shape[0]-1, myHi[0])
+	iLo1, iHi1 := max(1, myLo[1]), min(shape[1]-1, myHi[1])
+	if iLo0 >= iHi0 || iLo1 >= iHi1 {
+		return
+	}
+	rows := iHi0 - iLo0
+	cols := iHi1 - iLo1
+	out := make([]float64, rows*cols)
+	stride := a.gshape[1]
+	for i := iLo0; i < iHi0; i++ {
+		li := i - myLo[0] + a.halo
+		for j := iLo1; j < iHi1; j++ {
+			lj := j - myLo[1] + a.halo
+			c := li*stride + lj
+			out[(i-iLo0)*cols+(j-iLo1)] = a.data[c-1] + a.data[c-stride] + a.data[c+stride] + a.data[c+1]
+		}
+	}
+	for i := 0; i < rows; i++ {
+		li := iLo0 + i - myLo[0] + a.halo
+		copy(a.data[li*stride+(iLo1-myLo[1]+a.halo):li*stride+(iLo1-myLo[1]+a.halo)+cols],
+			out[i*cols:(i+1)*cols])
+	}
+	n := rows * cols
+	p.ChargeFlops(3 * n)
+	p.ChargeMemOps(5 * n)
+}

@@ -1,0 +1,296 @@
+package mpsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Collective operations.  All members of a communicator must call the
+// same collectives in the same order (SPMD discipline); sequence numbers
+// baked into the wire tags detect nothing but keep successive
+// collectives from cross-matching.  The collectives are built from the
+// same point-to-point messages user code sends, so their virtual-time
+// cost emerges from the machine model rather than from a formula.
+
+// phase codes for multi-phase collectives.
+const (
+	phReduce = iota
+	phBcast
+	phGather
+	phExchange
+)
+
+func (c *Comm) collWire(seq, phase int) int {
+	return 1<<30 | c.ctx<<21 | (seq&0xfff)<<5 | phase
+}
+
+func (c *Comm) nextSeq() int {
+	c.seq++
+	return c.seq
+}
+
+// Barrier blocks until every member of the communicator has entered it.
+func (c *Comm) Barrier() {
+	c.require()
+	seq := c.nextSeq()
+	c.reduceBytes(0, seq, nil, nil)
+	c.bcastTree(0, seq, nil)
+}
+
+// Bcast distributes root's data to every member and returns each
+// member's copy.  Non-root callers pass nil.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	c.require()
+	seq := c.nextSeq()
+	if c.myRank == root {
+		out := make([]byte, len(data))
+		copy(out, data)
+		c.bcastTree(root, seq, data)
+		return out
+	}
+	return c.bcastTree(root, seq, nil)
+}
+
+// bcastTree runs a binomial-tree broadcast rooted at root and returns
+// the payload on every member.
+func (c *Comm) bcastTree(root, seq int, data []byte) []byte {
+	n := c.Size()
+	rel := (c.myRank - root + n) % n
+	wire := c.collWire(seq, phBcast)
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := ((rel &^ mask) + root) % n
+			data, _ = c.p.recv(c.ranks[src], wire)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			dst := ((rel + mask) + root) % n
+			c.p.send(c.ranks[dst], wire, data)
+		}
+		mask >>= 1
+	}
+	return data
+}
+
+// reduceBytes runs a binomial-tree reduction to root.  combine folds a
+// received contribution into the accumulator and returns the new
+// accumulator; nil combines are used by Barrier where only the message
+// pattern matters.  The accumulated value is returned at root.
+func (c *Comm) reduceBytes(root, seq int, acc []byte, combine func(acc, in []byte) []byte) []byte {
+	n := c.Size()
+	rel := (c.myRank - root + n) % n
+	wire := c.collWire(seq, phReduce)
+	mask := 1
+	for mask < n {
+		if rel&mask == 0 {
+			partner := rel | mask
+			if partner < n {
+				in, _ := c.p.recv(c.ranks[(partner+root)%n], wire)
+				if combine != nil {
+					acc = combine(acc, in)
+				}
+			}
+		} else {
+			partner := rel &^ mask
+			c.p.send(c.ranks[(partner+root)%n], wire, acc)
+			return nil
+		}
+		mask <<= 1
+	}
+	return acc
+}
+
+// Gather collects every member's data at root.  At root it returns one
+// slice per member in communicator-rank order; elsewhere it returns nil.
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	c.require()
+	seq := c.nextSeq()
+	wire := c.collWire(seq, phGather)
+	if c.myRank != root {
+		c.p.send(c.ranks[root], wire, data)
+		return nil
+	}
+	out := make([][]byte, c.Size())
+	own := make([]byte, len(data))
+	copy(own, data)
+	out[root] = own
+	for i := 0; i < c.Size(); i++ {
+		if i == root {
+			continue
+		}
+		buf, _ := c.p.recv(c.ranks[i], wire)
+		out[i] = buf
+	}
+	return out
+}
+
+// Allgather collects every member's data on every member, returned in
+// communicator-rank order.  It is implemented as a gather to rank 0
+// followed by a broadcast of the framed concatenation.
+func (c *Comm) Allgather(data []byte) [][]byte {
+	c.require()
+	parts := c.Gather(0, data)
+	var packed []byte
+	if c.myRank == 0 {
+		packed = frameSlices(parts)
+	}
+	packed = c.Bcast(0, packed)
+	return unframeSlices(packed, c.Size())
+}
+
+// Alltoall exchanges bufs[i] with member i for all i, returning the
+// slices received, indexed by source rank.  bufs must have one entry per
+// member; the entry for the caller itself is copied locally.  Empty
+// slices still cost a (header-sized) message, matching the paper's
+// all-to-all schedule exchanges.
+func (c *Comm) Alltoall(bufs [][]byte) [][]byte {
+	c.require()
+	n := c.Size()
+	if len(bufs) != n {
+		panic(fmt.Sprintf("mpsim: Alltoall needs %d buffers, got %d", n, len(bufs)))
+	}
+	seq := c.nextSeq()
+	wire := c.collWire(seq, phExchange)
+	out := make([][]byte, n)
+	// Stagger destinations so every process does not hammer rank 0 first.
+	for off := 1; off < n; off++ {
+		dst := (c.myRank + off) % n
+		c.p.send(c.ranks[dst], wire, bufs[dst])
+	}
+	own := make([]byte, len(bufs[c.myRank]))
+	copy(own, bufs[c.myRank])
+	out[c.myRank] = own
+	for off := 1; off < n; off++ {
+		src := (c.myRank - off + n) % n
+		buf, _ := c.p.recv(c.ranks[src], wire)
+		out[src] = buf
+	}
+	return out
+}
+
+// ReduceFloat64 combines one float64 per member with op at root; the
+// result is only meaningful on root (others receive 0).
+func (c *Comm) ReduceFloat64(root int, op ReduceOp, x float64) float64 {
+	c.require()
+	seq := c.nextSeq()
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+	acc := c.reduceBytes(root, seq, buf, func(acc, in []byte) []byte {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(acc))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(in))
+		binary.LittleEndian.PutUint64(acc, math.Float64bits(combineFloat64(op, a, b)))
+		return acc
+	})
+	if c.myRank != root {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(acc))
+}
+
+// ReduceOp selects the combining operation for reductions.
+type ReduceOp int
+
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+// AllreduceFloat64 combines one float64 per member with op and returns
+// the result on every member.
+func (c *Comm) AllreduceFloat64(op ReduceOp, x float64) float64 {
+	c.require()
+	seq := c.nextSeq()
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+	acc := c.reduceBytes(0, seq, buf, func(acc, in []byte) []byte {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(acc))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(in))
+		binary.LittleEndian.PutUint64(acc, math.Float64bits(combineFloat64(op, a, b)))
+		return acc
+	})
+	acc = c.bcastTree(0, seq, acc)
+	return math.Float64frombits(binary.LittleEndian.Uint64(acc))
+}
+
+// AllreduceInt64 combines one int64 per member with op and returns the
+// result on every member.
+func (c *Comm) AllreduceInt64(op ReduceOp, x int64) int64 {
+	c.require()
+	seq := c.nextSeq()
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(x))
+	acc := c.reduceBytes(0, seq, buf, func(acc, in []byte) []byte {
+		a := int64(binary.LittleEndian.Uint64(acc))
+		b := int64(binary.LittleEndian.Uint64(in))
+		binary.LittleEndian.PutUint64(acc, uint64(combineInt64(op, a, b)))
+		return acc
+	})
+	acc = c.bcastTree(0, seq, acc)
+	return int64(binary.LittleEndian.Uint64(acc))
+}
+
+func combineFloat64(op ReduceOp, a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	}
+	panic(fmt.Sprintf("mpsim: unknown reduce op %d", op))
+}
+
+func combineInt64(op ReduceOp, a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	}
+	panic(fmt.Sprintf("mpsim: unknown reduce op %d", op))
+}
+
+// frameSlices packs a list of slices into one buffer with uint32 length
+// prefixes; unframeSlices reverses it.
+func frameSlices(parts [][]byte) []byte {
+	total := 0
+	for _, p := range parts {
+		total += 4 + len(p)
+	}
+	out := make([]byte, 0, total)
+	var hdr [4]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+		out = append(out, hdr[:]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+func unframeSlices(buf []byte, n int) [][]byte {
+	out := make([][]byte, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		ln := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		out[i] = append([]byte(nil), buf[off:off+ln]...)
+		off += ln
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package mpsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// maxUserTag bounds user-supplied tags so they can share the wire tag
+// space with communicator contexts and collective sequence numbers.
+const maxUserTag = 1 << 21
+
+// Comm is a communicator: an ordered group of processes with a private
+// tag space.  Every process holds its own Comm value for each group it
+// belongs to, mirroring MPI communicator handles.  Ranks used with a
+// Comm are indices into its group, not world ranks.
+type Comm struct {
+	p       *Proc
+	ranks   []int // world ranks; comm rank r is ranks[r]
+	inverse map[int]int
+	myRank  int
+	ctx     int
+	seq     int
+}
+
+func newComm(p *Proc, worldRanks []int, ctx int) *Comm {
+	c := &Comm{
+		p:       p,
+		ranks:   worldRanks,
+		inverse: make(map[int]int, len(worldRanks)),
+		myRank:  -1,
+		ctx:     ctx & 0x1ff,
+	}
+	for i, wr := range worldRanks {
+		c.inverse[wr] = i
+		if wr == p.worldRank {
+			c.myRank = i
+		}
+	}
+	return c
+}
+
+// Rank returns the calling process's rank within the communicator, or
+// -1 if the process is not a member.
+func (c *Comm) Rank() int { return c.myRank }
+
+// Size returns the number of processes in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(rank int) int { return c.ranks[rank] }
+
+// Proc returns the process this communicator handle belongs to.
+func (c *Comm) Proc() *Proc { return c.p }
+
+// Member reports whether the calling process belongs to the group.
+func (c *Comm) Member() bool { return c.myRank >= 0 }
+
+// Sub creates a communicator for the subset of this communicator's
+// members listed in ranks (communicator ranks, in the order given).
+// Every member of the subset must call Sub with the same rank list for
+// the resulting communicators to interoperate; the context identifier is
+// derived deterministically from the member list so all copies agree.
+func (c *Comm) Sub(ranks []int) *Comm {
+	world := make([]int, len(ranks))
+	for i, r := range ranks {
+		if r < 0 || r >= len(c.ranks) {
+			panic(fmt.Sprintf("mpsim: Sub rank %d out of range for comm of size %d", r, len(c.ranks)))
+		}
+		world[i] = c.ranks[r]
+	}
+	h := fnv.New32a()
+	for _, wr := range world {
+		fmt.Fprintf(h, "%d,", wr)
+	}
+	ctx := 16 + int(h.Sum32()%493) // keep clear of the base contexts
+	return newComm(c.p, world, ctx)
+}
+
+// Merged creates a communicator spanning the union of two communicators'
+// groups, ordered by world rank.  It is how two coupled programs build
+// the group over which Meta-Chaos exchanges schedules and data.
+func Merged(a, b *Comm) *Comm {
+	seen := make(map[int]bool, a.Size()+b.Size())
+	var world []int
+	for _, wr := range a.ranks {
+		if !seen[wr] {
+			seen[wr] = true
+			world = append(world, wr)
+		}
+	}
+	for _, wr := range b.ranks {
+		if !seen[wr] {
+			seen[wr] = true
+			world = append(world, wr)
+		}
+	}
+	sort.Ints(world)
+	h := fnv.New32a()
+	for _, wr := range world {
+		fmt.Fprintf(h, "%d,", wr)
+	}
+	ctx := 16 + int(h.Sum32()%493)
+	return newComm(a.p, world, ctx)
+}
+
+func (c *Comm) userWire(tag int) int {
+	if tag < 0 || tag >= maxUserTag {
+		panic(fmt.Sprintf("mpsim: tag %d outside [0, %d)", tag, maxUserTag))
+	}
+	return c.ctx<<21 | tag
+}
+
+func (c *Comm) require() {
+	if c.myRank < 0 {
+		panic("mpsim: calling process is not a member of this communicator")
+	}
+}
+
+// Send transmits data to communicator rank to.
+func (c *Comm) Send(to, tag int, data []byte) {
+	c.require()
+	c.p.send(c.ranks[to], c.userWire(tag), data)
+}
+
+// Recv receives a message sent on this communicator matching (from,
+// tag); from may be AnySource and tag may be AnyTag only when combined
+// with a specific tag space — AnyTag is restricted to a specific source
+// to keep matching within the communicator unambiguous.  It returns the
+// payload and the source's communicator rank.
+func (c *Comm) Recv(from, tag int) ([]byte, int) {
+	c.require()
+	wsrc := AnySource
+	if from != AnySource {
+		wsrc = c.ranks[from]
+	}
+	if tag == AnyTag {
+		panic("mpsim: Comm.Recv does not support AnyTag; use a specific tag")
+	}
+	data, src := c.p.recv(wsrc, c.userWire(tag))
+	crank, ok := c.inverse[src]
+	if !ok {
+		panic("mpsim: received message from outside the communicator group")
+	}
+	return data, crank
+}
+
+// Split partitions the communicator by color, MPI_Comm_split style:
+// members passing the same non-negative color form a new communicator,
+// ordered by (key, rank); a negative color opts out and receives a
+// non-member communicator.  Collective.
+func (c *Comm) Split(color, key int) *Comm {
+	c.require()
+	// Exchange (color, key) so every member derives the same groups.
+	var w [12]byte
+	putInt32 := func(b []byte, v int32) {
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	getInt32 := func(b []byte) int32 {
+		return int32(b[0]) | int32(b[1])<<8 | int32(b[2])<<16 | int32(b[3])<<24
+	}
+	putInt32(w[0:], int32(color))
+	putInt32(w[4:], int32(key))
+	putInt32(w[8:], int32(c.myRank))
+	parts := c.Allgather(w[:])
+
+	type member struct{ color, key, rank int }
+	var mine []member
+	for _, part := range parts {
+		m := member{
+			color: int(getInt32(part[0:])),
+			key:   int(getInt32(part[4:])),
+			rank:  int(getInt32(part[8:])),
+		}
+		if m.color == color && color >= 0 {
+			mine = append(mine, m)
+		}
+	}
+	if color < 0 {
+		return newComm(c.p, nil, 15) // non-member handle
+	}
+	sort.Slice(mine, func(a, b int) bool {
+		if mine[a].key != mine[b].key {
+			return mine[a].key < mine[b].key
+		}
+		return mine[a].rank < mine[b].rank
+	})
+	ranks := make([]int, len(mine))
+	for i, m := range mine {
+		ranks[i] = m.rank
+	}
+	return c.Sub(ranks)
+}

@@ -1,0 +1,256 @@
+package mpsim
+
+import "fmt"
+
+// AnySource and AnyTag are wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// message is one in-flight point-to-point message.
+type message struct {
+	src     int // world rank of sender
+	tag     int
+	data    []byte
+	arrival float64 // virtual time the last byte clears the sender side + latency
+	xmit    float64 // wire occupancy, for receiver-side link reservation
+	local   bool    // self-send: skips link reservations
+}
+
+// Proc is one simulated process.  All of a process's interaction with
+// the simulated machine — messaging, collectives, clock charges — goes
+// through its Proc, exactly as an MPI rank works through its
+// communicator.  A Proc is only valid inside the Body function it was
+// passed to and must not be shared across goroutines.
+type Proc struct {
+	world     *World
+	worldRank int
+	progIndex int
+	progName  string
+	progRanks []int
+	node      *node
+
+	worldComm *Comm
+	progComm  *Comm
+
+	clock      float64
+	finalClock float64
+
+	resume chan struct{}
+	state  procState
+
+	queue   []*message
+	wantSrc int
+	wantTag int
+}
+
+// WorldRank returns the process's rank in the whole simulated machine,
+// across all programs.
+func (p *Proc) WorldRank() int { return p.worldRank }
+
+// Rank returns the process's rank within its own program.
+func (p *Proc) Rank() int { return p.progComm.Rank() }
+
+// Size returns the number of processes in the process's own program.
+func (p *Proc) Size() int { return len(p.progRanks) }
+
+// WorldSize returns the total number of simulated processes.
+func (p *Proc) WorldSize() int { return len(p.world.procs) }
+
+// Program returns the name of the program this process belongs to.
+func (p *Proc) Program() string { return p.progName }
+
+// Node returns the identifier of the node hosting this process.
+func (p *Proc) Node() int { return p.node.id }
+
+// Comm returns the communicator spanning the process's own program.
+func (p *Proc) Comm() *Comm { return p.progComm }
+
+// World returns the communicator spanning every process of every
+// program, used for inter-program communication.
+func (p *Proc) World() *Comm { return p.worldComm }
+
+// Machine returns the cost model of the simulated machine.
+func (p *Proc) Machine() *Machine { return p.world.machine }
+
+// Programs returns the names of every program in the world, in
+// configuration order.
+func (p *Proc) Programs() []string {
+	return append([]string(nil), p.world.progNames...)
+}
+
+// ProgramRanks returns the world ranks of the named program's
+// processes in program-rank order, or nil if no such program exists.
+// The world layout is static, so this models each program knowing
+// where its peers run (the paper's coupled programs are launched with
+// knowledge of each other's hosts).
+func (p *Proc) ProgramRanks(name string) []int {
+	ranks, ok := p.world.progRanks[name]
+	if !ok {
+		return nil
+	}
+	return append([]int(nil), ranks...)
+}
+
+// Clock returns the process's current virtual time in seconds.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// LocalStats returns a copy of the calling process's traffic counters
+// so far, letting harness code attribute messages and bytes to
+// individual phases of a run.
+func (p *Proc) LocalStats() RankStats { return p.world.stats.PerRank[p.worldRank] }
+
+// Charge advances the process's virtual clock by d seconds of local
+// computation.  Negative charges are rejected.
+func (p *Proc) Charge(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("mpsim: rank %d charged negative time %g", p.worldRank, d))
+	}
+	p.clock += d
+}
+
+// ChargeFlops charges n floating point operations.
+func (p *Proc) ChargeFlops(n int) { p.Charge(float64(n) * p.world.machine.FlopTime) }
+
+// ChargeMemOps charges n irregular memory accesses.
+func (p *Proc) ChargeMemOps(n int) { p.Charge(float64(n) * p.world.machine.MemOpTime) }
+
+// ChargeDeref charges n distribution-dereference steps.
+func (p *Proc) ChargeDeref(n int) { p.Charge(float64(n) * p.world.machine.DerefTime) }
+
+// ChargeSectionOps charges n regular-section schedule-arithmetic steps.
+func (p *Proc) ChargeSectionOps(n int) { p.Charge(float64(n) * p.world.machine.SectionOpTime) }
+
+// ChargeCopy charges a local memory copy of n bytes.
+func (p *Proc) ChargeCopy(bytes int) {
+	p.Charge(float64(bytes) / p.world.machine.LocalCopyBandwidth)
+}
+
+// Send transmits data to the process with the given world rank.  The
+// send is buffered (it never blocks waiting for the receiver) and the
+// data slice is copied, so the caller may reuse it immediately.  Tags
+// must be non-negative; negative tags are reserved for collectives.
+func (p *Proc) Send(to, tag int, data []byte) {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpsim: rank %d: user tags must be >= 0, got %d", p.worldRank, tag))
+	}
+	p.send(to, tag, data)
+}
+
+func (p *Proc) send(to, tag int, data []byte) {
+	if to < 0 || to >= len(p.world.procs) {
+		panic(fmt.Sprintf("mpsim: rank %d sends to invalid rank %d", p.worldRank, to))
+	}
+	m := p.world.machine
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	msg := &message{src: p.worldRank, tag: tag, data: buf}
+
+	dst := p.world.procs[to]
+	if to == p.worldRank {
+		p.clock += float64(len(data)) / m.LocalCopyBandwidth
+		msg.arrival = p.clock
+		msg.local = true
+	} else {
+		// CPU: per-message overhead plus packing the payload.
+		p.clock += m.SendOverhead + float64(len(data))*m.PerByteCPU
+		xmit := m.transmitTime(len(data))
+		start := p.clock
+		if dst.node != p.node && p.node.outFreeAt > start {
+			start = p.node.outFreeAt
+		}
+		if dst.node != p.node {
+			p.node.outFreeAt = start + xmit
+			msg.arrival = start + xmit + m.Latency
+			msg.xmit = xmit
+		} else {
+			// Same node, different process: shared-memory transfer.
+			msg.arrival = start + float64(len(data))/m.LocalCopyBandwidth
+			msg.local = true
+		}
+	}
+
+	st := &p.world.stats
+	st.PerRank[p.worldRank].MsgsSent++
+	st.PerRank[p.worldRank].BytesSent += int64(len(data))
+	st.recordPair(p.worldRank, to, len(data))
+
+	p.world.record(Event{Time: p.clock, Rank: p.worldRank, Kind: EvSend, Peer: to, Bytes: len(data)})
+	dst.queue = append(dst.queue, msg)
+	if dst.state == stateBlocked && matches(msg, dst.wantSrc, dst.wantTag) {
+		p.world.wake(dst)
+	}
+	p.yield()
+}
+
+// Recv blocks until a message matching (from, tag) is available and
+// returns its payload and actual source rank.  from may be AnySource and
+// tag may be AnyTag.  Messages from the same source with the same tag
+// are received in the order they were sent.
+func (p *Proc) Recv(from, tag int) ([]byte, int) {
+	if tag < 0 && tag != AnyTag {
+		panic(fmt.Sprintf("mpsim: rank %d: user tags must be >= 0, got %d", p.worldRank, tag))
+	}
+	return p.recv(from, tag)
+}
+
+func (p *Proc) recv(from, tag int) ([]byte, int) {
+	for {
+		for i, msg := range p.queue {
+			if !matches(msg, from, tag) {
+				continue
+			}
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			p.deliver(msg)
+			return msg.data, msg.src
+		}
+		p.wantSrc, p.wantTag = from, tag
+		p.state = stateBlocked
+		p.world.toSched <- schedEvent{p: p}
+		<-p.resume
+	}
+}
+
+// deliver applies receive-side costs: inbound link occupancy on the
+// receiver's node, the receive overhead, and payload unpacking.
+func (p *Proc) deliver(msg *message) {
+	m := p.world.machine
+	arrival := msg.arrival
+	if !msg.local {
+		start := arrival - msg.xmit
+		if p.node.inFreeAt > start {
+			start = p.node.inFreeAt
+		}
+		arrival = start + msg.xmit
+		p.node.inFreeAt = arrival
+	}
+	if arrival > p.clock {
+		p.clock = arrival
+	}
+	if !msg.local {
+		p.clock += m.RecvOverhead + float64(len(msg.data))*m.PerByteCPU
+	}
+	st := &p.world.stats
+	st.PerRank[p.worldRank].MsgsRecv++
+	st.PerRank[p.worldRank].BytesRecv += int64(len(msg.data))
+	p.world.record(Event{Time: p.clock, Rank: p.worldRank, Kind: EvRecv, Peer: msg.src, Bytes: len(msg.data)})
+}
+
+// yield hands control back to the scheduler with the process still
+// runnable, letting lower-clock processes run first.
+func (p *Proc) yield() {
+	p.state = stateRunnable
+	p.world.toSched <- schedEvent{p: p}
+	<-p.resume
+}
+
+func matches(m *message, src, tag int) bool {
+	if src != AnySource && m.src != src {
+		return false
+	}
+	if tag != AnyTag && m.tag != tag {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,168 @@
+package mpsim
+
+import (
+	"fmt"
+
+	"metachaos/internal/codec"
+)
+
+// Nonblocking point-to-point operations, in the style of MPI_Isend /
+// MPI_Irecv / MPI_Wait.  Sends in this simulator are always buffered,
+// so Isend completes immediately; Irecv posts a receive that Wait
+// completes later, letting a process issue all its receives before
+// blocking — the pattern the original libraries' executors used to
+// overlap communication.
+
+// Request is a pending nonblocking operation handle.
+type Request struct {
+	p    *Proc
+	done bool
+	data []byte
+	src  int
+
+	// Pending receive matcher.
+	isRecv  bool
+	wantSrc int
+	wantTag int
+}
+
+// Isend starts a buffered send and returns an immediately completed
+// request (buffered sends never block).
+func (c *Comm) Isend(to, tag int, data []byte) *Request {
+	c.Send(to, tag, data)
+	return &Request{p: c.p, done: true}
+}
+
+// Irecv posts a receive for (from, tag).  The message is claimed when
+// Wait is called; posting order among outstanding Irecvs with
+// overlapping matchers determines claim order at Wait time.
+func (c *Comm) Irecv(from, tag int) *Request {
+	c.require()
+	wsrc := AnySource
+	if from != AnySource {
+		wsrc = c.ranks[from]
+	}
+	if tag == AnyTag {
+		panic("mpsim: Comm.Irecv does not support AnyTag; use a specific tag")
+	}
+	return &Request{
+		p:       c.p,
+		isRecv:  true,
+		wantSrc: wsrc,
+		wantTag: c.userWire(tag),
+	}
+}
+
+// Wait blocks until the request completes and returns the received
+// payload and the source's communicator rank is not tracked here — the
+// raw source world rank is returned (nil and -1 for sends).  Waiting
+// again returns the cached result.
+func (r *Request) Wait() ([]byte, int) {
+	if r.done {
+		if r.isRecv {
+			return r.data, r.src
+		}
+		return nil, -1
+	}
+	if !r.isRecv {
+		r.done = true
+		return nil, -1
+	}
+	data, src := r.p.recv(r.wantSrc, r.wantTag)
+	r.done = true
+	r.data, r.src = data, src
+	return data, src
+}
+
+// Test reports whether the request could complete without blocking,
+// completing it if so.  For a pending receive it checks the queue for
+// a matching message.
+func (r *Request) Test() bool {
+	if r.done || !r.isRecv {
+		r.done = true
+		return true
+	}
+	for i, msg := range r.p.queue {
+		if matches(msg, r.wantSrc, r.wantTag) {
+			r.p.queue = append(r.p.queue[:i], r.p.queue[i+1:]...)
+			r.p.deliver(msg)
+			r.data, r.src = msg.data, msg.src
+			r.done = true
+			return true
+		}
+	}
+	return false
+}
+
+// WaitAll completes every request in order.
+func WaitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		if r == nil {
+			panic("mpsim: WaitAll on nil request")
+		}
+		r.Wait()
+	}
+}
+
+// Probe reports whether a message matching (from, tag) is available
+// without receiving it; from may be AnySource.  It never blocks.
+func (c *Comm) Probe(from, tag int) bool {
+	c.require()
+	wsrc := AnySource
+	if from != AnySource {
+		wsrc = c.ranks[from]
+	}
+	wire := c.userWire(tag)
+	for _, msg := range c.p.queue {
+		if matches(msg, wsrc, wire) {
+			return true
+		}
+	}
+	return false
+}
+
+// Scatter distributes root's per-member buffers: member i receives
+// bufs[i].  Non-roots pass nil.
+func (c *Comm) Scatter(root int, bufs [][]byte) []byte {
+	c.require()
+	seq := c.nextSeq()
+	wire := c.collWire(seq, phGather)
+	if c.myRank == root {
+		if len(bufs) != c.Size() {
+			panic(fmt.Sprintf("mpsim: Scatter needs %d buffers, got %d", c.Size(), len(bufs)))
+		}
+		for i := 0; i < c.Size(); i++ {
+			if i == root {
+				continue
+			}
+			c.p.send(c.ranks[i], wire, bufs[i])
+		}
+		own := make([]byte, len(bufs[root]))
+		copy(own, bufs[root])
+		return own
+	}
+	data, _ := c.p.recv(c.ranks[root], wire)
+	return data
+}
+
+// AllreduceFloat64s element-wise combines equal-length vectors across
+// the members and returns the result everywhere, the vector form
+// solvers use for residual norms and dot products.
+func (c *Comm) AllreduceFloat64s(op ReduceOp, xs []float64) []float64 {
+	c.require()
+	seq := c.nextSeq()
+	buf := codec.Float64sToBytes(xs)
+	acc := c.reduceBytes(0, seq, buf, func(acc, in []byte) []byte {
+		a := codec.BytesToFloat64s(acc)
+		b := codec.BytesToFloat64s(in)
+		if len(a) != len(b) {
+			panic(fmt.Sprintf("mpsim: AllreduceFloat64s length mismatch: %d vs %d", len(a), len(b)))
+		}
+		for i := range a {
+			a[i] = combineFloat64(op, a[i], b[i])
+		}
+		return codec.Float64sToBytes(a)
+	})
+	acc = c.bcastTree(0, seq, acc)
+	return codec.BytesToFloat64s(acc)
+}

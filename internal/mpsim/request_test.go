@@ -1,0 +1,177 @@
+package mpsim
+
+import "testing"
+
+func TestIrecvWait(t *testing.T) {
+	RunSPMD(Ideal(), 2, func(p *Proc) {
+		c := p.Comm()
+		if c.Rank() == 0 {
+			// Post receives before the data exists, then wait.
+			r1 := c.Irecv(1, 5)
+			r2 := c.Irecv(1, 6)
+			d2, _ := r2.Wait()
+			d1, _ := r1.Wait()
+			if string(d1) != "one" || string(d2) != "two" {
+				t.Errorf("got %q/%q", d1, d2)
+			}
+			// Waiting again returns the cached payload.
+			again, _ := r1.Wait()
+			if string(again) != "one" {
+				t.Errorf("re-wait got %q", again)
+			}
+		} else {
+			c.Send(0, 5, []byte("one"))
+			c.Send(0, 6, []byte("two"))
+		}
+	})
+}
+
+func TestIsendCompletesImmediately(t *testing.T) {
+	RunSPMD(Ideal(), 2, func(p *Proc) {
+		c := p.Comm()
+		if c.Rank() == 0 {
+			r := c.Isend(1, 1, []byte("x"))
+			if !r.Test() {
+				t.Error("Isend request not complete")
+			}
+			r.Wait()
+		} else {
+			data, _ := c.Recv(0, 1)
+			if string(data) != "x" {
+				t.Errorf("got %q", data)
+			}
+		}
+	})
+}
+
+func TestRequestTest(t *testing.T) {
+	RunSPMD(Ideal(), 2, func(p *Proc) {
+		c := p.Comm()
+		if c.Rank() == 0 {
+			r := c.Irecv(1, 2)
+			if r.Test() {
+				t.Error("Test true before any send")
+			}
+			c.Send(1, 1, nil) // release the peer
+			// Wait for the message to arrive.
+			data, _ := r.Wait()
+			if string(data) != "now" {
+				t.Errorf("got %q", data)
+			}
+			if !r.Test() {
+				t.Error("Test false after completion")
+			}
+		} else {
+			c.Recv(0, 1)
+			c.Send(0, 2, []byte("now"))
+		}
+	})
+}
+
+func TestWaitAll(t *testing.T) {
+	RunSPMD(Ideal(), 3, func(p *Proc) {
+		c := p.Comm()
+		if c.Rank() == 0 {
+			r1 := c.Irecv(1, 3)
+			r2 := c.Irecv(2, 3)
+			WaitAll(r1, r2)
+			d1, _ := r1.Wait()
+			d2, _ := r2.Wait()
+			if string(d1) != "a" || string(d2) != "b" {
+				t.Errorf("got %q/%q", d1, d2)
+			}
+		} else if c.Rank() == 1 {
+			c.Send(0, 3, []byte("a"))
+		} else {
+			c.Send(0, 3, []byte("b"))
+		}
+	})
+}
+
+func TestProbe(t *testing.T) {
+	RunSPMD(Ideal(), 2, func(p *Proc) {
+		c := p.Comm()
+		if c.Rank() == 0 {
+			if c.Probe(1, 4) {
+				t.Error("Probe true before send")
+			}
+			c.Send(1, 1, nil)
+			c.Recv(1, 2) // sync: peer has sent tag-4 message by now
+			if !c.Probe(1, 4) {
+				t.Error("Probe false after send")
+			}
+			if !c.Probe(AnySource, 4) {
+				t.Error("AnySource Probe false")
+			}
+			c.Recv(1, 4)
+			if c.Probe(1, 4) {
+				t.Error("Probe true after consume")
+			}
+		} else {
+			c.Recv(0, 1)
+			c.Send(0, 4, []byte("probe-me"))
+			c.Send(0, 2, nil)
+		}
+	})
+}
+
+func TestScatter(t *testing.T) {
+	RunSPMD(Ideal(), 4, func(p *Proc) {
+		c := p.Comm()
+		var bufs [][]byte
+		if c.Rank() == 1 {
+			bufs = make([][]byte, 4)
+			for i := range bufs {
+				bufs[i] = []byte{byte(i * 3)}
+			}
+		}
+		got := c.Scatter(1, bufs)
+		if len(got) != 1 || int(got[0]) != c.Rank()*3 {
+			t.Errorf("rank %d got %v", c.Rank(), got)
+		}
+	})
+}
+
+func TestAllreduceFloat64s(t *testing.T) {
+	RunSPMD(Ideal(), 3, func(p *Proc) {
+		c := p.Comm()
+		xs := []float64{float64(c.Rank()), 1, float64(-c.Rank())}
+		sum := c.AllreduceFloat64s(OpSum, xs)
+		if sum[0] != 3 || sum[1] != 3 || sum[2] != -3 {
+			t.Errorf("sum=%v", sum)
+		}
+		max := c.AllreduceFloat64s(OpMax, xs)
+		if max[0] != 2 || max[2] != 0 {
+			t.Errorf("max=%v", max)
+		}
+	})
+}
+
+func TestIrecvOverlapPattern(t *testing.T) {
+	// The executor pattern: post all receives, do local work, send,
+	// then wait - no deadlock regardless of order.
+	RunSPMD(SP2(), 4, func(p *Proc) {
+		c := p.Comm()
+		var reqs []*Request
+		for peer := 0; peer < c.Size(); peer++ {
+			if peer != c.Rank() {
+				reqs = append(reqs, c.Irecv(peer, 9))
+			}
+		}
+		p.ChargeFlops(1000) // local work before sending
+		for peer := 0; peer < c.Size(); peer++ {
+			if peer != c.Rank() {
+				c.Send(peer, 9, []byte{byte(c.Rank())})
+			}
+		}
+		seen := 0
+		for _, r := range reqs {
+			data, _ := r.Wait()
+			seen += int(data[0])
+		}
+		want := 6 - c.Rank() // 0+1+2+3 minus self
+		if seen != want {
+			t.Errorf("rank %d saw sum %d, want %d", c.Rank(), seen, want)
+		}
+	})
+}

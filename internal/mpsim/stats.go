@@ -1,0 +1,71 @@
+package mpsim
+
+// RankStats counts the traffic one simulated process generated and
+// consumed.
+type RankStats struct {
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+	BytesRecv int64
+}
+
+// PairKey identifies an ordered (sender, receiver) world-rank pair.
+type PairKey struct {
+	From, To int
+}
+
+// PairStats counts traffic between one ordered pair of processes.  The
+// paper argues Meta-Chaos sends exactly the messages a hand-crafted
+// exchange would; tests use these counters to check that claim.
+type PairStats struct {
+	Msgs  int64
+	Bytes int64
+}
+
+// Stats accumulates the observable outcome of a simulated run.
+type Stats struct {
+	// Machine names the cost model profile used.
+	Machine string
+	// MakespanSeconds is the largest final virtual clock over all
+	// processes: the virtual wall-clock time of the run.
+	MakespanSeconds float64
+	// PerRank has one entry per world rank.
+	PerRank []RankStats
+	// Pairs maps ordered process pairs to their traffic.
+	Pairs map[PairKey]*PairStats
+	// Trace holds the event record when Config.Trace was set; nil
+	// otherwise.
+	Trace *Trace
+}
+
+func (s *Stats) recordPair(from, to, bytes int) {
+	if s.Pairs == nil {
+		s.Pairs = make(map[PairKey]*PairStats)
+	}
+	k := PairKey{From: from, To: to}
+	ps := s.Pairs[k]
+	if ps == nil {
+		ps = &PairStats{}
+		s.Pairs[k] = ps
+	}
+	ps.Msgs++
+	ps.Bytes += int64(bytes)
+}
+
+// TotalMsgs returns the total number of messages sent during the run.
+func (s *Stats) TotalMsgs() int64 {
+	var n int64
+	for i := range s.PerRank {
+		n += s.PerRank[i].MsgsSent
+	}
+	return n
+}
+
+// TotalBytes returns the total payload bytes sent during the run.
+func (s *Stats) TotalBytes() int64 {
+	var n int64
+	for i := range s.PerRank {
+		n += s.PerRank[i].BytesSent
+	}
+	return n
+}

@@ -1,0 +1,286 @@
+package mpsim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// ProgramSpec describes one SPMD program participating in a simulated
+// run.  The paper's experiments use one program (Tables 1, 2, 5), two
+// coupled peer programs (Tables 3, 4) and a client/server pair
+// (Figures 10-15); each maps to one ProgramSpec per program.
+type ProgramSpec struct {
+	// Name labels the program in errors and statistics.
+	Name string
+	// Procs is the number of processes the program runs with.
+	Procs int
+	// ProcsPerNode is how many of the program's processes share one
+	// node (and therefore one network link).  Zero means one per node.
+	ProcsPerNode int
+	// Body is the SPMD function every process of the program executes.
+	Body func(p *Proc)
+}
+
+// Config assembles a full simulated run: the machine model plus the set
+// of programs that will execute concurrently on disjoint nodes.
+type Config struct {
+	Machine  *Machine
+	Programs []ProgramSpec
+	// Trace enables event recording; the trace is returned in the
+	// run's Stats.
+	Trace bool
+}
+
+// World is the simulated machine state for one run.  It owns every
+// simulated process, the per-node link reservations, and the cooperative
+// scheduler that sequentializes execution in virtual-time order.
+type World struct {
+	machine   *Machine
+	procs     []*Proc
+	nodes     []*node
+	stats     Stats
+	trace     *Trace
+	progNames []string
+	progRanks map[string][]int
+
+	runq    procHeap
+	resume  chan *Proc // scheduler -> proc handoff target (per-proc channel used instead)
+	toSched chan schedEvent
+
+	failure *runFailure
+}
+
+type runFailure struct {
+	rank int
+	prog string
+	err  any
+}
+
+type schedEvent struct {
+	p *Proc
+}
+
+type node struct {
+	id         int
+	outFreeAt  float64
+	inFreeAt   float64
+	procsOnOut int
+}
+
+// procState tracks where a simulated process is in its lifecycle.
+type procState int
+
+const (
+	stateRunnable procState = iota
+	stateRunning
+	stateBlocked // waiting in Recv with no matching message
+	stateDone
+)
+
+// Run executes the configured programs to completion and returns the
+// accumulated statistics.  It panics with a descriptive error if any
+// process body panics or if the run deadlocks (every live process is
+// blocked in Recv).
+func Run(cfg Config) *Stats {
+	w, err := newWorld(cfg)
+	if err != nil {
+		panic(err)
+	}
+	w.schedule()
+	if w.failure != nil {
+		panic(fmt.Sprintf("mpsim: program %q rank %d panicked: %v",
+			w.failure.prog, w.failure.rank, w.failure.err))
+	}
+	w.stats.Trace = w.trace
+	return &w.stats
+}
+
+// RunSPMD is the common single-program case: n processes, one per node,
+// all running body.
+func RunSPMD(m *Machine, n int, body func(p *Proc)) *Stats {
+	return Run(Config{
+		Machine:  m,
+		Programs: []ProgramSpec{{Name: "spmd", Procs: n, Body: body}},
+	})
+}
+
+func newWorld(cfg Config) (*World, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("mpsim: config has no machine")
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Programs) == 0 {
+		return nil, fmt.Errorf("mpsim: config has no programs")
+	}
+	w := &World{
+		machine:   cfg.Machine,
+		toSched:   make(chan schedEvent),
+		progRanks: make(map[string][]int),
+	}
+	if cfg.Trace {
+		w.trace = &Trace{}
+	}
+	w.stats.Machine = cfg.Machine.Name
+	nodeID := 0
+	worldRank := 0
+	for pi, spec := range cfg.Programs {
+		if spec.Procs <= 0 {
+			return nil, fmt.Errorf("mpsim: program %q has %d procs", spec.Name, spec.Procs)
+		}
+		if spec.Body == nil {
+			return nil, fmt.Errorf("mpsim: program %q has no body", spec.Name)
+		}
+		ppn := spec.ProcsPerNode
+		if ppn <= 0 {
+			ppn = 1
+		}
+		progRanks := make([]int, spec.Procs)
+		for r := 0; r < spec.Procs; r++ {
+			nid := nodeID + r/ppn
+			for len(w.nodes) <= nid {
+				w.nodes = append(w.nodes, &node{id: len(w.nodes)})
+			}
+			p := &Proc{
+				world:     w,
+				worldRank: worldRank,
+				progIndex: pi,
+				progName:  spec.Name,
+				node:      w.nodes[nid],
+				resume:    make(chan struct{}),
+				state:     stateRunnable,
+			}
+			w.nodes[nid].procsOnOut++
+			w.procs = append(w.procs, p)
+			progRanks[r] = worldRank
+			worldRank++
+		}
+		nodeID = len(w.nodes)
+		for _, r := range progRanks {
+			w.procs[r].progRanks = progRanks
+		}
+		if _, dup := w.progRanks[spec.Name]; dup {
+			return nil, fmt.Errorf("mpsim: two programs named %q", spec.Name)
+		}
+		w.progNames = append(w.progNames, spec.Name)
+		w.progRanks[spec.Name] = progRanks
+	}
+	allRanks := make([]int, len(w.procs))
+	for i := range allRanks {
+		allRanks[i] = i
+	}
+	for _, p := range w.procs {
+		p.worldComm = newComm(p, allRanks, 1)
+		p.progComm = newComm(p, p.progRanks, 2+p.progIndex)
+	}
+	w.stats.PerRank = make([]RankStats, len(w.procs))
+	// Launch every process goroutine; each immediately parks waiting for
+	// the scheduler to resume it.
+	bodies := cfg.Programs
+	for _, p := range w.procs {
+		p := p
+		body := bodies[p.progIndex].Body
+		go func() {
+			<-p.resume
+			defer func() {
+				if r := recover(); r != nil {
+					if w.failure == nil {
+						w.failure = &runFailure{rank: p.worldRank, prog: p.progName, err: r}
+					}
+				}
+				p.finalClock = p.clock
+				p.state = stateDone
+				w.toSched <- schedEvent{p: p}
+			}()
+			body(p)
+		}()
+	}
+	heap.Init(&w.runq)
+	for _, p := range w.procs {
+		heap.Push(&w.runq, p)
+	}
+	return w, nil
+}
+
+// schedule is the cooperative scheduler loop.  It always resumes the
+// runnable process with the smallest virtual clock (ties broken by world
+// rank), which makes runs deterministic and keeps link reservations in
+// near-causal order.
+func (w *World) schedule() {
+	live := len(w.procs)
+	for live > 0 {
+		if w.failure != nil {
+			// Abandon the run: remaining processes are simply not
+			// resumed again.  Their goroutines leak for the lifetime of
+			// the test process, which is acceptable for a failed run
+			// that is about to panic anyway.
+			return
+		}
+		if w.runq.Len() == 0 {
+			w.panicDeadlock()
+		}
+		p := heap.Pop(&w.runq).(*Proc)
+		p.state = stateRunning
+		p.resume <- struct{}{}
+		ev := <-w.toSched
+		switch ev.p.state {
+		case stateDone:
+			live--
+			if ev.p.finalClock > w.stats.MakespanSeconds {
+				w.stats.MakespanSeconds = ev.p.finalClock
+			}
+		case stateRunnable:
+			heap.Push(&w.runq, ev.p)
+		case stateBlocked:
+			// Parked until a matching message arrives; a sender will
+			// move it back to the run queue.
+		default:
+			panic("mpsim: internal error: yielded process in unexpected state")
+		}
+	}
+}
+
+func (w *World) panicDeadlock() {
+	var desc []string
+	for _, p := range w.procs {
+		if p.state == stateBlocked {
+			desc = append(desc, fmt.Sprintf("  %s/rank %d waiting for src=%d tag=%d",
+				p.progName, p.worldRank, p.wantSrc, p.wantTag))
+		}
+	}
+	sort.Strings(desc)
+	msg := "mpsim: deadlock: every live process is blocked in Recv:\n"
+	for _, d := range desc {
+		msg += d + "\n"
+	}
+	panic(msg)
+}
+
+// wake moves a blocked process back to the run queue.
+func (w *World) wake(p *Proc) {
+	p.state = stateRunnable
+	heap.Push(&w.runq, p)
+}
+
+// procHeap orders runnable processes by (clock, worldRank).
+type procHeap []*Proc
+
+func (h procHeap) Len() int { return len(h) }
+func (h procHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].worldRank < h[j].worldRank
+}
+func (h procHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *procHeap) Push(x any)   { *h = append(*h, x.(*Proc)) }
+func (h *procHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
+}

@@ -1,0 +1,218 @@
+// Package pcxxrt is the pC++/Tulip runtime analogue: distributed
+// collections of fixed-size element objects dealt round-robin over the
+// processes of a program.  It exists to demonstrate the Meta-Chaos
+// extensibility claim — a fourth library, with its own Region type
+// (index ranges over a collection) and a multi-word element layout,
+// joins the framework by supplying only the inquiry functions, just as
+// the Indiana pC++ group did in a few days.
+package pcxxrt
+
+import (
+	"fmt"
+
+	"metachaos/internal/codec"
+	"metachaos/internal/core"
+)
+
+// Library is the Meta-Chaos binding for pC++ collections.
+var Library = Lib{}
+
+func init() { core.RegisterLibrary(Library) }
+
+// Collection is one process's portion of a distributed collection of n
+// elements, each elemWords float64 words, placed round-robin: element
+// i lives on process i mod P at local slot i div P.
+type Collection struct {
+	n      int
+	nprocs int
+	words  int
+	rank   int // -1 for descriptor-only remote views
+	data   []float64
+}
+
+// NewCollection allocates rank's share of an n-element collection.
+func NewCollection(n, nprocs, elemWords, rank int) (*Collection, error) {
+	if n <= 0 || nprocs <= 0 || elemWords <= 0 {
+		return nil, fmt.Errorf("pcxxrt: invalid collection n=%d procs=%d words=%d", n, nprocs, elemWords)
+	}
+	if rank < 0 || rank >= nprocs {
+		return nil, fmt.Errorf("pcxxrt: rank %d outside [0,%d)", rank, nprocs)
+	}
+	c := &Collection{n: n, nprocs: nprocs, words: elemWords, rank: rank}
+	c.data = make([]float64, elemWords*c.localCount(rank))
+	return c, nil
+}
+
+// N returns the collection's global element count.
+func (c *Collection) N() int { return c.n }
+
+// ElemWords returns the per-element word count.
+func (c *Collection) ElemWords() int { return c.words }
+
+// Local returns the local element storage.
+func (c *Collection) Local() []float64 { return c.data }
+
+func (c *Collection) localCount(rank int) int {
+	if rank >= c.n {
+		return 0
+	}
+	return (c.n - rank + c.nprocs - 1) / c.nprocs
+}
+
+// Owner returns the process owning element i.
+func (c *Collection) Owner(i int) int { return i % c.nprocs }
+
+// Slot returns element i's local slot on its owner.
+func (c *Collection) Slot(i int) int { return i / c.nprocs }
+
+// Elem returns the local storage of global element i, which must be
+// owned by this process.
+func (c *Collection) Elem(i int) []float64 {
+	if c.Owner(i) != c.rank {
+		panic(fmt.Sprintf("pcxxrt: rank %d accessing element %d owned by rank %d", c.rank, i, c.Owner(i)))
+	}
+	s := c.Slot(i) * c.words
+	return c.data[s : s+c.words]
+}
+
+// ForEachOwned iterates the locally owned elements, passing the global
+// element index and its storage.
+func (c *Collection) ForEachOwned(f func(i int, elem []float64)) {
+	for k := 0; k*c.nprocs+c.rank < c.n; k++ {
+		i := k*c.nprocs + c.rank
+		f(i, c.data[k*c.words:(k+1)*c.words])
+	}
+}
+
+// RangeRegion is pC++'s Region type: a strided range of collection
+// element indices [Lo, Hi) step Step, linearized in index order.
+type RangeRegion struct {
+	Lo, Hi, Step int
+}
+
+// Size returns the number of elements in the range.
+func (r RangeRegion) Size() int {
+	if r.Hi <= r.Lo || r.Step <= 0 {
+		return 0
+	}
+	return (r.Hi - r.Lo + r.Step - 1) / r.Step
+}
+
+// At returns the global element index of the k-th range position.
+func (r RangeRegion) At(k int) int { return r.Lo + k*r.Step }
+
+// Lib implements the Meta-Chaos inquiry interface for collections.
+type Lib struct{}
+
+// Name returns the registry name.
+func (Lib) Name() string { return "pcxx" }
+
+func coll(o core.DistObject) *Collection {
+	c, ok := o.(*Collection)
+	if !ok {
+		panic(fmt.Sprintf("pcxx: object of type %T is not a collection", o))
+	}
+	return c
+}
+
+func reg(set *core.SetOfRegions, i int) RangeRegion {
+	r, ok := set.Region(i).(RangeRegion)
+	if !ok {
+		panic(fmt.Sprintf("pcxx: region %d has type %T, want RangeRegion", i, set.Region(i)))
+	}
+	return r
+}
+
+// DerefRange returns the locations of set positions [lo, hi): pure
+// round-robin arithmetic.
+func (Lib) DerefRange(ctx *core.Ctx, o core.DistObject, set *core.SetOfRegions, lo, hi int) []core.Loc {
+	c := coll(o)
+	out := make([]core.Loc, 0, hi-lo)
+	for _, span := range set.SplitRange(lo, hi) {
+		r := reg(set, span.Index)
+		for k := span.Lo; k < span.Hi; k++ {
+			i := r.At(k)
+			out = append(out, core.Loc{Proc: int32(c.Owner(i)), Off: int32(c.Slot(i))})
+		}
+	}
+	ctx.P.ChargeSectionOps(hi - lo)
+	return out
+}
+
+// DerefAt returns the locations of the given set positions.
+func (Lib) DerefAt(ctx *core.Ctx, o core.DistObject, set *core.SetOfRegions, positions []int32) []core.Loc {
+	c := coll(o)
+	out := make([]core.Loc, len(positions))
+	for k, pos := range positions {
+		ri, inner := set.RegionOf(int(pos))
+		i := reg(set, ri).At(inner)
+		out[k] = core.Loc{Proc: int32(c.Owner(i)), Off: int32(c.Slot(i))}
+	}
+	ctx.P.ChargeSectionOps(len(positions))
+	return out
+}
+
+// OwnedPositions walks each range's residue class owned by the caller.
+func (Lib) OwnedPositions(ctx *core.Ctx, o core.DistObject, set *core.SetOfRegions) []core.PosLoc {
+	c := coll(o)
+	var out []core.PosLoc
+	work := 0
+	for ri := 0; ri < set.Len(); ri++ {
+		r := reg(set, ri)
+		base := set.Base(ri)
+		for k := 0; k < r.Size(); k++ {
+			i := r.At(k)
+			if c.Owner(i) == c.rank {
+				out = append(out, core.PosLoc{Pos: int32(base + k), Off: int32(c.Slot(i))})
+			}
+			work++
+		}
+	}
+	ctx.P.ChargeSectionOps(work)
+	return out
+}
+
+// EncodeDescriptor serializes (n, nprocs, words); compact.
+func (Lib) EncodeDescriptor(ctx *core.Ctx, o core.DistObject) ([]byte, bool) {
+	c := coll(o)
+	var w codec.Writer
+	w.PutInts([]int{c.n, c.nprocs, c.words})
+	return w.Bytes(), true
+}
+
+// DecodeDescriptor rebuilds a descriptor-only remote view.
+func (Lib) DecodeDescriptor(data []byte) (core.DistObject, error) {
+	v := codec.NewReader(data).Ints()
+	if len(v) != 3 {
+		return nil, fmt.Errorf("pcxx: corrupt descriptor")
+	}
+	return &Collection{n: v[0], nprocs: v[1], words: v[2], rank: -1}, nil
+}
+
+// EncodeRegion serializes a range region.
+func (Lib) EncodeRegion(r core.Region) []byte {
+	rr, ok := r.(RangeRegion)
+	if !ok {
+		panic(fmt.Sprintf("pcxx: encoding region of type %T", r))
+	}
+	var w codec.Writer
+	w.PutInts([]int{rr.Lo, rr.Hi, rr.Step})
+	return w.Bytes()
+}
+
+// DecodeRegion deserializes a range region.
+func (Lib) DecodeRegion(data []byte) (core.Region, error) {
+	v := codec.NewReader(data).Ints()
+	if len(v) != 3 {
+		return nil, fmt.Errorf("pcxx: corrupt region")
+	}
+	return RangeRegion{Lo: v[0], Hi: v[1], Step: v[2]}, nil
+}
+
+// Interface checks.
+var (
+	_ core.Library         = Lib{}
+	_ core.DescriptorCodec = Lib{}
+	_ core.RegionCodec     = Lib{}
+	_ core.DistObject      = (*Collection)(nil)
+)

@@ -1,0 +1,236 @@
+// Package seclib implements the Meta-Chaos inquiry interface for
+// libraries whose Region type is a regularly distributed array section
+// — the Multiblock Parti and HPF runtime analogues.  Both libraries
+// reuse this one implementation with their own names and halo widths,
+// mirroring how the original libraries shared the regular-section
+// dereference machinery.
+package seclib
+
+import (
+	"fmt"
+
+	"metachaos/internal/codec"
+	"metachaos/internal/core"
+	"metachaos/internal/distarray"
+	"metachaos/internal/gidx"
+)
+
+// Object is what a regular-array library's distributed array must
+// expose for seclib to dereference it: the distribution descriptor and
+// the halo (ghost-cell margin) baked into its local storage layout.
+type Object interface {
+	core.DistObject
+	SecDist() *distarray.Dist
+	Halo() int
+}
+
+// Lib is a Meta-Chaos library binding for section regions.  It is
+// stateless; each regular-array package creates one with its own name
+// and registers it.
+type Lib struct {
+	name string
+}
+
+// New creates a section-region library binding with the given registry
+// name.
+func New(name string) *Lib { return &Lib{name: name} }
+
+// Name returns the registry name.
+func (l *Lib) Name() string { return l.name }
+
+func (l *Lib) object(o core.DistObject) Object {
+	so, ok := o.(Object)
+	if !ok {
+		panic(fmt.Sprintf("%s: object of type %T does not expose a section distribution", l.name, o))
+	}
+	return so
+}
+
+func (l *Lib) section(set *core.SetOfRegions, i int) gidx.Section {
+	r := set.Region(i)
+	sec, ok := r.(gidx.Section)
+	if !ok {
+		panic(fmt.Sprintf("%s: region %d has type %T, want a regular array section", l.name, i, r))
+	}
+	return sec
+}
+
+// offsetOf computes the element offset of global coords within the
+// halo-padded local tile of obj's owner.
+func offsetOf(dist *distarray.Dist, halo int, rank int, local []int) int {
+	counts := dist.LocalCounts(rank)
+	off := 0
+	for d, lc := range local {
+		off = off*(counts[d]+2*halo) + lc + halo
+	}
+	return off
+}
+
+// locate resolves global coords to a Loc in the halo-padded layout.
+func locate(dist *distarray.Dist, halo int, coords []int, localBuf []int) core.Loc {
+	rank, local := dist.LocalCoords(coords, localBuf)
+	return core.Loc{Proc: int32(rank), Off: int32(offsetOf(dist, halo, rank, local))}
+}
+
+// DerefRange returns the locations of set positions [lo, hi).  Pure
+// arithmetic: regular distributions dereference without communication.
+func (l *Lib) DerefRange(ctx *core.Ctx, o core.DistObject, set *core.SetOfRegions, lo, hi int) []core.Loc {
+	so := l.object(o)
+	dist, halo := so.SecDist(), so.Halo()
+	out := make([]core.Loc, 0, hi-lo)
+	coords := make([]int, len(dist.Shape()))
+	local := make([]int, len(dist.Shape()))
+	for _, span := range set.SplitRange(lo, hi) {
+		sec := l.section(set, span.Index)
+		for k := span.Lo; k < span.Hi; k++ {
+			sec.PointAt(k, coords)
+			out = append(out, locate(dist, halo, coords, local))
+		}
+	}
+	ctx.P.ChargeSectionOps(hi - lo)
+	return out
+}
+
+// DerefAt returns the locations of the given (sorted) set positions.
+func (l *Lib) DerefAt(ctx *core.Ctx, o core.DistObject, set *core.SetOfRegions, positions []int32) []core.Loc {
+	so := l.object(o)
+	dist, halo := so.SecDist(), so.Halo()
+	out := make([]core.Loc, len(positions))
+	coords := make([]int, len(dist.Shape()))
+	local := make([]int, len(dist.Shape()))
+	for i, pos := range positions {
+		ri, inner := set.RegionOf(int(pos))
+		l.section(set, ri).PointAt(inner, coords)
+		out[i] = locate(dist, halo, coords, local)
+	}
+	ctx.P.ChargeSectionOps(len(positions))
+	return out
+}
+
+// OwnedPositions intersects each section with the caller's tile box,
+// so the cost is proportional to the number of owned elements rather
+// than the whole set.  Distributions with a cyclic dimension have no
+// box and fall back to scanning the set.
+func (l *Lib) OwnedPositions(ctx *core.Ctx, o core.DistObject, set *core.SetOfRegions) []core.PosLoc {
+	so := l.object(o)
+	dist, halo := so.SecDist(), so.Halo()
+	me := ctx.Comm.Rank()
+	var out []core.PosLoc
+	local := make([]int, len(dist.Shape()))
+	work := 0
+
+	boxLo, boxHi, haveBox := dist.LocalBox(me)
+	for i := 0; i < set.Len(); i++ {
+		sec := l.section(set, i)
+		base := set.Base(i)
+		if haveBox {
+			sub, ok := sec.IntersectBox(boxLo, boxHi)
+			if !ok {
+				work++
+				continue
+			}
+			sub.ForEach(func(_ int, coords []int) {
+				pos := sec.IndexOf(coords)
+				_, lc := dist.LocalCoords(coords, local)
+				out = append(out, core.PosLoc{
+					Pos: int32(base + pos),
+					Off: int32(offsetOf(dist, halo, me, lc)),
+				})
+				work++
+			})
+		} else {
+			sec.ForEach(func(pos int, coords []int) {
+				rank, lc := dist.LocalCoords(coords, local)
+				if rank == me {
+					out = append(out, core.PosLoc{
+						Pos: int32(base + pos),
+						Off: int32(offsetOf(dist, halo, me, lc)),
+					})
+				}
+				work++
+			})
+		}
+	}
+	ctx.P.ChargeSectionOps(work)
+	return out
+}
+
+// EncodeDescriptor serializes the distribution descriptor (shape, grid,
+// kinds, halo, element width); regular descriptors are compact.
+func (l *Lib) EncodeDescriptor(ctx *core.Ctx, o core.DistObject) ([]byte, bool) {
+	so := l.object(o)
+	dist := so.SecDist()
+	var w codec.Writer
+	w.PutInts(dist.Shape())
+	w.PutInts(dist.Grid())
+	kinds := dist.Kinds()
+	ki := make([]int, len(kinds))
+	for i, k := range kinds {
+		ki[i] = int(k)
+	}
+	w.PutInts(ki)
+	w.PutInts(dist.Params())
+	w.PutInt32(int32(so.Halo()))
+	w.PutInt32(int32(so.ElemWords()))
+	return w.Bytes(), true
+}
+
+// DecodeDescriptor rebuilds a descriptor-only view able to dereference
+// without communication.
+func (l *Lib) DecodeDescriptor(data []byte) (core.DistObject, error) {
+	r := codec.NewReader(data)
+	shape := gidx.Shape(r.Ints())
+	grid := r.Ints()
+	ki := r.Ints()
+	kinds := make([]distarray.Kind, len(ki))
+	for i, k := range ki {
+		kinds[i] = distarray.Kind(k)
+	}
+	params := r.Ints()
+	halo := int(r.Int32())
+	words := int(r.Int32())
+	dist, err := distarray.NewDistParams(shape, grid, kinds, params)
+	if err != nil {
+		return nil, fmt.Errorf("%s: decoding descriptor: %w", l.name, err)
+	}
+	return &View{dist: dist, halo: halo, words: words}, nil
+}
+
+// EncodeRegion serializes a section region.
+func (l *Lib) EncodeRegion(r core.Region) []byte {
+	sec, ok := r.(gidx.Section)
+	if !ok {
+		panic(fmt.Sprintf("%s: encoding region of type %T", l.name, r))
+	}
+	var w codec.Writer
+	w.PutInts(sec.Lo)
+	w.PutInts(sec.Hi)
+	w.PutInts(sec.Step)
+	return w.Bytes()
+}
+
+// DecodeRegion deserializes a section region.
+func (l *Lib) DecodeRegion(data []byte) (core.Region, error) {
+	r := codec.NewReader(data)
+	return gidx.Section{Lo: r.Ints(), Hi: r.Ints(), Step: r.Ints()}, nil
+}
+
+// View is a descriptor-only remote image of a regular distributed
+// array: it dereferences but holds no data.
+type View struct {
+	dist  *distarray.Dist
+	halo  int
+	words int
+}
+
+// ElemWords returns the element width in float64 words.
+func (v *View) ElemWords() int { return v.words }
+
+// Local returns nil: views carry no element storage.
+func (v *View) Local() []float64 { return nil }
+
+// SecDist returns the decoded distribution descriptor.
+func (v *View) SecDist() *distarray.Dist { return v.dist }
+
+// Halo returns the decoded ghost margin width.
+func (v *View) Halo() int { return v.halo }
