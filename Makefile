@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test check bench report
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Formatting + vet + race-detector test run; the gate to pass before
+# sending changes.
+check:
+	sh scripts/check.sh
+
+# Full benchmark suite with -benchmem, recorded as BENCH_<date>.json.
+bench:
+	sh scripts/bench.sh
+
+report:
+	$(GO) run ./cmd/mcreport > EXPERIMENTS.md

@@ -13,7 +13,12 @@ import (
 	"testing"
 
 	"metachaos"
+	"metachaos/internal/core"
+	"metachaos/internal/distarray"
 	"metachaos/internal/exp"
+	"metachaos/internal/gidx"
+	"metachaos/internal/mbparti"
+	"metachaos/internal/mpsim"
 )
 
 func BenchmarkTable1(b *testing.B) {
@@ -170,6 +175,70 @@ func BenchmarkMoveThroughput(b *testing.B) {
 		})
 	}
 	b.ReportMetric(float64(elems), "elems/move")
+}
+
+func BenchmarkMovePack(b *testing.B) {
+	// The executor hot path in isolation: one schedule reused for many
+	// moves, so schedule build cost is amortized away and allocs/op
+	// exposes any per-move allocation in pack/ship/unpack.
+	const moves = 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		metachaos.RunSPMD(metachaos.Ideal(), 4, func(p *metachaos.Proc) {
+			ctx := metachaos.NewCtx(p, p.Comm())
+			src := metachaos.NewHPFArray(metachaos.Block2D(256, 256, 4), p.Rank())
+			dst := metachaos.NewHPFArray(metachaos.Block2D(256, 256, 4), p.Rank())
+			sched, err := metachaos.ComputeSchedule(metachaos.SingleProgram(p.Comm()),
+				&metachaos.Spec{Lib: metachaos.HPF, Obj: src,
+					Set: metachaos.NewSetOfRegions(metachaos.NewSection([]int{0, 0}, []int{128, 256})), Ctx: ctx},
+				&metachaos.Spec{Lib: metachaos.HPF, Obj: dst,
+					Set: metachaos.NewSetOfRegions(metachaos.NewSection([]int{128, 0}, []int{256, 256})), Ctx: ctx},
+				metachaos.Duplication)
+			if err != nil {
+				panic(err)
+			}
+			for m := 0; m < moves; m++ {
+				sched.Move(src, dst)
+			}
+		})
+	}
+	b.ReportMetric(moves, "moves/op")
+}
+
+func BenchmarkMoveOverlap(b *testing.B) {
+	// Block-to-cyclic 1-D redistribution over 8 processes: every process
+	// exchanges a strided lane with every other, the worst case for a
+	// fixed-order executor and the best case for arrival-order unpacking
+	// of overlapped receives.
+	const n = 1 << 15
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mpsim.RunSPMD(mpsim.SP2(), 8, func(p *mpsim.Proc) {
+			ctx := core.NewCtx(p, p.Comm())
+			bdist, err := distarray.NewDist(gidx.Shape{n}, []int{8}, []distarray.Kind{distarray.Block})
+			if err != nil {
+				panic(err)
+			}
+			cdist, err := distarray.NewDist(gidx.Shape{n}, []int{8}, []distarray.Kind{distarray.Cyclic})
+			if err != nil {
+				panic(err)
+			}
+			src := mbparti.MustNewArray(bdist, p.Rank(), 0)
+			dst := mbparti.MustNewArray(cdist, p.Rank(), 0)
+			all := core.NewSetOfRegions(gidx.NewSection([]int{0}, []int{n}))
+			sched, err := core.ComputeSchedule(core.SingleProgram(p.Comm()),
+				&core.Spec{Lib: mbparti.Library, Obj: src, Set: all, Ctx: ctx},
+				&core.Spec{Lib: mbparti.Library, Obj: dst, Set: all, Ctx: ctx},
+				core.Duplication)
+			if err != nil {
+				panic(err)
+			}
+			for m := 0; m < 8; m++ {
+				sched.Move(src, dst)
+			}
+		})
+	}
+	b.ReportMetric(8, "moves/op")
 }
 
 func BenchmarkChaosLookup(b *testing.B) {

@@ -101,6 +101,106 @@ func TestBarePayloadSizeMismatchPanics(t *testing.T) {
 	}
 }
 
+func TestAppendFloat64s(t *testing.T) {
+	// Odd lengths, including empty, and append to a non-empty prefix.
+	for _, n := range []int{0, 1, 3, 7, 17} {
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = float64(i)*1.5 - 3
+		}
+		got := AppendFloat64s(nil, vs)
+		if !reflect.DeepEqual(got, Float64sToBytes(vs)) && n > 0 {
+			t.Errorf("n=%d: AppendFloat64s(nil) != Float64sToBytes", n)
+		}
+		prefix := []byte{0xab, 0xcd}
+		withPrefix := AppendFloat64s(append([]byte(nil), prefix...), vs)
+		if len(withPrefix) != 2+8*n {
+			t.Fatalf("n=%d: appended length %d", n, len(withPrefix))
+		}
+		if withPrefix[0] != 0xab || withPrefix[1] != 0xcd {
+			t.Errorf("n=%d: prefix clobbered", n)
+		}
+		if !reflect.DeepEqual(BytesToFloat64s(withPrefix[2:]), vs) && n > 0 {
+			t.Errorf("n=%d: payload after prefix wrong", n)
+		}
+	}
+}
+
+func TestAppendFloat64sReusesBuffer(t *testing.T) {
+	vs := []float64{1, 2, 3, 4, 5}
+	buf := AppendFloat64s(nil, vs)
+	grown := buf
+	for i := 0; i < 10; i++ {
+		grown = AppendFloat64s(grown[:0], vs)
+	}
+	if &grown[0] != &buf[0] {
+		t.Error("same-size re-encode reallocated the buffer")
+	}
+	if !reflect.DeepEqual(BytesToFloat64s(grown), vs) {
+		t.Errorf("reused-buffer payload: %v", BytesToFloat64s(grown))
+	}
+}
+
+func TestFloat64sInto(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 9} {
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = math.Sqrt(float64(i + 1))
+		}
+		b := Float64sToBytes(vs)
+		dst := make([]float64, n+2) // larger than needed is fine
+		for i := range dst {
+			dst[i] = -99
+		}
+		if got := Float64sInto(dst, b); got != n {
+			t.Fatalf("n=%d: decoded %d values", n, got)
+		}
+		if !reflect.DeepEqual(dst[:n], vs) && n > 0 {
+			t.Errorf("n=%d: decoded %v", n, dst[:n])
+		}
+		if dst[n] != -99 {
+			t.Errorf("n=%d: wrote past the decoded count", n)
+		}
+	}
+}
+
+func TestFloat64sIntoPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"misaligned payload": func() { Float64sInto(make([]float64, 4), make([]byte, 9)) },
+		"short destination":  func() { Float64sInto(make([]float64, 1), make([]byte, 16)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickAppendFloat64sRoundTrip(t *testing.T) {
+	f := func(prefix []float64, vs []float64) bool {
+		buf := AppendFloat64s(nil, prefix)
+		buf = AppendFloat64s(buf, vs)
+		all := append(append([]float64(nil), prefix...), vs...)
+		dst := make([]float64, len(all))
+		if Float64sInto(dst, buf) != len(all) {
+			return false
+		}
+		for i := range all {
+			if math.Float64bits(dst[i]) != math.Float64bits(all[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestQuickFloat64RoundTrip(t *testing.T) {
 	f := func(vs []float64) bool {
 		got := BytesToFloat64s(Float64sToBytes(vs))

@@ -349,10 +349,10 @@ func TestScheduleMessageAggregation(t *testing.T) {
 		before := p.Clock()
 		_ = before
 		sched.Move(src, dst)
-		if p.Rank() == 0 && (len(sched.Sends) != 1 || len(sched.Sends[0].Offsets) != 20) {
+		if p.Rank() == 0 && (len(sched.Sends) != 1 || sched.Sends[0].Len() != 20) {
 			t.Errorf("rank 0 sends: %+v", sched.Sends)
 		}
-		if p.Rank() == 3 && (len(sched.Recvs) != 1 || len(sched.Recvs[0].Offsets) != 20) {
+		if p.Rank() == 3 && (len(sched.Recvs) != 1 || sched.Recvs[0].Len() != 20) {
 			t.Errorf("rank 3 recvs: %+v", sched.Recvs)
 		}
 	})

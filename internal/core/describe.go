@@ -13,14 +13,16 @@ func (s *Schedule) Describe() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "schedule: %d elements of %d word(s)\n", s.elems, s.words)
 	fmt.Fprintf(&b, "  sends: %d lane(s), %d element(s)\n", len(s.Sends), s.SendCount())
-	for _, pl := range s.Sends {
-		fmt.Fprintf(&b, "    -> peer %d: %s\n", pl.Peer, previewOffsets(pl.Offsets))
+	for i := range s.Sends {
+		pl := &s.Sends[i]
+		fmt.Fprintf(&b, "    -> peer %d: %s\n", pl.Peer, previewOffsets(pl.ExpandOffsets()))
 	}
 	fmt.Fprintf(&b, "  recvs: %d lane(s), %d element(s)\n", len(s.Recvs), s.RecvCount())
-	for _, pl := range s.Recvs {
-		fmt.Fprintf(&b, "    <- peer %d: %s\n", pl.Peer, previewOffsets(pl.Offsets))
+	for i := range s.Recvs {
+		pl := &s.Recvs[i]
+		fmt.Fprintf(&b, "    <- peer %d: %s\n", pl.Peer, previewOffsets(pl.ExpandOffsets()))
 	}
-	fmt.Fprintf(&b, "  local: %d element(s)\n", len(s.Local))
+	fmt.Fprintf(&b, "  local: %d element(s) in %d run(s)\n", s.LocalCount(), len(s.Local))
 	return b.String()
 }
 

@@ -36,7 +36,9 @@ func MergeSchedules(scheds ...*Schedule) (*Schedule, error) {
 				m[pl.Peer] = dst
 				*order = append(*order, pl.Peer)
 			}
-			dst.Offsets = append(dst.Offsets, pl.Offsets...)
+			for _, r := range pl.Runs {
+				dst.Runs = appendWholeRun(dst.Runs, r.Start, r.Stride, r.Count)
+			}
 		}
 	}
 	for i, s := range scheds {
@@ -53,7 +55,9 @@ func MergeSchedules(scheds ...*Schedule) (*Schedule, error) {
 		merged.elems += s.elems
 		appendLanes(s.Sends, sendMap, &sendOrder)
 		appendLanes(s.Recvs, recvMap, &recvOrder)
-		merged.Local = append(merged.Local, s.Local...)
+		for _, lr := range s.Local {
+			merged.Local = appendWholeLocalRun(merged.Local, lr.Src, lr.SrcStride, lr.Dst, lr.DstStride, lr.Count)
+		}
 	}
 	for _, peer := range sendOrder {
 		merged.Sends = append(merged.Sends, *sendMap[peer])

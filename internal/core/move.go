@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"metachaos/internal/codec"
+	"metachaos/internal/mpsim"
 )
 
 // Data movement: executing a communication schedule.  Meta-Chaos packs
@@ -12,6 +13,15 @@ import (
 // message set a hand-crafted exchange would use — and copies
 // same-process elements directly between the two objects' storage
 // without staging.
+//
+// The executor is run-compressed and overlapped: offsets are stored as
+// arithmetic runs (runs.go), so a stride-1 run packs or unpacks as one
+// bulk copy instead of per-element scalar copies; every receive is
+// posted before the first send so messages flow straight into pending
+// requests; local copies proceed while messages are in flight; and
+// incoming lanes are unpacked in arrival order (mpsim.Waitany) rather
+// than fixed peer order.  Pack and unpack buffers are cached on the
+// Schedule, so a reused schedule moves data without allocating.
 
 // Move copies data from srcObj's SetOfRegions to dstObj's inside a
 // single program; every process of the program calls it with both
@@ -79,10 +89,45 @@ func (s *Schedule) move(srcObj, dstObj DistObject, reverse bool) {
 	s.moveOp(srcObj, dstObj, reverse, opCopy)
 }
 
+// tagMoveSpan is how many consecutive moves get distinct tags before
+// the tag space wraps: the whole user tag range above tagMoveBase
+// (mpsim caps user tags at 1<<21).  Per-(source, tag) FIFO ordering
+// makes a wrap harmless only if fewer than tagMoveSpan moves are ever
+// simultaneously in flight between a process pair, which holds by
+// construction since each moveOp drains its receives before returning.
+const tagMoveSpan = (1 << 21) - tagMoveBase
+
+// moveTag maps a move sequence number into the data-move tag space.
+func moveTag(seq int) int { return tagMoveBase + seq%tagMoveSpan }
+
+// checkWords panics when a schedule is executed against an object of
+// the wrong element width.
+func (s *Schedule) checkWords(obj DistObject) {
+	if obj.ElemWords() != s.words {
+		panic(fmt.Sprintf("core: schedule built for %d-word elements used with %d-word object", s.words, obj.ElemWords()))
+	}
+}
+
+// checkRunBounds panics when a run's offsets fall outside the object's
+// local storage, which means the wrong object was passed to Move.
+func checkRunBounds(run Run, local []float64, w int) {
+	lo, hi := run.Start, run.Last()
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if lo < 0 || int(hi)*w+w > len(local) {
+		bad := run.Start
+		if int(hi)*w+w > len(local) {
+			bad = hi
+		}
+		panic(fmt.Sprintf("core: schedule offset %d outside local storage of %d elements; wrong object passed to Move?", bad, len(local)/max(w, 1)))
+	}
+}
+
 func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) {
 	seq := s.moveSeq
 	s.moveSeq++
-	tag := tagMoveBase + seq%1024
+	tag := moveTag(seq)
 	p := s.union.Proc()
 	w := s.words
 
@@ -93,36 +138,146 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) {
 		packObj, unpackObj = dstObj, srcObj
 	}
 
-	if packObj != nil {
-		if packObj.ElemWords() != w {
-			panic(fmt.Sprintf("core: schedule built for %d-word elements used with %d-word object", w, packObj.ElemWords()))
+	// Post every receive before the first send so arriving messages
+	// match pending requests immediately.
+	reqs := s.reqs[:0]
+	if unpackObj != nil {
+		s.checkWords(unpackObj)
+		for i := range recvs {
+			reqs = append(reqs, s.union.Irecv(recvs[i].Peer, tag))
 		}
+	}
+	s.reqs = reqs
+
+	if packObj != nil {
+		s.checkWords(packObj)
 		local := packObj.Local()
+		buf := s.packBuf
 		for i := range sends {
 			pl := &sends[i]
-			buf := make([]float64, w*len(pl.Offsets))
-			for t, off := range pl.Offsets {
-				o := int(off) * w
-				if o+w > len(local) {
-					panic(fmt.Sprintf("core: schedule offset %d outside local storage of %d elements; wrong object passed to Move?", off, len(local)/max(w, 1)))
-				}
-				copy(buf[t*w:(t+1)*w], local[o:o+w])
+			buf = buf[:0]
+			for _, run := range pl.Runs {
+				buf = packRun(buf, local, run, w)
 			}
-			p.ChargeMemOps(len(pl.Offsets))
-			s.union.Send(pl.Peer, tag, codec.Float64sToBytes(buf))
+			p.ChargeMemOps(pl.Len())
+			// Isend is buffered (the payload is copied), so one pack
+			// buffer serves every lane and the next move.
+			s.union.Isend(pl.Peer, tag, buf)
 		}
+		s.packBuf = buf
 	}
 
 	// Same-process elements: direct storage-to-storage copy, no message
-	// and no staging buffer.
+	// and no staging buffer, overlapped with the messages in flight.
 	if len(s.Local) > 0 && srcObj != nil && dstObj != nil {
-		from, to := srcObj.Local(), dstObj.Local()
-		for _, pair := range s.Local {
-			a, b := int(pair.Src)*w, int(pair.Dst)*w
+		s.moveLocal(srcObj, dstObj, reverse, op)
+	}
+
+	if unpackObj != nil {
+		local := unpackObj.Local()
+		for done := 0; done < len(reqs); done++ {
+			i := mpsim.Waitany(reqs)
+			if i < 0 {
+				panic("core: move receive request lost")
+			}
+			data, _ := reqs[i].Wait()
+			pl := &recvs[i]
+			n := pl.Len()
+			if len(data) != 8*w*n {
+				panic(fmt.Sprintf("core: move message carries %d words, schedule expects %d", len(data)/8, w*n))
+			}
+			vals := s.valsScratch(w * n)
+			codec.Float64sInto(vals, data)
+			unpackLanes(local, vals, pl.Runs, w, op)
+			p.ChargeMemOps(n)
+			if op == opAdd {
+				p.ChargeFlops(w * n)
+			}
+		}
+	}
+}
+
+// packRun appends the run's elements to buf in wire encoding; a
+// stride-1 run of k w-word elements is one bulk append instead of k
+// scalar copies.
+func packRun(buf []byte, local []float64, run Run, w int) []byte {
+	checkRunBounds(run, local, w)
+	if run.Stride == 1 {
+		o := int(run.Start) * w
+		return codec.AppendFloat64s(buf, local[o:o+int(run.Count)*w])
+	}
+	for k := int32(0); k < run.Count; k++ {
+		o := int(run.At(k)) * w
+		buf = codec.AppendFloat64s(buf, local[o:o+w])
+	}
+	return buf
+}
+
+// unpackLanes scatters a decoded payload into local storage run by
+// run, with bulk copies (or fused add loops) for stride-1 runs.
+func unpackLanes(local, vals []float64, runs []Run, w, op int) {
+	t := 0
+	for _, run := range runs {
+		checkRunBounds(run, local, w)
+		if run.Stride == 1 {
+			o := int(run.Start) * w
+			n := int(run.Count) * w
+			if op == opAdd {
+				dst, src := local[o:o+n], vals[t:t+n]
+				for k := range dst {
+					dst[k] += src[k]
+				}
+			} else {
+				copy(local[o:o+n], vals[t:t+n])
+			}
+			t += n
+			continue
+		}
+		for k := int32(0); k < run.Count; k++ {
+			o := int(run.At(k)) * w
+			if op == opAdd {
+				for j := 0; j < w; j++ {
+					local[o+j] += vals[t+j]
+				}
+			} else {
+				copy(local[o:o+w], vals[t:t+w])
+			}
+			t += w
+		}
+	}
+}
+
+// moveLocal executes the same-process runs, with bulk copies when both
+// sides are contiguous.
+func (s *Schedule) moveLocal(srcObj, dstObj DistObject, reverse bool, op int) {
+	p := s.union.Proc()
+	w := s.words
+	from, to := srcObj.Local(), dstObj.Local()
+	elems := 0
+	for _, lr := range s.Local {
+		elems += int(lr.Count)
+		if lr.SrcStride == 1 && lr.DstStride == 1 {
+			a, b, n := int(lr.Src)*w, int(lr.Dst)*w, int(lr.Count)*w
 			switch {
 			case op == opAdd:
-				for k := 0; k < w; k++ {
-					to[b+k] += from[a+k]
+				dst, src := to[b:b+n], from[a:a+n]
+				for k := range dst {
+					dst[k] += src[k]
+				}
+			case reverse:
+				copy(from[a:a+n], to[b:b+n])
+			default:
+				copy(to[b:b+n], from[a:a+n])
+			}
+			continue
+		}
+		for k := int32(0); k < lr.Count; k++ {
+			a := int(lr.Src+k*lr.SrcStride) * w
+			b := int(lr.Dst+k*lr.DstStride) * w
+			switch {
+			case op == opAdd:
+				for j := 0; j < w; j++ {
+					to[b+j] += from[a+j]
 				}
 			case reverse:
 				copy(from[a:a+w], to[b:b+w])
@@ -130,42 +285,20 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) {
 				copy(to[b:b+w], from[a:a+w])
 			}
 		}
-		p.ChargeMemOps(2 * len(s.Local))
-		p.ChargeCopy(8 * w * len(s.Local))
-		if op == opAdd {
-			p.ChargeFlops(w * len(s.Local))
-		}
 	}
+	p.ChargeMemOps(2 * elems)
+	p.ChargeCopy(8 * w * elems)
+	if op == opAdd {
+		p.ChargeFlops(w * elems)
+	}
+}
 
-	if unpackObj != nil {
-		if unpackObj.ElemWords() != w {
-			panic(fmt.Sprintf("core: schedule built for %d-word elements used with %d-word object", w, unpackObj.ElemWords()))
-		}
-		local := unpackObj.Local()
-		for i := range recvs {
-			pl := &recvs[i]
-			data, _ := s.union.Recv(pl.Peer, tag)
-			vals := codec.BytesToFloat64s(data)
-			if len(vals) != w*len(pl.Offsets) {
-				panic(fmt.Sprintf("core: move message carries %d words, schedule expects %d", len(vals), w*len(pl.Offsets)))
-			}
-			for t, off := range pl.Offsets {
-				o := int(off) * w
-				if o+w > len(local) {
-					panic(fmt.Sprintf("core: schedule offset %d outside local storage of %d elements; wrong object passed to Move?", off, len(local)/max(w, 1)))
-				}
-				if op == opAdd {
-					for k := 0; k < w; k++ {
-						local[o+k] += vals[t*w+k]
-					}
-				} else {
-					copy(local[o:o+w], vals[t*w:(t+1)*w])
-				}
-			}
-			p.ChargeMemOps(len(pl.Offsets))
-			if op == opAdd {
-				p.ChargeFlops(w * len(pl.Offsets))
-			}
-		}
+// valsScratch returns the schedule's reusable unpack buffer sized to n
+// words.
+func (s *Schedule) valsScratch(n int) []float64 {
+	if cap(s.recvVals) < n {
+		s.recvVals = make([]float64, n)
 	}
+	s.recvVals = s.recvVals[:n]
+	return s.recvVals
 }

@@ -60,28 +60,37 @@ func encodePairs(w *codec.Writer, as, bs []int32) {
 	flushLits(n)
 }
 
-// decodePairs reads a stream written by encodePairs, calling f for
-// every pair in order.
-func decodePairs(r *codec.Reader, f func(a, b int32)) {
+// decodePairsRuns reads a stream written by encodePairs, calling lit
+// for every literal pair and run once per arithmetic-run token — the
+// entry point for consumers that keep the run structure (schedule
+// assembly appends a whole wire run as one in-memory Run).
+func decodePairsRuns(r *codec.Reader, lit func(a, b int32), run func(a0, da, b0, db, count int32)) {
 	total := int(r.Int32())
 	seen := 0
 	for seen < total {
 		h := r.Int32()
 		if h > 0 {
 			for k := int32(0); k < h; k++ {
-				f(r.Int32(), r.Int32())
+				lit(r.Int32(), r.Int32())
 			}
 			seen += int(h)
 			continue
 		}
-		count := int(-h)
 		a0, da := r.Int32(), r.Int32()
 		b0, db := r.Int32(), r.Int32()
-		for k := int32(0); k < int32(count); k++ {
+		run(a0, da, b0, db, -h)
+		seen += int(-h)
+	}
+}
+
+// decodePairs reads a stream written by encodePairs, calling f for
+// every pair in order.
+func decodePairs(r *codec.Reader, f func(a, b int32)) {
+	decodePairsRuns(r, f, func(a0, da, b0, db, count int32) {
+		for k := int32(0); k < count; k++ {
 			f(a0+k*da, b0+k*db)
 		}
-		seen += count
-	}
+	})
 }
 
 // encodeInts and decodeInts are the single-array forms.

@@ -1,0 +1,140 @@
+package core
+
+// Arithmetic-run representation of schedule element lists.  The
+// cooperation wire format (rle.go) already compresses offset lists into
+// runs for transport; this file keeps that structure alive in memory:
+// PeerList and the local-copy list store maximal (start, stride, count)
+// progressions instead of expanded []int32 offsets, so a regular
+// section transfer costs a handful of runs per peer no matter how many
+// elements it moves, ScheduleCache entries stay small, and the executor
+// (move.go) can pack and unpack whole runs with bulk copies.
+
+// Run is an arithmetic progression of element offsets: Start,
+// Start+Stride, ..., Count elements in total.  A singleton has Count 1
+// and Stride 0.
+type Run struct {
+	Start  int32
+	Stride int32
+	Count  int32
+}
+
+// At returns the k-th offset of the run.
+func (r Run) At(k int32) int32 { return r.Start + k*r.Stride }
+
+// Last returns the final offset of the run.
+func (r Run) Last() int32 { return r.Start + (r.Count-1)*r.Stride }
+
+// appendOffsetRun extends runs with one more offset, coalescing
+// arithmetic progressions online.  When a two-element run fails to
+// extend, its second element is demoted into a fresh progression with
+// the incoming offset, so a literal followed by a long run ("0, 10, 11,
+// 12, ...") still compresses to two runs.
+func appendOffsetRun(runs []Run, off int32) []Run {
+	if n := len(runs); n > 0 {
+		last := &runs[n-1]
+		switch {
+		case last.Count == 1:
+			last.Stride = off - last.Start
+			last.Count = 2
+			return runs
+		case off == last.Start+last.Stride*last.Count:
+			last.Count++
+			return runs
+		case last.Count == 2:
+			second := last.Start + last.Stride
+			last.Stride, last.Count = 0, 1
+			return append(runs, Run{Start: second, Stride: off - second, Count: 2})
+		}
+	}
+	return append(runs, Run{Start: off, Count: 1})
+}
+
+// appendWholeRun appends a complete progression (as decoded from a wire
+// run token) in O(1), fusing it with the tail when the progressions
+// line up.
+func appendWholeRun(runs []Run, start, stride, count int32) []Run {
+	if count <= 0 {
+		return runs
+	}
+	if count == 1 {
+		return appendOffsetRun(runs, start)
+	}
+	if n := len(runs); n > 0 {
+		last := &runs[n-1]
+		switch {
+		case last.Count == 1 && start-last.Start == stride:
+			last.Stride = stride
+			last.Count = 1 + count
+			return runs
+		case last.Count > 1 && last.Stride == stride && start == last.Start+stride*last.Count:
+			last.Count += count
+			return runs
+		}
+	}
+	return append(runs, Run{Start: start, Stride: stride, Count: count})
+}
+
+// runsLen sums the element counts of a run list.
+func runsLen(runs []Run) int {
+	n := 0
+	for _, r := range runs {
+		n += int(r.Count)
+	}
+	return n
+}
+
+// LocalRun is a run of same-process element copies: the k-th pair is
+// (Src + k*SrcStride, Dst + k*DstStride).
+type LocalRun struct {
+	Src, Dst             int32
+	SrcStride, DstStride int32
+	Count                int32
+}
+
+// appendLocalRun extends runs with one more (src, dst) pair, with the
+// same online coalescing as appendOffsetRun applied to both sides.
+func appendLocalRun(runs []LocalRun, src, dst int32) []LocalRun {
+	if n := len(runs); n > 0 {
+		last := &runs[n-1]
+		switch {
+		case last.Count == 1:
+			last.SrcStride = src - last.Src
+			last.DstStride = dst - last.Dst
+			last.Count = 2
+			return runs
+		case src == last.Src+last.SrcStride*last.Count && dst == last.Dst+last.DstStride*last.Count:
+			last.Count++
+			return runs
+		case last.Count == 2:
+			s2, d2 := last.Src+last.SrcStride, last.Dst+last.DstStride
+			last.SrcStride, last.DstStride, last.Count = 0, 0, 1
+			return append(runs, LocalRun{Src: s2, Dst: d2, SrcStride: src - s2, DstStride: dst - d2, Count: 2})
+		}
+	}
+	return append(runs, LocalRun{Src: src, Dst: dst, Count: 1})
+}
+
+// appendWholeLocalRun appends a complete pair progression in O(1),
+// fusing with the tail when both sides line up.
+func appendWholeLocalRun(runs []LocalRun, src, srcStride, dst, dstStride, count int32) []LocalRun {
+	if count <= 0 {
+		return runs
+	}
+	if count == 1 {
+		return appendLocalRun(runs, src, dst)
+	}
+	if n := len(runs); n > 0 {
+		last := &runs[n-1]
+		switch {
+		case last.Count == 1 && src-last.Src == srcStride && dst-last.Dst == dstStride:
+			last.SrcStride, last.DstStride = srcStride, dstStride
+			last.Count = 1 + count
+			return runs
+		case last.Count > 1 && last.SrcStride == srcStride && last.DstStride == dstStride &&
+			src == last.Src+srcStride*last.Count && dst == last.Dst+dstStride*last.Count:
+			last.Count += count
+			return runs
+		}
+	}
+	return append(runs, LocalRun{Src: src, Dst: dst, SrcStride: srcStride, DstStride: dstStride, Count: count})
+}

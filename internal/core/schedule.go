@@ -48,19 +48,36 @@ type Spec struct {
 
 // PeerList is one aggregated message lane of a schedule: the peer's
 // union-communicator rank and the local element offsets to pack (for a
-// send) or unpack (for a receive), in linearization-position order.
-// Both endpoints hold offsets for the same position sequence, which is
-// what makes the packed buffers line up.
+// send) or unpack (for a receive), in linearization-position order and
+// run-compressed (see runs.go).  Both endpoints hold offsets for the
+// same position sequence, which is what makes the packed buffers line
+// up.
 type PeerList struct {
-	Peer    int
-	Offsets []int32
+	Peer int
+	Runs []Run
 }
 
-// LocalPair is an element whose source and destination live on the same
-// process; Meta-Chaos copies it directly without a message (the paper
-// notes this beats Multiblock Parti's staging buffer on local copies).
-type LocalPair struct {
-	Src, Dst int32
+// Len returns the number of elements in the lane.
+func (pl *PeerList) Len() int { return runsLen(pl.Runs) }
+
+// Append adds one offset to the lane, coalescing runs.
+func (pl *PeerList) Append(off int32) { pl.Runs = appendOffsetRun(pl.Runs, off) }
+
+// Each calls f for every offset of the lane in packing order.
+func (pl *PeerList) Each(f func(off int32)) {
+	for _, r := range pl.Runs {
+		for k := int32(0); k < r.Count; k++ {
+			f(r.At(k))
+		}
+	}
+}
+
+// ExpandOffsets materializes the lane's offsets as a fresh slice, for
+// debugging and reference executors; the hot paths work on Runs.
+func (pl *PeerList) ExpandOffsets() []int32 {
+	out := make([]int32, 0, pl.Len())
+	pl.Each(func(off int32) { out = append(out, off) })
+	return out
 }
 
 // Schedule is one process's portion of a communication schedule.  It is
@@ -74,9 +91,30 @@ type Schedule struct {
 
 	Sends []PeerList
 	Recvs []PeerList
-	Local []LocalPair
+	Local []LocalRun
 
 	moveSeq int
+
+	// Executor scratch, cached across moves so a reused schedule packs,
+	// ships and unpacks without allocating (see move.go).  A Schedule is
+	// per-process state and moves are collective, so no locking.
+	packBuf  []byte
+	recvVals []float64
+	reqs     []*mpsim.Request
+}
+
+// appendLocal records one same-process (src, dst) element pair,
+// coalescing runs.
+func (s *Schedule) appendLocal(src, dst int32) { s.Local = appendLocalRun(s.Local, src, dst) }
+
+// EachLocal calls f for every same-process (src, dst) element pair in
+// schedule order.
+func (s *Schedule) EachLocal(f func(src, dst int32)) {
+	for _, lr := range s.Local {
+		for k := int32(0); k < lr.Count; k++ {
+			f(lr.Src+k*lr.SrcStride, lr.Dst+k*lr.DstStride)
+		}
+	}
 }
 
 // Elems returns the total number of elements the schedule transfers
@@ -91,7 +129,7 @@ func (s *Schedule) ElemWords() int { return s.words }
 func (s *Schedule) SendCount() int {
 	n := 0
 	for _, pl := range s.Sends {
-		n += len(pl.Offsets)
+		n += pl.Len()
 	}
 	return n
 }
@@ -101,14 +139,35 @@ func (s *Schedule) SendCount() int {
 func (s *Schedule) RecvCount() int {
 	n := 0
 	for _, pl := range s.Recvs {
-		n += len(pl.Offsets)
+		n += pl.Len()
 	}
 	return n
 }
 
 // LocalCount returns the number of elements this process copies
 // locally.
-func (s *Schedule) LocalCount() int { return len(s.Local) }
+func (s *Schedule) LocalCount() int {
+	n := 0
+	for _, lr := range s.Local {
+		n += int(lr.Count)
+	}
+	return n
+}
+
+// RunCount returns the total number of stored runs across the send,
+// receive and local lists — the schedule's in-memory footprint in
+// list entries (a regular transfer keeps this tiny no matter how many
+// elements move, which is what makes ScheduleCache entries cheap).
+func (s *Schedule) RunCount() int {
+	n := len(s.Local)
+	for _, pl := range s.Sends {
+		n += len(pl.Runs)
+	}
+	for _, pl := range s.Recvs {
+		n += len(pl.Runs)
+	}
+	return n
+}
 
 // tagMoveBase is the tag space data-move messages use; kept below
 // mpsim's user tag cap and away from library-internal tags.
@@ -301,32 +360,54 @@ func buildCooperation(c *Coupling, src, dst *Spec, sched *Schedule) {
 	recvMap := map[int]*PeerList{}
 	var sendOrder, recvOrder []int
 	total := 0
-	appendTo := func(m map[int]*PeerList, order *[]int, peer int, off int32) {
+	laneOf := func(m map[int]*PeerList, order *[]int, peer int) *PeerList {
 		pl := m[peer]
 		if pl == nil {
 			pl = &PeerList{Peer: peer}
 			m[peer] = pl
 			*order = append(*order, peer)
 		}
-		pl.Offsets = append(pl.Offsets, off)
+		return pl
+	}
+	// Wire run tokens become in-memory runs directly: a (peer, offset)
+	// run with constant peer lands as one Run on that peer's lane, so a
+	// regular transfer never expands to per-element lists at any point
+	// between dereference and execution.
+	laneLit := func(m map[int]*PeerList, order *[]int) func(peer, off int32) {
+		return func(peer, off int32) {
+			laneOf(m, order, int(peer)).Append(off)
+			total++
+		}
+	}
+	laneRun := func(m map[int]*PeerList, order *[]int) func(p0, dp, o0, do, count int32) {
+		return func(p0, dp, o0, do, count int32) {
+			if dp == 0 {
+				pl := laneOf(m, order, int(p0))
+				pl.Runs = appendWholeRun(pl.Runs, o0, do, count)
+			} else {
+				for k := int32(0); k < count; k++ {
+					laneOf(m, order, int(p0+k*dp)).Append(o0 + k*do)
+				}
+			}
+			total += int(count)
+		}
 	}
 	for _, part := range mine {
 		if len(part) == 0 {
 			continue
 		}
 		r := codec.NewReader(part)
-		decodePairs(r, func(peer, off int32) {
-			appendTo(sendMap, &sendOrder, int(peer), off)
-			total++
-		})
-		decodePairs(r, func(peer, off int32) {
-			appendTo(recvMap, &recvOrder, int(peer), off)
-			total++
-		})
-		decodePairs(r, func(so, do int32) {
-			sched.Local = append(sched.Local, LocalPair{Src: so, Dst: do})
-			total++
-		})
+		decodePairsRuns(r, laneLit(sendMap, &sendOrder), laneRun(sendMap, &sendOrder))
+		decodePairsRuns(r, laneLit(recvMap, &recvOrder), laneRun(recvMap, &recvOrder))
+		decodePairsRuns(r,
+			func(so, do int32) {
+				sched.appendLocal(so, do)
+				total++
+			},
+			func(s0, ds, d0, dd, count int32) {
+				sched.Local = appendWholeLocalRun(sched.Local, s0, ds, d0, dd, count)
+				total += int(count)
+			})
 	}
 	var p *mpsim.Proc
 	if src != nil {
@@ -383,7 +464,7 @@ func buildDuplication(c *Coupling, src, dst *Spec, sched *Schedule) error {
 		for i, pl := range owned {
 			dU := c.DstRanks[dLocs[i].Proc]
 			if dU == myUnion {
-				sched.Local = append(sched.Local, LocalPair{Src: pl.Off, Dst: dLocs[i].Off})
+				sched.appendLocal(pl.Off, dLocs[i].Off)
 				continue
 			}
 			l := sendMap[dU]
@@ -392,7 +473,7 @@ func buildDuplication(c *Coupling, src, dst *Spec, sched *Schedule) error {
 				sendMap[dU] = l
 				order = append(order, dU)
 			}
-			l.Offsets = append(l.Offsets, pl.Off)
+			l.Append(pl.Off)
 		}
 		for _, peer := range order {
 			sched.Sends = append(sched.Sends, *sendMap[peer])
@@ -421,7 +502,7 @@ func buildDuplication(c *Coupling, src, dst *Spec, sched *Schedule) error {
 				recvMap[sU] = l
 				order = append(order, sU)
 			}
-			l.Offsets = append(l.Offsets, pl.Off)
+			l.Append(pl.Off)
 		}
 		for _, peer := range order {
 			sched.Recvs = append(sched.Recvs, *recvMap[peer])

@@ -67,23 +67,25 @@ func AblationAggregation() *Table {
 // message, reusing the schedule's routing but none of its batching.
 func unaggregatedMove(p *mpsim.Proc, comm *mpsim.Comm, s *core.Schedule, src, dst *mbparti.Array) {
 	const tag = 0x6000
-	for _, pl := range s.Sends {
-		for _, off := range pl.Offsets {
+	for i := range s.Sends {
+		pl := &s.Sends[i]
+		pl.Each(func(off int32) {
 			p.ChargeMemOps(1)
 			comm.Send(pl.Peer, tag, codec.Float64sToBytes(src.Local()[off:off+1]))
-		}
+		})
 	}
-	for _, pair := range s.Local {
-		dst.Local()[pair.Dst] = src.Local()[pair.Src]
-	}
-	p.ChargeMemOps(2 * len(s.Local))
-	p.ChargeCopy(8 * len(s.Local))
-	for _, pl := range s.Recvs {
-		for _, off := range pl.Offsets {
+	s.EachLocal(func(so, do int32) {
+		dst.Local()[do] = src.Local()[so]
+	})
+	p.ChargeMemOps(2 * s.LocalCount())
+	p.ChargeCopy(8 * s.LocalCount())
+	for i := range s.Recvs {
+		pl := &s.Recvs[i]
+		pl.Each(func(off int32) {
 			data, _ := comm.Recv(pl.Peer, tag)
 			dst.Local()[off] = codec.BytesToFloat64s(data)[0]
 			p.ChargeMemOps(1)
-		}
+		})
 	}
 }
 

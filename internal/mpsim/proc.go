@@ -43,6 +43,30 @@ type Proc struct {
 	queue   []*message
 	wantSrc int
 	wantTag int
+	// wantsAny is set instead of wantSrc/wantTag while the process is
+	// blocked in recvAny (Waitany over several pending receives).
+	wantsAny []recvWant
+
+	// Waitany scratch, reused across calls.
+	wantBuf []recvWant
+	wantIdx []int
+}
+
+// recvWant is one (world-rank source, wire tag) matcher of a blocked
+// multi-receive.
+type recvWant struct{ src, tag int }
+
+// wantsMsg reports whether a blocked process would accept msg.
+func (p *Proc) wantsMsg(m *message) bool {
+	if p.wantsAny != nil {
+		for _, w := range p.wantsAny {
+			if matches(m, w.src, w.tag) {
+				return true
+			}
+		}
+		return false
+	}
+	return matches(m, p.wantSrc, p.wantTag)
 }
 
 // WorldRank returns the process's rank in the whole simulated machine,
@@ -178,7 +202,7 @@ func (p *Proc) send(to, tag int, data []byte) {
 
 	p.world.record(Event{Time: p.clock, Rank: p.worldRank, Kind: EvSend, Peer: to, Bytes: len(data)})
 	dst.queue = append(dst.queue, msg)
-	if dst.state == stateBlocked && matches(msg, dst.wantSrc, dst.wantTag) {
+	if dst.state == stateBlocked && dst.wantsMsg(msg) {
 		p.world.wake(dst)
 	}
 	p.yield()
@@ -209,6 +233,45 @@ func (p *Proc) recv(from, tag int) ([]byte, int) {
 		p.state = stateBlocked
 		p.world.toSched <- schedEvent{p: p}
 		<-p.resume
+	}
+}
+
+// recvAny blocks until a message matching any entry of wants is
+// available, claims the earliest-arriving match, and returns the index
+// of the matched want plus the payload and source world rank.  Among
+// equal arrival times the earliest-queued message wins, preserving
+// per-(source, tag) FIFO order; claiming in arrival order is what lets
+// an overlapped executor unpack lanes as they land instead of idling
+// on a fixed peer order.
+func (p *Proc) recvAny(wants []recvWant) (int, []byte, int) {
+	for {
+		best, bestWant := -1, -1
+		for i, msg := range p.queue {
+			wi := -1
+			for j, w := range wants {
+				if matches(msg, w.src, w.tag) {
+					wi = j
+					break
+				}
+			}
+			if wi < 0 {
+				continue
+			}
+			if best < 0 || msg.arrival < p.queue[best].arrival {
+				best, bestWant = i, wi
+			}
+		}
+		if best >= 0 {
+			msg := p.queue[best]
+			p.queue = append(p.queue[:best], p.queue[best+1:]...)
+			p.deliver(msg)
+			return bestWant, msg.data, msg.src
+		}
+		p.wantsAny = wants
+		p.state = stateBlocked
+		p.world.toSched <- schedEvent{p: p}
+		<-p.resume
+		p.wantsAny = nil
 	}
 }
 

@@ -26,11 +26,13 @@ type Request struct {
 	wantTag int
 }
 
-// Isend starts a buffered send and returns an immediately completed
-// request (buffered sends never block).
+// Isend starts a buffered send and returns a request that completes
+// without blocking (buffered sends never block); Wait, Test and
+// Waitany all complete it immediately, and Waitany claims it exactly
+// once.
 func (c *Comm) Isend(to, tag int, data []byte) *Request {
 	c.Send(to, tag, data)
-	return &Request{p: c.p, done: true}
+	return &Request{p: c.p}
 }
 
 // Irecv posts a receive for (from, tag).  The message is claimed when
@@ -102,6 +104,57 @@ func WaitAll(reqs ...*Request) {
 		}
 		r.Wait()
 	}
+}
+
+// Waitall completes every request in the slice, claiming receives in
+// arrival order (repeated Waitany) rather than slice order, so one
+// slow peer does not serialize the completion of the others.
+func Waitall(reqs []*Request) {
+	for Waitany(reqs) >= 0 {
+	}
+}
+
+// Waitany blocks until one of the not-yet-completed requests finishes,
+// completes it, and returns its index; it returns -1 when every
+// request is already complete (MPI_Waitany's MPI_UNDEFINED).  Send
+// requests complete immediately (sends are buffered); among pending
+// receives the earliest-arriving matching message is claimed, which is
+// the primitive an overlapped executor uses to unpack messages in
+// arrival order.  All requests must belong to the same process.
+func Waitany(reqs []*Request) int {
+	var p *Proc
+	for i, r := range reqs {
+		if r == nil {
+			panic("mpsim: Waitany on nil request")
+		}
+		if r.done {
+			continue
+		}
+		if !r.isRecv {
+			r.done = true
+			return i
+		}
+		if p == nil {
+			p = r.p
+		} else if r.p != p {
+			panic("mpsim: Waitany over requests of different processes")
+		}
+	}
+	if p == nil {
+		return -1
+	}
+	wants, idx := p.wantBuf[:0], p.wantIdx[:0]
+	for i, r := range reqs {
+		if !r.done && r.isRecv {
+			wants = append(wants, recvWant{src: r.wantSrc, tag: r.wantTag})
+			idx = append(idx, i)
+		}
+	}
+	p.wantBuf, p.wantIdx = wants, idx
+	wi, data, src := p.recvAny(wants)
+	r := reqs[idx[wi]]
+	r.done, r.data, r.src = true, data, src
+	return idx[wi]
 }
 
 // Probe reports whether a message matching (from, tag) is available

@@ -88,6 +88,90 @@ func TestWaitAll(t *testing.T) {
 	})
 }
 
+func TestWaitanyArrivalOrder(t *testing.T) {
+	// Rank 1 computes before sending while rank 2 sends at clock 0, so
+	// rank 2's message arrives first; Waitany must complete its request
+	// first even though rank 1's was posted first.  The tag-6 exchange
+	// makes rank 0 scan only after both data messages are queued.
+	RunSPMD(SP2(), 3, func(p *Proc) {
+		c := p.Comm()
+		switch c.Rank() {
+		case 0:
+			c.Recv(1, 6)
+			c.Recv(2, 6)
+			reqs := []*Request{c.Irecv(1, 7), c.Irecv(2, 7)}
+			first := Waitany(reqs)
+			if first != 1 {
+				t.Errorf("first completion was request %d, want 1 (earliest arrival)", first)
+			}
+			d, src := reqs[first].Wait()
+			if string(d) != "late-posted" || src != 2 {
+				t.Errorf("first payload %q from %d", d, src)
+			}
+			second := Waitany(reqs)
+			if second != 0 {
+				t.Errorf("second completion was request %d, want 0", second)
+			}
+			if Waitany(reqs) != -1 {
+				t.Error("Waitany over completed requests should return -1")
+			}
+		case 1:
+			p.Charge(1.0) // long local work before sending
+			c.Send(0, 7, []byte("slow"))
+			c.Send(0, 6, nil)
+		case 2:
+			c.Send(0, 7, []byte("late-posted"))
+			c.Send(0, 6, nil)
+		}
+	})
+}
+
+func TestWaitallSliceForm(t *testing.T) {
+	RunSPMD(Ideal(), 4, func(p *Proc) {
+		c := p.Comm()
+		if c.Rank() == 0 {
+			reqs := []*Request{
+				c.Isend(1, 8, []byte("out")), // send completes immediately
+				c.Irecv(1, 8),
+				c.Irecv(2, 8),
+				c.Irecv(3, 8),
+			}
+			Waitall(reqs)
+			sum := 0
+			for _, r := range reqs[1:] {
+				d, _ := r.Wait()
+				sum += int(d[0])
+			}
+			if sum != 1+2+3 {
+				t.Errorf("payload sum %d", sum)
+			}
+		} else {
+			if c.Rank() == 1 {
+				c.Recv(0, 8)
+			}
+			c.Send(0, 8, []byte{byte(c.Rank())})
+		}
+	})
+}
+
+func TestWaitanySendCompletesImmediately(t *testing.T) {
+	RunSPMD(Ideal(), 2, func(p *Proc) {
+		c := p.Comm()
+		if c.Rank() == 0 {
+			reqs := []*Request{c.Irecv(1, 9), c.Isend(1, 9, []byte("ping"))}
+			if i := Waitany(reqs); i != 1 {
+				t.Errorf("Waitany picked %d, want the completed send (1)", i)
+			}
+			if i := Waitany(reqs); i != 0 {
+				t.Errorf("Waitany picked %d, want the receive (0)", i)
+			}
+		} else {
+			c.Recv(0, 9)
+			c.Send(0, 9, []byte("pong"))
+		}
+	})
+}
+
 func TestProbe(t *testing.T) {
 	RunSPMD(Ideal(), 2, func(p *Proc) {
 		c := p.Comm()

@@ -246,8 +246,13 @@ func (w *World) panicDeadlock() {
 	var desc []string
 	for _, p := range w.procs {
 		if p.state == stateBlocked {
-			desc = append(desc, fmt.Sprintf("  %s/rank %d waiting for src=%d tag=%d",
-				p.progName, p.worldRank, p.wantSrc, p.wantTag))
+			if p.wantsAny != nil {
+				desc = append(desc, fmt.Sprintf("  %s/rank %d waiting for any of %d posted receives",
+					p.progName, p.worldRank, len(p.wantsAny)))
+			} else {
+				desc = append(desc, fmt.Sprintf("  %s/rank %d waiting for src=%d tag=%d",
+					p.progName, p.worldRank, p.wantSrc, p.wantTag))
+			}
 		}
 	}
 	sort.Strings(desc)

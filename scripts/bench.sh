@@ -1,0 +1,10 @@
+#!/bin/sh
+# Run the benchmark suite with allocation counting and record a dated
+# JSON snapshot (BENCH_<date>.json) via cmd/mcbench.  Extra arguments
+# are passed to `go test` (e.g. -benchtime 5x, -bench 'Move').
+set -eu
+cd "$(dirname "$0")/.."
+
+out="BENCH_$(date +%F).json"
+go test -run '^$' -bench . -benchmem "$@" . | tee /dev/stderr | go run ./cmd/mcbench > "$out"
+echo "wrote $out" >&2

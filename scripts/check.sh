@@ -1,0 +1,16 @@
+#!/bin/sh
+# Repository health gate: formatting, vet, and the full test suite
+# under the race detector.  Run via `make check` or directly.
+set -eu
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go test -race ./...
+echo "check: OK"
