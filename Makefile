@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench report
+.PHONY: build test check chaos bench report
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,11 @@ test:
 # sending changes.
 check:
 	sh scripts/check.sh
+
+# Chaos harness: cross-library sweep + Figure 10 workload under
+# deterministic fault injection (CHAOS_SEED / CHAOS_PROFILE).
+chaos:
+	sh scripts/chaos.sh
 
 # Full benchmark suite with -benchmem, recorded as BENCH_<date>.json.
 bench:

@@ -132,6 +132,13 @@ func BenchmarkAblationRLE(b *testing.B) {
 	}
 }
 
+func BenchmarkAblationReliability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.AblationReliability()
+		b.ReportMetric(t.Rows[1].Values[0]/t.Rows[0].Values[0], "reliable-overhead-x@2")
+	}
+}
+
 // Substrate microbenchmarks: host-side cost of the core machinery.
 
 func BenchmarkScheduleBuildRegular(b *testing.B) {

@@ -88,6 +88,7 @@ them out.`)
 		exp.AblationTTable(),
 		exp.AblationScheduleReuse(),
 		exp.AblationRLE(),
+		exp.AblationReliability(),
 	} {
 		fmt.Printf("### %s\n\n```\n%s```\n\n", t.ID, t.Format())
 	}

@@ -45,6 +45,7 @@ func main() {
 		fmt.Println(render(exp.AblationTTable()))
 		fmt.Println(render(exp.AblationScheduleReuse()))
 		fmt.Println(render(exp.AblationRLE()))
+		fmt.Println(render(exp.AblationReliability()))
 		return
 	}
 

@@ -3,9 +3,14 @@
 // traffic, and the virtual makespan.  It is the quickest way to see
 // what a Meta-Chaos schedule actually puts on the wire.
 //
+// With -fault the run goes over a deterministically faulty network;
+// add -reliable to let the retransmitting transport recover, and the
+// report grows drop/retransmit/duplicate/corruption counters.
+//
 // Usage:
 //
 //	mctrace -workload remap|section|clientserver [-procs N]
+//	mctrace -workload section -fault lossy -seed 7 -reliable
 package main
 
 import (
@@ -18,21 +23,51 @@ import (
 	"metachaos/internal/chaoslib"
 	"metachaos/internal/core"
 	"metachaos/internal/exp"
+	"metachaos/internal/faultsim"
+	"metachaos/internal/mpsim"
 )
 
 func main() {
 	workload := flag.String("workload", "section", "workload to trace: section, remap or clientserver")
 	procs := flag.Int("procs", 4, "process count (per program for clientserver)")
+	fault := flag.String("fault", "none", "fault profile: none, mild, lossy or random")
+	seed := flag.Uint64("seed", 1, "fault profile seed")
+	reliable := flag.Bool("reliable", false, "enable the retransmitting reliable transport")
 	flag.Parse()
+
+	prof, err := faultsim.ByName(*fault, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mctrace: %v\n", err)
+		os.Exit(2)
+	}
+	var inj mpsim.FaultInjector
+	if prof != nil {
+		inj = prof
+	}
+	var rel *mpsim.Reliability
+	if *reliable {
+		rel = &mpsim.Reliability{}
+	}
+	runSPMD := func(nprocs int, body func(p *mpsim.Proc)) *mpsim.Stats {
+		return mpsim.Run(mpsim.Config{
+			Machine:  mpsim.SP2(),
+			Fault:    inj,
+			Reliable: rel,
+			Programs: []mpsim.ProgramSpec{{Name: "spmd", Procs: nprocs, Body: body}},
+		})
+	}
 
 	var stats *metachaos.Stats
 	switch *workload {
 	case "section":
-		stats = traceSection(*procs)
+		stats = traceSection(runSPMD, *procs)
 	case "remap":
-		stats = traceRemap(*procs)
+		stats = traceRemap(runSPMD, *procs)
 	case "clientserver":
-		stats = traceClientServer(*procs)
+		stats = exp.RunClientServerStats(exp.CSConfig{
+			ClientProcs: 1, ServerProcs: *procs, Vectors: 1,
+			Fault: inj, Reliable: *reliable,
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "mctrace: unknown workload %q\n", *workload)
 		os.Exit(2)
@@ -40,10 +75,12 @@ func main() {
 	report(stats)
 }
 
+type runner func(nprocs int, body func(p *mpsim.Proc)) *mpsim.Stats
+
 // traceSection runs a regular section copy between two block arrays.
-func traceSection(nprocs int) *metachaos.Stats {
+func traceSection(run runner, nprocs int) *metachaos.Stats {
 	const n = 64
-	return metachaos.RunSPMD(metachaos.SP2(), nprocs, func(p *metachaos.Proc) {
+	return run(nprocs, func(p *mpsim.Proc) {
 		ctx := metachaos.NewCtx(p, p.Comm())
 		src := metachaos.NewHPFArray(metachaos.Block2D(n, n, nprocs), p.Rank())
 		dst := metachaos.NewHPFArray(metachaos.Block2D(n, n, nprocs), p.Rank())
@@ -62,9 +99,9 @@ func traceSection(nprocs int) *metachaos.Stats {
 }
 
 // traceRemap runs an irregular remap (translation-table traffic).
-func traceRemap(nprocs int) *metachaos.Stats {
+func traceRemap(run runner, nprocs int) *metachaos.Stats {
 	const n = 1024
-	return metachaos.RunSPMD(metachaos.SP2(), nprocs, func(p *metachaos.Proc) {
+	return run(nprocs, func(p *mpsim.Proc) {
 		ctx := core.NewCtx(p, p.Comm())
 		// Stride permutation as the "bad" initial distribution.
 		var mine []int32
@@ -86,12 +123,6 @@ func traceRemap(nprocs int) *metachaos.Stats {
 	})
 }
 
-// traceClientServer runs one vector through the Figure 10 workload
-// via the experiment harness and reports its traffic.
-func traceClientServer(serverProcs int) *metachaos.Stats {
-	return exp.RunClientServerStats(exp.CSConfig{ClientProcs: 1, ServerProcs: serverProcs, Vectors: 1})
-}
-
 func report(st *metachaos.Stats) {
 	fmt.Printf("machine: %s\n", st.Machine)
 	fmt.Printf("virtual makespan: %.3f ms\n", st.MakespanSeconds*1000)
@@ -102,6 +133,16 @@ func report(st *metachaos.Stats) {
 		rs := st.PerRank[r]
 		fmt.Printf("  rank %2d: sent %5d msgs / %8d B   recv %5d msgs / %8d B\n",
 			r, rs.MsgsSent, rs.BytesSent, rs.MsgsRecv, rs.BytesRecv)
+	}
+
+	if st.TotalDrops()+st.TotalRetransmits() > 0 || reliabilityTouched(st) {
+		fmt.Println("\nreliability (per rank):")
+		for r := range st.PerRank {
+			rs := st.PerRank[r]
+			fmt.Printf("  rank %2d: drops %4d  rexmit %4d  dup-disc %4d  corrupt-disc %4d  timeouts %3d  failed-sends %3d\n",
+				r, rs.Drops, rs.Retransmits, rs.DupsDiscarded, rs.CorruptDiscarded, rs.Timeouts, rs.FailedSends)
+		}
+		fmt.Printf("  total: %d drops, %d retransmits\n", st.TotalDrops(), st.TotalRetransmits())
 	}
 
 	fmt.Println("\nmessage matrix (from -> to: msgs/bytes):")
@@ -117,6 +158,23 @@ func report(st *metachaos.Stats) {
 	})
 	for _, k := range keys {
 		ps := st.Pairs[k]
+		if ps.Drops+ps.Retransmits+ps.DupsDiscarded > 0 {
+			fmt.Printf("  %2d -> %2d: %4d msgs %8d B   (drops %d, rexmit %d, dup-disc %d)\n",
+				k.From, k.To, ps.Msgs, ps.Bytes, ps.Drops, ps.Retransmits, ps.DupsDiscarded)
+			continue
+		}
 		fmt.Printf("  %2d -> %2d: %4d msgs %8d B\n", k.From, k.To, ps.Msgs, ps.Bytes)
 	}
+}
+
+// reliabilityTouched reports whether any rank recorded reliability
+// activity (covers runs where everything was clean but discarded).
+func reliabilityTouched(st *metachaos.Stats) bool {
+	for r := range st.PerRank {
+		rs := st.PerRank[r]
+		if rs.Drops+rs.Retransmits+rs.DupsDiscarded+rs.CorruptDiscarded+rs.Timeouts+rs.FailedSends > 0 {
+			return true
+		}
+	}
+	return false
 }

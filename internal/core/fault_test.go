@@ -1,0 +1,311 @@
+package core
+
+import (
+	"testing"
+
+	"metachaos/internal/mpsim"
+)
+
+// coreInjector is a deterministic rate-based injector for core-level
+// fault tests (mirrors the faultsim presets without the import).
+type coreInjector struct {
+	seed                      uint64
+	drop, dup, corrupt, delay float64
+	jitter                    float64
+	calls                     uint64
+	killFrom, killTo          int  // cut link while killed is set; -1 disables
+	killed                    bool // armed by the test body (single-threaded scheduler)
+}
+
+func (s *coreInjector) roll(salt uint64) float64 {
+	z := s.seed ^ s.calls*0x9e3779b97f4a7c15 ^ salt*0xbf58476d1ce4e5b9
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+func (s *coreInjector) Decide(from, to, attempt, bytes int, now float64) mpsim.FaultDecision {
+	s.calls++
+	d := mpsim.FaultDecision{CorruptBit: -1}
+	if s.killed && ((from == s.killFrom && to == s.killTo) || (from == s.killTo && to == s.killFrom)) {
+		d.Drop = true
+		return d
+	}
+	if s.roll(1) < s.drop {
+		d.Drop = true
+		return d
+	}
+	if attempt >= 0 {
+		d.Duplicate = s.roll(2) < s.dup
+		if bytes > 0 && s.roll(3) < s.corrupt {
+			d.CorruptBit = int(uint(s.seed+s.calls) % uint(bytes*8))
+		}
+	}
+	if s.roll(4) < s.delay {
+		d.ExtraDelay = s.jitter * s.roll(5)
+	}
+	return d
+}
+
+// faultyRun runs body with the reliable transport over a lossy network.
+func faultyRun(nprocs int, seed uint64, body func(p *mpsim.Proc)) *mpsim.Stats {
+	return mpsim.Run(mpsim.Config{
+		Machine:  mpsim.SP2(),
+		Fault:    &coreInjector{seed: seed, drop: 0.06, dup: 0.03, corrupt: 0.02, delay: 0.2, jitter: 2e-3, killFrom: -1, killTo: -1},
+		Reliable: &mpsim.Reliability{},
+		Programs: []mpsim.ProgramSpec{{Name: "spmd", Procs: nprocs, Body: body}},
+	})
+}
+
+// A move over a faulty reliable network must produce exactly the data
+// a fault-free move produces, and report the recovery effort.
+func TestMoveUnderFaultsBitIdentical(t *testing.T) {
+	const nprocs, global = 4, 120
+	srcIdx := seqIdx(4, 50, 2)
+	dstIdx := seqIdx(60, 50, 1)
+
+	runOnce := func(faulty bool) ([]float64, MoveResult) {
+		var dstAll []float64
+		var res MoveResult
+		body := func(p *mpsim.Proc) {
+			ctx := NewCtx(p, p.Comm())
+			src := newTestObj(global, nprocs, 2, p.Rank())
+			dst := newTestObj(global, nprocs, 2, p.Rank())
+			src.fillDistinct(1000)
+			sched, err := ComputeSchedule(SingleProgram(p.Comm()),
+				&Spec{Lib: testLib{}, Obj: src, Set: NewSetOfRegions(regions(srcIdx, 3)...), Ctx: ctx},
+				&Spec{Lib: testLib{}, Obj: dst, Set: NewSetOfRegions(regions(dstIdx, 2)...), Ctx: ctx},
+				Cooperation)
+			if err != nil {
+				t.Errorf("ComputeSchedule: %v", err)
+				return
+			}
+			r := sched.Move(src, dst)
+			if p.Rank() == 0 {
+				res = r
+			}
+			all := gatherObj(p.Comm(), dst)
+			if p.Rank() == 0 {
+				dstAll = all
+			}
+		}
+		if faulty {
+			faultyRun(nprocs, 20260806, body)
+		} else {
+			mpsim.RunSPMD(mpsim.SP2(), nprocs, body)
+		}
+		return dstAll, res
+	}
+
+	clean, cleanRes := runOnce(false)
+	faulted, faultRes := runOnce(true)
+	if len(clean) == 0 || len(clean) != len(faulted) {
+		t.Fatalf("gather sizes: clean %d, faulted %d", len(clean), len(faulted))
+	}
+	for i := range clean {
+		if clean[i] != faulted[i] {
+			t.Fatalf("word %d differs under faults: %g vs %g", i, clean[i], faulted[i])
+		}
+	}
+	if !cleanRes.OK() || cleanRes.Retransmits != 0 || cleanRes.PerPeer != nil {
+		t.Errorf("clean run's MoveResult not pristine: %+v", cleanRes)
+	}
+	if !faultRes.OK() {
+		t.Errorf("faulty run degraded unexpectedly: failed peers %v", faultRes.FailedPeers)
+	}
+	if faultRes.PerPeer == nil {
+		t.Error("faulty reliable run reported no per-peer accounting")
+	}
+}
+
+// A schedule reused across many moves under faults must keep producing
+// correct data (sequence spaces, cached buffers and counters all
+// advance move by move).
+func TestScheduleReuseUnderFaults(t *testing.T) {
+	const nprocs, global, iters = 4, 80, 6
+	srcIdx := seqIdx(0, 40, 2)
+	dstIdx := seqIdx(1, 40, 2)
+	st := faultyRun(nprocs, 77, func(p *mpsim.Proc) {
+		ctx := NewCtx(p, p.Comm())
+		src := newTestObj(global, nprocs, 1, p.Rank())
+		dst := newTestObj(global, nprocs, 1, p.Rank())
+		sched, err := ComputeSchedule(SingleProgram(p.Comm()),
+			&Spec{Lib: testLib{}, Obj: src, Set: NewSetOfRegions(regions(srcIdx, 2)...), Ctx: ctx},
+			&Spec{Lib: testLib{}, Obj: dst, Set: NewSetOfRegions(regions(dstIdx, 2)...), Ctx: ctx},
+			Duplication)
+		if err != nil {
+			t.Errorf("ComputeSchedule: %v", err)
+			return
+		}
+		for it := 0; it < iters; it++ {
+			src.fillDistinct(float64(1000 * (it + 1)))
+			if r := sched.Move(src, dst); !r.OK() {
+				t.Errorf("iter %d: move degraded: %v", it, r.FailedPeers)
+				return
+			}
+			srcAll := gatherObj(p.Comm(), src)
+			dstAll := gatherObj(p.Comm(), dst)
+			if p.Rank() == 0 {
+				checkCopy(t, srcAll, dstAll, 1, srcIdx, dstIdx)
+			}
+		}
+	})
+	if st.TotalDrops() == 0 {
+		t.Error("fault injection idle; test exercised nothing")
+	}
+}
+
+// MoveAdd's accumulate semantics must also survive faults (a
+// retransmitted or duplicated message must still be applied exactly
+// once — double-adds would corrupt sums silently).
+func TestMoveAddUnderFaultsExactlyOnce(t *testing.T) {
+	const nprocs, global = 3, 60
+	srcIdx := seqIdx(0, 30, 2)
+	dstIdx := seqIdx(30, 30, 1)
+	faultyRun(nprocs, 4242, func(p *mpsim.Proc) {
+		ctx := NewCtx(p, p.Comm())
+		src := newTestObj(global, nprocs, 1, p.Rank())
+		dst := newTestObj(global, nprocs, 1, p.Rank())
+		src.fillDistinct(100)
+		for i := range dst.data {
+			dst.data[i] = 0.5
+		}
+		sched, err := ComputeSchedule(SingleProgram(p.Comm()),
+			&Spec{Lib: testLib{}, Obj: src, Set: NewSetOfRegions(testRegion(srcIdx)), Ctx: ctx},
+			&Spec{Lib: testLib{}, Obj: dst, Set: NewSetOfRegions(testRegion(dstIdx)), Ctx: ctx},
+			Cooperation)
+		if err != nil {
+			t.Errorf("ComputeSchedule: %v", err)
+			return
+		}
+		sched.MoveAdd(src, dst)
+		srcAll := gatherObj(p.Comm(), src)
+		dstAll := gatherObj(p.Comm(), dst)
+		if p.Rank() == 0 {
+			for k := range srcIdx {
+				want := 0.5 + srcAll[srcIdx[k]]
+				if got := dstAll[dstIdx[k]]; got != want {
+					t.Errorf("element %d: %g, want %g (exactly-once violated)", dstIdx[k], got, want)
+					return
+				}
+			}
+		}
+	})
+}
+
+// When a peer is permanently unreachable, a move with a timeout must
+// degrade gracefully: surviving lanes complete, the dead peer is
+// reported, and the run terminates instead of deadlocking.
+func TestMoveGracefulDegradation(t *testing.T) {
+	const nprocs, global = 3, 60
+	// Interleave the mapping so rank 2's destination block receives
+	// half its elements from rank 0 and half from rank 1: cutting the
+	// 0 -> 2 link then kills one lane while the other survives.
+	srcIdx := seqIdx(0, 40, 1)
+	dstIdx := make([]int32, 40)
+	for k := range dstIdx {
+		if k%2 == 0 {
+			dstIdx[k] = int32(40 + k/2) // rank 2 <- src 0,2,...,38 (ranks 0 and 1)
+		} else {
+			dstIdx[k] = int32(20 + k/2) // rank 1 <- src 1,3,...,39
+		}
+	}
+	var deadReport []int
+	var okElems int
+	// Kill the 0 -> 2 link, but only after the schedule exchange: the
+	// body arms the cut once the schedule is built.
+	inj := &coreInjector{seed: 5, killFrom: 0, killTo: 2}
+	mpsim.Run(mpsim.Config{
+		Machine:  mpsim.SP2(),
+		Fault:    inj,
+		Reliable: &mpsim.Reliability{MaxRetries: 2},
+		Programs: []mpsim.ProgramSpec{{Name: "spmd", Procs: nprocs, Body: func(p *mpsim.Proc) {
+			ctx := NewCtx(p, p.Comm())
+			src := newTestObj(global, nprocs, 1, p.Rank())
+			dst := newTestObj(global, nprocs, 1, p.Rank())
+			src.fillDistinct(7)
+			sched, err := ComputeSchedule(SingleProgram(p.Comm()),
+				&Spec{Lib: testLib{}, Obj: src, Set: NewSetOfRegions(testRegion(srcIdx)), Ctx: ctx},
+				&Spec{Lib: testLib{}, Obj: dst, Set: NewSetOfRegions(testRegion(dstIdx)), Ctx: ctx},
+				Duplication)
+			if err != nil {
+				t.Errorf("ComputeSchedule: %v", err)
+				return
+			}
+			// Schedule exchange done everywhere; now cut the link.
+			// The barrier serializes: no move traffic has been
+			// decided yet when the flag flips.
+			p.Comm().Barrier()
+			inj.killed = true
+			sched.SetMoveTimeout(30) // generous; peer failure should fire first
+			r := sched.Move(src, dst)
+			if p.Rank() == 2 {
+				deadReport = append([]int(nil), r.FailedPeers...)
+				okElems = r.Elems
+			}
+		}}},
+	})
+	if len(deadReport) != 1 || deadReport[0] != 0 {
+		t.Errorf("rank 2 failed peers = %v, want [0]", deadReport)
+	}
+	if okElems == 0 {
+		t.Error("rank 2 completed no lanes; survivors should still deliver")
+	}
+}
+
+// ComputeScheduleReliable must succeed on a faulty-but-reliable
+// network and reject a zero-member policy gracefully.
+func TestComputeScheduleReliable(t *testing.T) {
+	const nprocs, global = 4, 100
+	srcIdx := seqIdx(10, 40, 2)
+	dstIdx := seqIdx(3, 40, 1)
+	st := faultyRun(nprocs, 99, func(p *mpsim.Proc) {
+		ctx := NewCtx(p, p.Comm())
+		src := newTestObj(global, nprocs, 1, p.Rank())
+		dst := newTestObj(global, nprocs, 1, p.Rank())
+		src.fillDistinct(1000)
+		sched, err := ComputeScheduleReliable(SingleProgram(p.Comm()),
+			&Spec{Lib: testLib{}, Obj: src, Set: NewSetOfRegions(regions(srcIdx, 3)...), Ctx: ctx},
+			&Spec{Lib: testLib{}, Obj: dst, Set: NewSetOfRegions(regions(dstIdx, 2)...), Ctx: ctx},
+			Cooperation, RetryPolicy{Attempts: 3, Deadline: 60})
+		if err != nil {
+			t.Errorf("ComputeScheduleReliable: %v", err)
+			return
+		}
+		if r := sched.Move(src, dst); !r.OK() {
+			t.Errorf("move degraded: %v", r.FailedPeers)
+			return
+		}
+		srcAll := gatherObj(p.Comm(), src)
+		dstAll := gatherObj(p.Comm(), dst)
+		if p.Rank() == 0 {
+			checkCopy(t, srcAll, dstAll, 1, srcIdx, dstIdx)
+		}
+	})
+	if st.TotalDrops() == 0 {
+		t.Error("fault injection idle during schedule exchange")
+	}
+}
+
+// The checksum helpers must round-trip and reject corruption.
+func TestChecksumTrailer(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	framed := appendChecksum(append([]byte(nil), payload...))
+	if len(framed) != len(payload)+8 {
+		t.Fatalf("trailer size: %d", len(framed)-len(payload))
+	}
+	body := verifyChecksum(framed, 0)
+	for i := range payload {
+		if body[i] != payload[i] {
+			t.Fatal("verifyChecksum mangled the payload")
+		}
+	}
+	framed[3] ^= 0x10
+	defer func() {
+		if recover() == nil {
+			t.Error("corrupted payload passed verification")
+		}
+	}()
+	verifyChecksum(framed, 0)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"metachaos/internal/codec"
@@ -23,60 +24,100 @@ import (
 // than fixed peer order.  Pack and unpack buffers are cached on the
 // Schedule, so a reused schedule moves data without allocating.
 
+// PeerNet is one peer's network-recovery accounting for a single move
+// on a reliable transport (all counters stay zero on a perfect
+// network).
+type PeerNet struct {
+	// Peer is the peer's union-communicator rank.
+	Peer int
+	// Sent is true for a send lane, false for a receive lane.
+	Sent bool
+	// Retransmits is how many transport retransmissions the lane's
+	// link accrued during the move.  Send-side acks are asynchronous,
+	// so a send lane's count is a lower bound at return time.
+	Retransmits int64
+	// Dups is how many duplicate deliveries the receiving transport
+	// discarded on the lane's link during the move.
+	Dups int64
+}
+
+// MoveResult reports what a move accomplished and what the network
+// cost to accomplish it.  On a perfect network (or with reliability
+// disabled) it is all zeros with nil slices — the fast path allocates
+// nothing.  FailedPeers is non-empty only when the reliable transport
+// declared peers unreachable or the move's deadline expired: the
+// move completed every other lane, and the caller decides how to
+// degrade (the elements of failed lanes keep their previous values).
+type MoveResult struct {
+	// Elems is the number of elements this process unpacked or copied
+	// locally.
+	Elems int
+	// Retransmits and DupsDiscarded total the PerPeer counters.
+	Retransmits   int64
+	DupsDiscarded int64
+	// FailedPeers lists union ranks whose lanes did not complete.
+	FailedPeers []int
+	// PerPeer has one entry per remote lane (reliable transport only).
+	PerPeer []PeerNet
+}
+
+// OK reports whether every lane completed.
+func (r *MoveResult) OK() bool { return len(r.FailedPeers) == 0 }
+
 // Move copies data from srcObj's SetOfRegions to dstObj's inside a
 // single program; every process of the program calls it with both
 // objects.
-func (s *Schedule) Move(srcObj, dstObj DistObject) {
-	s.move(srcObj, dstObj, false)
+func (s *Schedule) Move(srcObj, dstObj DistObject) MoveResult {
+	return s.move(srcObj, dstObj, false)
 }
 
 // MoveReverse copies data destination-to-source using the same
 // schedule, exploiting its symmetry; arguments keep their original
 // roles from ComputeSchedule.
-func (s *Schedule) MoveReverse(srcObj, dstObj DistObject) {
-	s.move(srcObj, dstObj, true)
+func (s *Schedule) MoveReverse(srcObj, dstObj DistObject) MoveResult {
+	return s.move(srcObj, dstObj, true)
 }
 
 // MoveSend is the source program's half of an inter-program copy.
-func (s *Schedule) MoveSend(obj DistObject) {
-	s.move(obj, nil, false)
+func (s *Schedule) MoveSend(obj DistObject) MoveResult {
+	return s.move(obj, nil, false)
 }
 
 // MoveRecv is the destination program's half of an inter-program copy.
-func (s *Schedule) MoveRecv(obj DistObject) {
-	s.move(nil, obj, false)
+func (s *Schedule) MoveRecv(obj DistObject) MoveResult {
+	return s.move(nil, obj, false)
 }
 
 // MoveReverseSend is called by the destination program to send data
 // back to the source program through the same schedule.
-func (s *Schedule) MoveReverseSend(obj DistObject) {
-	s.move(nil, obj, true)
+func (s *Schedule) MoveReverseSend(obj DistObject) MoveResult {
+	return s.move(nil, obj, true)
 }
 
 // MoveReverseRecv is called by the source program to receive data sent
 // with MoveReverseSend.
-func (s *Schedule) MoveReverseRecv(obj DistObject) {
-	s.move(obj, nil, true)
+func (s *Schedule) MoveReverseRecv(obj DistObject) MoveResult {
+	return s.move(obj, nil, true)
 }
 
 // MoveAdd accumulates instead of copying: every destination element
 // gets the matching source element added to it (word-wise).  An
 // extension beyond the paper's copy semantics, for couplings that sum
 // fluxes across an interface.  Single-program form.
-func (s *Schedule) MoveAdd(srcObj, dstObj DistObject) {
-	s.moveOp(srcObj, dstObj, false, opAdd)
+func (s *Schedule) MoveAdd(srcObj, dstObj DistObject) MoveResult {
+	return s.moveOp(srcObj, dstObj, false, opAdd)
 }
 
 // MoveAddSend is the source program's half of an inter-program
 // accumulate.
-func (s *Schedule) MoveAddSend(obj DistObject) {
-	s.moveOp(obj, nil, false, opAdd)
+func (s *Schedule) MoveAddSend(obj DistObject) MoveResult {
+	return s.moveOp(obj, nil, false, opAdd)
 }
 
 // MoveAddRecv is the destination program's half of an inter-program
 // accumulate.
-func (s *Schedule) MoveAddRecv(obj DistObject) {
-	s.moveOp(nil, obj, false, opAdd)
+func (s *Schedule) MoveAddRecv(obj DistObject) MoveResult {
+	return s.moveOp(nil, obj, false, opAdd)
 }
 
 // moveOp codes for the unpack combiner.
@@ -85,8 +126,8 @@ const (
 	opAdd
 )
 
-func (s *Schedule) move(srcObj, dstObj DistObject, reverse bool) {
-	s.moveOp(srcObj, dstObj, reverse, opCopy)
+func (s *Schedule) move(srcObj, dstObj DistObject, reverse bool) MoveResult {
+	return s.moveOp(srcObj, dstObj, reverse, opCopy)
 }
 
 // tagMoveSpan is how many consecutive moves get distinct tags before
@@ -124,18 +165,29 @@ func checkRunBounds(run Run, local []float64, w int) {
 	}
 }
 
-func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) {
+func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveResult {
 	seq := s.moveSeq
 	s.moveSeq++
 	tag := moveTag(seq)
 	p := s.union.Proc()
 	w := s.words
+	var res MoveResult
 
 	sends, recvs := s.Sends, s.Recvs
 	packObj, unpackObj := srcObj, dstObj
 	if reverse {
 		sends, recvs = s.Recvs, s.Sends
 		packObj, unpackObj = dstObj, srcObj
+	}
+
+	// End-to-end robustness on a reliable transport: each lane's
+	// payload carries a trailing checksum verified at unpack time, the
+	// application-level guard behind the transport's own per-packet
+	// checksums, and per-peer network counters are snapshotted around
+	// the move for the result's recovery accounting.
+	rel := p.ReliableTransport()
+	if rel {
+		s.snapshotNet(sends, recvs, packObj != nil, unpackObj != nil)
 	}
 
 	// Post every receive before the first send so arriving messages
@@ -160,6 +212,10 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) {
 				buf = packRun(buf, local, run, w)
 			}
 			p.ChargeMemOps(pl.Len())
+			if rel {
+				buf = appendChecksum(buf)
+				p.ChargeCopy(len(buf))
+			}
 			// Isend is buffered (the payload is copied), so one pack
 			// buffer serves every lane and the next move.
 			s.union.Isend(pl.Peer, tag, buf)
@@ -170,31 +226,186 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) {
 	// Same-process elements: direct storage-to-storage copy, no message
 	// and no staging buffer, overlapped with the messages in flight.
 	if len(s.Local) > 0 && srcObj != nil && dstObj != nil {
-		s.moveLocal(srcObj, dstObj, reverse, op)
+		res.Elems += s.moveLocal(srcObj, dstObj, reverse, op)
 	}
 
 	if unpackObj != nil {
 		local := unpackObj.Local()
-		for done := 0; done < len(reqs); done++ {
-			i := mpsim.Waitany(reqs)
+		for {
+			var i int
+			if rel {
+				var werr error
+				i, werr = mpsim.WaitanyTimeout(reqs, s.timeout)
+				if werr != nil {
+					if !s.cancelFailed(&res, reqs, recvs, werr) {
+						break // deadline expired: pending lanes abandoned
+					}
+					continue // one peer failed; keep draining the others
+				}
+			} else {
+				i = mpsim.Waitany(reqs)
+			}
 			if i < 0 {
-				panic("core: move receive request lost")
+				break
 			}
 			data, _ := reqs[i].Wait()
 			pl := &recvs[i]
 			n := pl.Len()
-			if len(data) != 8*w*n {
+			want := 8 * w * n
+			if rel {
+				p.ChargeCopy(len(data))
+				data = verifyChecksum(data, pl.Peer)
+			}
+			if len(data) != want {
 				panic(fmt.Sprintf("core: move message carries %d words, schedule expects %d", len(data)/8, w*n))
 			}
 			vals := s.valsScratch(w * n)
 			codec.Float64sInto(vals, data)
 			unpackLanes(local, vals, pl.Runs, w, op)
+			res.Elems += n
 			p.ChargeMemOps(n)
 			if op == opAdd {
 				p.ChargeFlops(w * n)
 			}
 		}
 	}
+
+	if rel {
+		s.collectNet(&res, sends, recvs, packObj != nil, unpackObj != nil)
+	}
+	return res
+}
+
+// cancelFailed converts a transport failure during the receive phase
+// into graceful degradation.  It returns true when only an unreachable
+// peer's lanes were cancelled (the caller keeps draining the others)
+// and false on a deadline expiry, which abandons every pending lane.
+func (s *Schedule) cancelFailed(res *MoveResult, reqs []*mpsim.Request, recvs []PeerList, werr error) bool {
+	var ne *mpsim.NetError
+	if errors.As(werr, &ne) && errors.Is(werr, mpsim.ErrPeerUnreachable) && ne.Peer >= 0 {
+		for j := range reqs {
+			if !reqs[j].Done() && s.union.WorldRank(recvs[j].Peer) == ne.Peer {
+				reqs[j].Cancel()
+				res.FailedPeers = append(res.FailedPeers, recvs[j].Peer)
+			}
+		}
+		return true
+	}
+	for j := range reqs {
+		if !reqs[j].Done() {
+			reqs[j].Cancel()
+			res.FailedPeers = append(res.FailedPeers, recvs[j].Peer)
+		}
+	}
+	return false
+}
+
+// snapshotNet records the per-peer network counters before a move, in
+// schedule-cached scratch, so collectNet can report the deltas.
+func (s *Schedule) snapshotNet(sends, recvs []PeerList, packing, unpacking bool) {
+	p := s.union.Proc()
+	me := p.WorldRank()
+	lanes := 0
+	if packing {
+		lanes += len(sends)
+	}
+	if unpacking {
+		lanes += len(recvs)
+	}
+	if cap(s.netBefore) < lanes {
+		s.netBefore = make([]mpsim.PairStats, lanes)
+		s.perPeer = make([]PeerNet, lanes)
+	}
+	s.netBefore = s.netBefore[:0]
+	if packing {
+		for i := range sends {
+			s.netBefore = append(s.netBefore, p.NetPairStats(me, s.union.WorldRank(sends[i].Peer)))
+		}
+	}
+	if unpacking {
+		for i := range recvs {
+			s.netBefore = append(s.netBefore, p.NetPairStats(s.union.WorldRank(recvs[i].Peer), me))
+		}
+	}
+}
+
+// collectNet fills the result's per-peer recovery accounting from the
+// counter deltas since snapshotNet.
+func (s *Schedule) collectNet(res *MoveResult, sends, recvs []PeerList, packing, unpacking bool) {
+	p := s.union.Proc()
+	me := p.WorldRank()
+	out := s.perPeer[:0]
+	k := 0
+	if packing {
+		for i := range sends {
+			after := p.NetPairStats(me, s.union.WorldRank(sends[i].Peer))
+			out = append(out, PeerNet{
+				Peer:        sends[i].Peer,
+				Sent:        true,
+				Retransmits: after.Retransmits - s.netBefore[k].Retransmits,
+				Dups:        after.DupsDiscarded - s.netBefore[k].DupsDiscarded,
+			})
+			k++
+		}
+	}
+	if unpacking {
+		for i := range recvs {
+			after := p.NetPairStats(s.union.WorldRank(recvs[i].Peer), me)
+			out = append(out, PeerNet{
+				Peer:        recvs[i].Peer,
+				Retransmits: after.Retransmits - s.netBefore[k].Retransmits,
+				Dups:        after.DupsDiscarded - s.netBefore[k].DupsDiscarded,
+			})
+			k++
+		}
+	}
+	s.perPeer = out
+	res.PerPeer = out
+	for i := range out {
+		res.Retransmits += out[i].Retransmits
+		res.DupsDiscarded += out[i].Dups
+	}
+}
+
+// appendChecksum appends the payload's 8-byte FNV-1a trailer, the
+// end-to-end integrity guard a move's lanes carry on a reliable
+// transport.
+func appendChecksum(buf []byte) []byte {
+	h := fnv64(buf)
+	return append(buf,
+		byte(h), byte(h>>8), byte(h>>16), byte(h>>24),
+		byte(h>>32), byte(h>>40), byte(h>>48), byte(h>>56))
+}
+
+// verifyChecksum strips and checks the trailer; a mismatch means
+// corruption slipped past the transport, which is a protocol failure
+// worth halting on rather than degrading silently.
+func verifyChecksum(data []byte, peer int) []byte {
+	if len(data) < 8 {
+		panic(fmt.Sprintf("core: move message from peer %d too short for checksum trailer", peer))
+	}
+	body, tr := data[:len(data)-8], data[len(data)-8:]
+	h := uint64(tr[0]) | uint64(tr[1])<<8 | uint64(tr[2])<<16 | uint64(tr[3])<<24 |
+		uint64(tr[4])<<32 | uint64(tr[5])<<40 | uint64(tr[6])<<48 | uint64(tr[7])<<56
+	if fnv64(body) != h {
+		panic(fmt.Sprintf("core: end-to-end checksum mismatch on move payload from peer %d (corruption not caught by transport)", peer))
+	}
+	return body
+}
+
+// fnv64 is FNV-1a, shared with nothing so the hot path stays inlined
+// and allocation-free.
+func fnv64(data []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
 }
 
 // packRun appends the run's elements to buf in wire encoding; a
@@ -248,8 +459,8 @@ func unpackLanes(local, vals []float64, runs []Run, w, op int) {
 }
 
 // moveLocal executes the same-process runs, with bulk copies when both
-// sides are contiguous.
-func (s *Schedule) moveLocal(srcObj, dstObj DistObject, reverse bool, op int) {
+// sides are contiguous, returning the element count.
+func (s *Schedule) moveLocal(srcObj, dstObj DistObject, reverse bool, op int) int {
 	p := s.union.Proc()
 	w := s.words
 	from, to := srcObj.Local(), dstObj.Local()
@@ -291,6 +502,7 @@ func (s *Schedule) moveLocal(srcObj, dstObj DistObject, reverse bool, op int) {
 	if op == opAdd {
 		p.ChargeFlops(w * elems)
 	}
+	return elems
 }
 
 // valsScratch returns the schedule's reusable unpack buffer sized to n

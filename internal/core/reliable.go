@@ -1,0 +1,70 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"metachaos/internal/mpsim"
+)
+
+// Fault-tolerant schedule exchange.  ComputeSchedule is collective and
+// chatty (broadcasts, all-to-alls, library dereference traffic), so on
+// a degraded network a member can stall long enough that the whole
+// coupling should give up and retry rather than wait forever.
+// ComputeScheduleReliable bounds each attempt with a virtual-time
+// deadline and retries with the communicator's collective state
+// resynchronized.
+
+// RetryPolicy bounds a fault-tolerant schedule exchange.
+type RetryPolicy struct {
+	// Attempts is the maximum number of tries (default 3).
+	Attempts int
+	// Deadline is the per-attempt virtual-time budget in seconds;
+	// 0 sets no deadline (transport failures still surface as errors).
+	Deadline float64
+}
+
+// ComputeScheduleReliable is ComputeSchedule with bounded retry under
+// a virtual-time deadline.  Each attempt first realigns the union
+// communicator's collective sequence space (SetCollectiveEpoch), so
+// members whose previous attempt aborted at different points inside a
+// collective can still match messages on the next one.
+//
+// The retry is best-effort, not atomic: if one member's attempt
+// succeeds while another's times out, the members have diverged and
+// the next attempt can only succeed if every member reaches it — the
+// same partial-failure caveat any collective retry protocol carries.
+// Callers that need certainty should follow a successful return with
+// an application-level agreement round.
+func ComputeScheduleReliable(c *Coupling, src, dst *Spec, method Method, pol RetryPolicy) (*Schedule, error) {
+	attempts := pol.Attempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	var p *mpsim.Proc
+	if src != nil {
+		p = src.Ctx.P
+	} else if dst != nil {
+		p = dst.Ctx.P
+	} else {
+		return nil, fmt.Errorf("core: process is in neither side of the transfer")
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		c.Union.SetCollectiveEpoch(a + 1)
+		var sched *Schedule
+		var serr error
+		err := p.WithTimeout(pol.Deadline, func() {
+			sched, serr = ComputeSchedule(c, src, dst, method)
+		})
+		if err == nil {
+			return sched, serr
+		}
+		if !errors.Is(err, mpsim.ErrTimeout) {
+			// Unreachable peers don't heal by retrying the exchange.
+			return nil, fmt.Errorf("core: schedule exchange attempt %d: %w", a+1, err)
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("core: schedule exchange failed after %d attempts: %w", attempts, lastErr)
+}

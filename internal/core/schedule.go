@@ -95,13 +95,29 @@ type Schedule struct {
 
 	moveSeq int
 
+	// timeout bounds each move's receive phase in virtual seconds when
+	// the run uses the reliable transport; 0 means no deadline (moves
+	// still fail fast on peers the transport abandoned).
+	timeout float64
+
 	// Executor scratch, cached across moves so a reused schedule packs,
 	// ships and unpacks without allocating (see move.go).  A Schedule is
 	// per-process state and moves are collective, so no locking.
 	packBuf  []byte
 	recvVals []float64
 	reqs     []*mpsim.Request
+
+	// Reliability-path scratch (untouched when the transport is not
+	// reliable): per-peer network-counter snapshots around a move.
+	netBefore []mpsim.PairStats
+	perPeer   []PeerNet
 }
+
+// SetMoveTimeout bounds every subsequent move's receive phase by d
+// virtual seconds (reliable-transport runs only); peers that miss the
+// deadline are reported in MoveResult.FailedPeers instead of hanging
+// the move.  d = 0 removes the deadline.
+func (s *Schedule) SetMoveTimeout(d float64) { s.timeout = d }
 
 // appendLocal records one same-process (src, dst) element pair,
 // coalescing runs.

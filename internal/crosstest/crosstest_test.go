@@ -368,49 +368,112 @@ func runRandomCopy(t *testing.T, srcKind, dstKind string, method core.Method, n 
 	}
 }
 
-// TestRandomizedReverseMoves checks schedule symmetry across random
-// pairings: a reverse move puts the source's original values back even
-// after the source is wiped.
+// TestRandomizedReverseMoves checks schedule symmetry across all 25
+// library pairings: a reverse move puts the source's original values
+// back even after the source is wiped.
 func TestRandomizedReverseMoves(t *testing.T) {
 	const n = 32
 	for i, srcKind := range kinds {
-		srcKind := srcKind
-		t.Run(srcKind, func(t *testing.T) {
-			seed := int64(1000 + i)
-			var mismatch string
-			mpsim.RunSPMD(mpsim.Ideal(), 3, func(p *mpsim.Proc) {
-				rng := rand.New(rand.NewSource(seed))
-				ctx := core.NewCtx(p, p.Comm())
-				src := buildSide(t, rng, srcKind, ctx, p, n, -1)
-				dst := buildSide(t, rng, "hpf", ctx, p, n, src.set.Size())
-				fill := func(g int32) float64 { return float64(g) + 0.5 }
-				src.fill(fill)
-				sched, err := core.ComputeSchedule(core.SingleProgram(p.Comm()),
-					&core.Spec{Lib: src.lib, Obj: src.obj, Set: src.set, Ctx: ctx},
-					&core.Spec{Lib: dst.lib, Obj: dst.obj, Set: dst.set, Ctx: ctx},
-					core.Cooperation)
-				if err != nil {
-					mismatch = err.Error()
-					return
-				}
-				sched.Move(src.obj, dst.obj)
-				src.fill(func(int32) float64 { return -1 }) // wipe
-				sched.MoveReverse(src.obj, dst.obj)
-				snap := src.snapshot(p.Comm())
-				if p.Rank() != 0 {
-					return
-				}
-				for _, g := range src.elemAt {
-					if snap[g] != fill(g) {
-						mismatch = fmt.Sprintf("element %d restored to %g, want %g", g, snap[g], fill(g))
+		for j, dstKind := range kinds {
+			srcKind, dstKind := srcKind, dstKind
+			method := core.Cooperation
+			if (i+j)%2 == 1 {
+				method = core.Duplication
+			}
+			t.Run(srcKind+"-to-"+dstKind, func(t *testing.T) {
+				seed := int64(1000 + i*len(kinds) + j)
+				var mismatch string
+				mpsim.RunSPMD(mpsim.Ideal(), 3, func(p *mpsim.Proc) {
+					rng := rand.New(rand.NewSource(seed))
+					ctx := core.NewCtx(p, p.Comm())
+					src := buildSide(t, rng, srcKind, ctx, p, n, -1)
+					dst := buildSide(t, rng, dstKind, ctx, p, n, src.set.Size())
+					fill := func(g int32) float64 { return float64(g) + 0.5 }
+					src.fill(fill)
+					sched, err := core.ComputeSchedule(core.SingleProgram(p.Comm()),
+						&core.Spec{Lib: src.lib, Obj: src.obj, Set: src.set, Ctx: ctx},
+						&core.Spec{Lib: dst.lib, Obj: dst.obj, Set: dst.set, Ctx: ctx},
+						method)
+					if err != nil {
+						mismatch = err.Error()
 						return
 					}
+					sched.Move(src.obj, dst.obj)
+					src.fill(func(int32) float64 { return -1 }) // wipe
+					sched.MoveReverse(src.obj, dst.obj)
+					snap := src.snapshot(p.Comm())
+					if p.Rank() != 0 {
+						return
+					}
+					for _, g := range src.elemAt {
+						if snap[g] != fill(g) {
+							mismatch = fmt.Sprintf("element %d restored to %g, want %g", g, snap[g], fill(g))
+							return
+						}
+					}
+				})
+				if mismatch != "" {
+					t.Fatal(mismatch)
 				}
 			})
-			if mismatch != "" {
-				t.Fatal(mismatch)
+		}
+	}
+}
+
+// TestRandomizedMoveAdds checks the accumulate flavour across all 25
+// pairings: after MoveAdd, each selected destination element holds its
+// previous value plus the matching source element.
+func TestRandomizedMoveAdds(t *testing.T) {
+	const n = 32
+	for i, srcKind := range kinds {
+		for j, dstKind := range kinds {
+			srcKind, dstKind := srcKind, dstKind
+			method := core.Cooperation
+			if (i+j)%2 == 0 {
+				method = core.Duplication
 			}
-		})
+			t.Run(srcKind+"-to-"+dstKind, func(t *testing.T) {
+				seed := int64(2000 + i*len(kinds) + j)
+				var mismatch string
+				mpsim.RunSPMD(mpsim.Ideal(), 3, func(p *mpsim.Proc) {
+					rng := rand.New(rand.NewSource(seed))
+					ctx := core.NewCtx(p, p.Comm())
+					src := buildSide(t, rng, srcKind, ctx, p, n, -1)
+					// m >= 0 forces a duplicate-free destination
+					// selection, so each position adds exactly once.
+					dst := buildSide(t, rng, dstKind, ctx, p, n, src.set.Size())
+					f := func(g int32) float64 { return float64(g)*3 + 0.125 }
+					h := func(g int32) float64 { return float64(g)*0.5 + 1000 }
+					src.fill(f)
+					dst.fill(h)
+					sched, err := core.ComputeSchedule(core.SingleProgram(p.Comm()),
+						&core.Spec{Lib: src.lib, Obj: src.obj, Set: src.set, Ctx: ctx},
+						&core.Spec{Lib: dst.lib, Obj: dst.obj, Set: dst.set, Ctx: ctx},
+						method)
+					if err != nil {
+						mismatch = err.Error()
+						return
+					}
+					sched.MoveAdd(src.obj, dst.obj)
+					snap := dst.snapshot(p.Comm())
+					if p.Rank() != 0 {
+						return
+					}
+					for k := range src.elemAt {
+						g := dst.elemAt[k]
+						want := h(g) + f(src.elemAt[k])
+						if snap[g] != want {
+							mismatch = fmt.Sprintf("position %d: dst element %d = %g, want %g",
+								k, g, snap[g], want)
+							return
+						}
+					}
+				})
+				if mismatch != "" {
+					t.Fatal(mismatch)
+				}
+			})
+		}
 	}
 }
 

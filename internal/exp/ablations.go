@@ -135,6 +135,63 @@ func AblationTTable() *Table {
 	}
 }
 
+// AblationReliability quantifies the reliable transport's overhead on
+// a fault-free network: the same section copy executed over the raw
+// transport versus with sequencing, acks and end-to-end checksums
+// enabled but no faults injected.
+func AblationReliability() *Table {
+	procs := []int{2, 4, 8}
+	raw := make([]float64, len(procs))
+	reliable := make([]float64, len(procs))
+	srcSec := gidx.NewSection([]int{0}, []int{8192})
+	dstSec := gidx.NewSection([]int{8192}, []int{16384})
+	run := func(nprocs int, rel *mpsim.Reliability) float64 {
+		var tMove float64
+		mpsim.Run(mpsim.Config{
+			Machine:  mpsim.SP2(),
+			Reliable: rel,
+			Programs: []mpsim.ProgramSpec{{Name: "spmd", Procs: nprocs, Body: func(p *mpsim.Proc) {
+				ctx := core.NewCtx(p, p.Comm())
+				dist, err0 := distarray.NewDist(gidx.Shape{16384}, []int{nprocs}, []distarray.Kind{distarray.Block})
+				if err0 != nil {
+					panic(err0)
+				}
+				src := mbparti.MustNewArray(dist, p.Rank(), 0)
+				dst := mbparti.MustNewArray(dist, p.Rank(), 0)
+				sched, err := core.ComputeSchedule(core.SingleProgram(p.Comm()),
+					&core.Spec{Lib: mbparti.Library, Obj: src, Set: core.NewSetOfRegions(srcSec), Ctx: ctx},
+					&core.Spec{Lib: mbparti.Library, Obj: dst, Set: core.NewSetOfRegions(dstSec), Ctx: ctx},
+					core.Cooperation)
+				if err != nil {
+					panic(err)
+				}
+				tMove = timePhase(p, p.Comm(), func() {
+					for it := 0; it < executorIters; it++ {
+						sched.Move(src, dst)
+					}
+				})
+			}}},
+		})
+		return tMove
+	}
+	for i, nprocs := range procs {
+		raw[i] = ms(run(nprocs, nil))
+		reliable[i] = ms(run(nprocs, &mpsim.Reliability{}))
+	}
+	return &Table{
+		ID:        "Ablation A5",
+		Title:     "Reliable transport overhead on a fault-free network (8192-element section copy, 10 moves)",
+		Unit:      "msec",
+		ColHeader: "processors",
+		Cols:      colLabels(procs),
+		Rows: []Row{
+			{Label: "raw transport", Values: raw},
+			{Label: "reliable (acks + checksums)", Values: reliable},
+		},
+		Notes: []string{"the cost of exactly-once delivery when nothing goes wrong: per-message acks plus an 8-byte checksum trailer per peer payload"},
+	}
+}
+
 // densePerm deals a stride permutation of [0, n) to nprocs processes:
 // a bijection as long as the stride is coprime with n.
 func densePerm(n, nprocs, rank int) []int32 {

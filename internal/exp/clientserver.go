@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"hash/fnv"
+
 	"metachaos/internal/codec"
 	"metachaos/internal/core"
 	"metachaos/internal/distarray"
@@ -29,6 +31,14 @@ type CSConfig struct {
 	ClientProcs int
 	ServerProcs int
 	Vectors     int
+	// Fault, when set, injects network faults into the run; Reliable
+	// enables the retransmitting transport so the coupled programs
+	// still complete (the chaos harness pairs the two).
+	Fault    mpsim.FaultInjector
+	Reliable bool
+	// Fingerprint gathers the final result vector into ResultHash,
+	// at the cost of an extra client-side allgather.
+	Fingerprint bool
 }
 
 // CSBreakdown carries the stacked components of Figures 10-14, in
@@ -39,6 +49,10 @@ type CSBreakdown struct {
 	SendMatrix float64 // ship the matrix to the server
 	Server     float64 // HPF matrix-vector multiply time, all vectors
 	Vector     float64 // vector send/receive time, all vectors
+	// ResultHash fingerprints the final result vector gathered on the
+	// client, so chaos runs can assert bit-identical output against a
+	// fault-free reference.
+	ResultHash uint64
 }
 
 // Total returns the end-to-end time.
@@ -68,15 +82,22 @@ func runClientServer(cfg CSConfig) (CSBreakdown, *mpsim.Stats) {
 	matSec := gidx.FullSection(gidx.Shape{csN, csN})
 	vecSec := gidx.FullSection(gidx.Shape{csN})
 
+	var rel *mpsim.Reliability
+	if cfg.Reliable {
+		rel = &mpsim.Reliability{}
+	}
 	st := mpsim.Run(mpsim.Config{
-		Machine: mpsim.AlphaFarmATM(),
+		Machine:  mpsim.AlphaFarmATM(),
+		Fault:    cfg.Fault,
+		Reliable: rel,
 		Programs: []mpsim.ProgramSpec{
 			{Name: "client", Procs: cfg.ClientProcs, ProcsPerNode: 1, Body: func(p *mpsim.Proc) {
 				ctx := core.NewCtx(p, p.Comm())
 				cp := cfg.ClientProcs
+				ydist := hpfrt.BlockVector(csN, cp)
 				a := mbparti.MustNewArray(distarray.MustBlock2D(csN, csN, cp), p.Rank(), 0)
 				x := mbparti.MustNewArray(hpfrt.BlockVector(csN, cp), p.Rank(), 0)
-				y := mbparti.MustNewArray(hpfrt.BlockVector(csN, cp), p.Rank(), 0)
+				y := mbparti.MustNewArray(ydist, p.Rank(), 0)
 				a.FillGlobal(func(c []int) float64 { return float64((c[0]*7+c[1]*3)%11) - 5 })
 				x.FillGlobal(func(c []int) float64 { return float64(c[0]%5) + 0.5 })
 
@@ -110,6 +131,25 @@ func runClientServer(cfg CSConfig) (CSBreakdown, *mpsim.Stats) {
 						vecSched.MoveReverseRecv(y)
 					}
 				})
+				// Fingerprint the final result vector: each client
+				// process contributes its block, gathered in rank order.
+				var hash uint64
+				if cfg.Fingerprint {
+					var w codec.Writer
+					for i := 0; i < csN; i++ {
+						if ydist.OwnerOf([]int{i}) == p.Rank() {
+							w.PutFloat64(y.Get([]int{i}))
+						}
+					}
+					parts := p.Comm().Allgather(w.Bytes())
+					if p.Rank() == 0 {
+						h := fnv.New64a()
+						for _, part := range parts {
+							h.Write(part)
+						}
+						hash = h.Sum64()
+					}
+				}
 				// The server reports its pure compute time out of band.
 				if p.Rank() == 0 {
 					data, _ := coupling.Union.Recv(coupling.DstRanks[0], csServerTimeTag)
@@ -119,6 +159,7 @@ func runClientServer(cfg CSConfig) (CSBreakdown, *mpsim.Stats) {
 						SendMatrix: tMat,
 						Server:     serverT,
 						Vector:     tLoop - serverT,
+						ResultHash: hash,
 					}
 				}
 			}},

@@ -145,6 +145,43 @@ func (c *Comm) Recv(from, tag int) ([]byte, int) {
 	return data, crank
 }
 
+// RecvTimeout is Recv bounded by a virtual-time deadline: it returns a
+// *NetError wrapping ErrTimeout if no matching message lands within
+// timeout seconds, or wrapping ErrPeerUnreachable if the reliable
+// transport abandoned the sender.  timeout <= 0 waits forever but
+// still converts transport failures into errors.
+func (c *Comm) RecvTimeout(from, tag int, timeout float64) (data []byte, src int, err error) {
+	err = c.p.WithTimeout(timeout, func() {
+		data, src = c.Recv(from, tag)
+	})
+	if err != nil {
+		return nil, -1, err
+	}
+	return data, src, nil
+}
+
+// BarrierTimeout is Barrier bounded by a virtual-time deadline,
+// returning a typed error instead of hanging when a member never
+// arrives.  A member that times out abandons the barrier; survivors
+// may observe the same or complete normally, so after an error the
+// communicator's collective state should be resynchronized (see
+// SetCollectiveEpoch) before further collectives.
+func (c *Comm) BarrierTimeout(timeout float64) error {
+	return c.p.WithTimeout(timeout, func() { c.Barrier() })
+}
+
+// SetCollectiveEpoch resets the communicator's collective sequence
+// counter to a per-epoch base.  Collectives tag their messages with a
+// per-comm sequence number; if members abort a collective at different
+// points (timeouts under faults), their counters diverge and later
+// collectives would mismatch.  Every member calling
+// SetCollectiveEpoch(e) with the same e re-aligns them — the
+// retry-loop idiom is to bump the epoch at the top of each attempt.
+// Each epoch gives room for 256 collectives.
+func (c *Comm) SetCollectiveEpoch(epoch int) {
+	c.seq = epoch * 256
+}
+
 // Split partitions the communicator by color, MPI_Comm_split style:
 // members passing the same non-negative color form a new communicator,
 // ordered by (key, rank); a negative color opts out and receives a

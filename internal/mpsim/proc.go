@@ -50,6 +50,15 @@ type Proc struct {
 	// Waitany scratch, reused across calls.
 	wantBuf []recvWant
 	wantIdx []int
+
+	// Active WithTimeout deadline (virtual time; 0 = none) and the
+	// registration id its timer must match to fire.
+	deadlineAt  float64
+	deadlineGen int
+	// wakeErr is set by the scheduler (deadline expiry, peer abandoned)
+	// before waking a blocked process; the blocking operation converts
+	// it into a netPanic for WithTimeout to recover.
+	wakeErr *NetError
 }
 
 // recvWant is one (world-rank source, wire tag) matcher of a blocked
@@ -186,6 +195,19 @@ func (p *Proc) send(to, tag int, data []byte) {
 		}
 		if dst.node != p.node {
 			p.node.outFreeAt = start + xmit
+			if p.world.net != nil {
+				// Imperfect network: the send-side cost model above is
+				// unchanged, but delivery becomes a virtual-time event
+				// whose fate the fault injector decides.
+				st := &p.world.stats
+				st.PerRank[p.worldRank].MsgsSent++
+				st.PerRank[p.worldRank].BytesSent += int64(len(data))
+				st.recordPair(p.worldRank, to, len(data))
+				p.world.record(Event{Time: p.clock, Rank: p.worldRank, Kind: EvSend, Peer: to, Bytes: len(data)})
+				p.world.net.send(p.worldRank, to, tag, buf, xmit, start)
+				p.yield()
+				return
+			}
 			msg.arrival = start + xmit + m.Latency
 			msg.xmit = xmit
 		} else {
@@ -229,10 +251,12 @@ func (p *Proc) recv(from, tag int) ([]byte, int) {
 			p.deliver(msg)
 			return msg.data, msg.src
 		}
+		p.checkBeforeBlock(from, nil)
 		p.wantSrc, p.wantTag = from, tag
 		p.state = stateBlocked
 		p.world.toSched <- schedEvent{p: p}
 		<-p.resume
+		p.checkWakeErr()
 	}
 }
 
@@ -267,12 +291,112 @@ func (p *Proc) recvAny(wants []recvWant) (int, []byte, int) {
 			p.deliver(msg)
 			return bestWant, msg.data, msg.src
 		}
+		p.checkBeforeBlock(AnySource, wants)
 		p.wantsAny = wants
 		p.state = stateBlocked
 		p.world.toSched <- schedEvent{p: p}
 		<-p.resume
 		p.wantsAny = nil
+		p.checkWakeErr()
 	}
+}
+
+// checkWakeErr converts a scheduler-posted failure (deadline expiry,
+// abandoned peer) into a netPanic after the process is resumed.
+func (p *Proc) checkWakeErr() {
+	if p.wakeErr == nil {
+		return
+	}
+	err := p.wakeErr
+	p.wakeErr = nil
+	panic(netPanic{err})
+}
+
+// checkBeforeBlock fails fast instead of parking when the blocking
+// receive can already be proven hopeless or overdue: the deadline has
+// passed, or the reliable transport has abandoned every link the
+// receive could complete from.  from is the single wanted source
+// (AnySource when wants is used instead).
+func (p *Proc) checkBeforeBlock(from int, wants []recvWant) {
+	if p.deadlineAt > 0 && p.clock >= p.deadlineAt {
+		w := p.world
+		w.stats.PerRank[p.worldRank].Timeouts++
+		w.record(Event{Time: p.clock, Rank: p.worldRank, Kind: EvTimeout, Peer: -1})
+		panic(netPanic{&NetError{Op: "wait", Rank: p.worldRank, Peer: -1, Err: ErrTimeout}})
+	}
+	if p.world.net == nil {
+		return
+	}
+	if wants == nil {
+		if from != AnySource && p.world.net.deadFrom(from, p.worldRank) {
+			panic(netPanic{&NetError{Op: "recv", Rank: p.worldRank, Peer: from, Err: ErrPeerUnreachable}})
+		}
+		return
+	}
+	// A multi-receive is hopeless only if every wanted source is a
+	// specific, abandoned peer.
+	deadPeer := -1
+	for _, w := range wants {
+		if w.src == AnySource || !p.world.net.deadFrom(w.src, p.worldRank) {
+			return
+		}
+		deadPeer = w.src
+	}
+	if deadPeer >= 0 {
+		panic(netPanic{&NetError{Op: "recv", Rank: p.worldRank, Peer: deadPeer, Err: ErrPeerUnreachable}})
+	}
+}
+
+// WithTimeout runs f under a virtual-time deadline d seconds from now.
+// If a blocking operation inside f (Recv, Wait, Waitany, collectives)
+// is still parked when the deadline passes, it aborts and WithTimeout
+// returns a *NetError wrapping ErrTimeout; if the reliable transport
+// declared a needed peer unreachable, the error wraps
+// ErrPeerUnreachable.  d <= 0 sets no deadline but still converts
+// transport failures into errors.  Nested calls are bounded by the
+// tightest enclosing deadline.  After an error the aborted operation
+// is not retried — the caller decides how to degrade.
+func (p *Proc) WithTimeout(d float64, f func()) (err error) {
+	prevAt, prevGen := p.deadlineAt, p.deadlineGen
+	defer func() {
+		p.deadlineAt, p.deadlineGen = prevAt, prevGen
+		if r := recover(); r != nil {
+			np, ok := r.(netPanic)
+			if !ok {
+				panic(r)
+			}
+			err = np.err
+		}
+	}()
+	if d > 0 {
+		at := p.clock + d
+		if prevAt > 0 && prevAt < at {
+			at = prevAt
+		}
+		tm := &timer{at: at, kind: tWake, p: p}
+		p.world.addTimer(tm)
+		tm.gen = tm.seq // registration id: globally unique, never reused
+		p.deadlineAt, p.deadlineGen = at, tm.seq
+	}
+	f()
+	return nil
+}
+
+// ReliableTransport reports whether this run's network uses the
+// reliable transport (Config.Reliable), which is what makes per-peer
+// checksums and retransmit accounting meaningful to higher layers.
+func (p *Proc) ReliableTransport() bool {
+	return p.world.net != nil && p.world.net.reliable
+}
+
+// NetPairStats returns a copy of the directed (from -> to) pair
+// counters accumulated so far, letting higher layers snapshot per-peer
+// retransmit and duplicate counts around a data move.
+func (p *Proc) NetPairStats(from, to int) PairStats {
+	if ps := p.world.stats.Pairs[PairKey{From: from, To: to}]; ps != nil {
+		return *ps
+	}
+	return PairStats{}
 }
 
 // deliver applies receive-side costs: inbound link occupancy on the

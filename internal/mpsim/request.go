@@ -157,6 +157,76 @@ func Waitany(reqs []*Request) int {
 	return idx[wi]
 }
 
+// Waitany reporting its peer: reqs[i].Peer() is the world rank a
+// pending receive is bound to, or -1 for AnySource and sends.
+func (r *Request) Peer() int {
+	if r.isRecv && r.wantSrc != AnySource {
+		return r.wantSrc
+	}
+	return -1
+}
+
+// Done reports whether the request has completed.
+func (r *Request) Done() bool { return r.done }
+
+// Cancel marks a pending request complete without waiting for it.
+// Higher layers use it to abandon receives from a peer the transport
+// declared unreachable; a message that later matches the cancelled
+// receive stays in the queue.
+func (r *Request) Cancel() { r.done = true }
+
+// WaitanyTimeout is Waitany bounded by a virtual-time deadline.  It
+// returns the completed request's index, or -1 and a *NetError
+// wrapping ErrTimeout (deadline passed) or ErrPeerUnreachable (every
+// pending receive is bound to an abandoned peer; NetError.Peer names
+// one).  timeout <= 0 waits forever but still converts transport
+// failures into errors.
+func WaitanyTimeout(reqs []*Request, timeout float64) (idx int, err error) {
+	if len(reqs) == 0 {
+		return -1, nil
+	}
+	var p *Proc
+	for _, r := range reqs {
+		if r != nil && !r.done && r.isRecv {
+			p = r.p
+			break
+		}
+	}
+	if p == nil {
+		return Waitany(reqs), nil
+	}
+	err = p.WithTimeout(timeout, func() { idx = Waitany(reqs) })
+	if err != nil {
+		return -1, err
+	}
+	return idx, nil
+}
+
+// WaitallTimeout completes every request in arrival order under one
+// shared virtual-time deadline, returning the first failure.  On error
+// the remaining requests are left pending — the caller decides whether
+// to Cancel them or keep waiting.
+func WaitallTimeout(reqs []*Request, timeout float64) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	var p *Proc
+	for _, r := range reqs {
+		if r != nil && !r.done && r.isRecv {
+			p = r.p
+			break
+		}
+	}
+	if p == nil {
+		Waitall(reqs)
+		return nil
+	}
+	return p.WithTimeout(timeout, func() {
+		for Waitany(reqs) >= 0 {
+		}
+	})
+}
+
 // Probe reports whether a message matching (from, tag) is available
 // without receiving it; from may be AnySource.  It never blocks.
 func (c *Comm) Probe(from, tag int) bool {

@@ -1,12 +1,23 @@
 package mpsim
 
 // RankStats counts the traffic one simulated process generated and
-// consumed.
+// consumed.  The network-fault counters stay zero on a perfect
+// network: Drops and Retransmits are charged to the sender,
+// DupsDiscarded and CorruptDiscarded to the receiver, Timeouts to the
+// process whose deadline expired, and FailedSends to a sender whose
+// peer the reliable transport abandoned.
 type RankStats struct {
 	MsgsSent  int64
 	BytesSent int64
 	MsgsRecv  int64
 	BytesRecv int64
+
+	Drops            int64
+	Retransmits      int64
+	DupsDiscarded    int64
+	CorruptDiscarded int64
+	Timeouts         int64
+	FailedSends      int64
 }
 
 // PairKey identifies an ordered (sender, receiver) world-rank pair.
@@ -20,6 +31,12 @@ type PairKey struct {
 type PairStats struct {
 	Msgs  int64
 	Bytes int64
+
+	// Network-fault counters for the directed link (zero on a perfect
+	// network).
+	Drops         int64
+	Retransmits   int64
+	DupsDiscarded int64
 }
 
 // Stats accumulates the observable outcome of a simulated run.
@@ -38,7 +55,9 @@ type Stats struct {
 	Trace *Trace
 }
 
-func (s *Stats) recordPair(from, to, bytes int) {
+// pair returns the counters for the ordered (from, to) link, creating
+// them on first use.
+func (s *Stats) pair(from, to int) *PairStats {
 	if s.Pairs == nil {
 		s.Pairs = make(map[PairKey]*PairStats)
 	}
@@ -48,6 +67,11 @@ func (s *Stats) recordPair(from, to, bytes int) {
 		ps = &PairStats{}
 		s.Pairs[k] = ps
 	}
+	return ps
+}
+
+func (s *Stats) recordPair(from, to, bytes int) {
+	ps := s.pair(from, to)
 	ps.Msgs++
 	ps.Bytes += int64(bytes)
 }
@@ -66,6 +90,25 @@ func (s *Stats) TotalBytes() int64 {
 	var n int64
 	for i := range s.PerRank {
 		n += s.PerRank[i].BytesSent
+	}
+	return n
+}
+
+// TotalRetransmits returns the total retransmissions over the run, the
+// chaos harness's "bounded recovery effort" metric.
+func (s *Stats) TotalRetransmits() int64 {
+	var n int64
+	for i := range s.PerRank {
+		n += s.PerRank[i].Retransmits
+	}
+	return n
+}
+
+// TotalDrops returns the total transmissions lost to fault injection.
+func (s *Stats) TotalDrops() int64 {
+	var n int64
+	for i := range s.PerRank {
+		n += s.PerRank[i].Drops
 	}
 	return n
 }

@@ -20,6 +20,26 @@ const (
 	EvSend EventKind = iota
 	// EvRecv is recorded when a process consumes a message.
 	EvRecv
+	// EvDrop is recorded when fault injection loses a transmission (the
+	// acting rank is the sender; for a lost ack, the receiver).
+	EvDrop
+	// EvRetransmit is recorded when the reliable transport re-launches
+	// an unacked packet.
+	EvRetransmit
+	// EvDupDiscard is recorded when the receiver's transport discards a
+	// duplicate delivery.
+	EvDupDiscard
+	// EvCorruptDiscard is recorded when the receiver's transport
+	// discards a delivery whose checksum does not match.
+	EvCorruptDiscard
+	// EvAck is recorded at the sender when a packet is acknowledged.
+	EvAck
+	// EvTimeout is recorded when a blocking operation's virtual-time
+	// deadline expires.
+	EvTimeout
+	// EvPeerFail is recorded when the reliable transport abandons a
+	// peer after exhausting its retransmission budget.
+	EvPeerFail
 )
 
 func (k EventKind) String() string {
@@ -28,6 +48,20 @@ func (k EventKind) String() string {
 		return "send"
 	case EvRecv:
 		return "recv"
+	case EvDrop:
+		return "drop"
+	case EvRetransmit:
+		return "rexmit"
+	case EvDupDiscard:
+		return "dupdisc"
+	case EvCorruptDiscard:
+		return "corrupt"
+	case EvAck:
+		return "ack"
+	case EvTimeout:
+		return "timeout"
+	case EvPeerFail:
+		return "peerfail"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }

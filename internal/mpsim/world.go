@@ -30,6 +30,13 @@ type Config struct {
 	// Trace enables event recording; the trace is returned in the
 	// run's Stats.
 	Trace bool
+	// Fault, when non-nil, routes every inter-node transmission through
+	// the fault injector (drops, duplicates, reordering, corruption).
+	Fault FaultInjector
+	// Reliable, when non-nil, enables the reliable transport (sequence
+	// numbers, acks, retransmission, dedup/reassembly) on inter-node
+	// links, restoring in-order exactly-once delivery under faults.
+	Reliable *Reliability
 }
 
 // World is the simulated machine state for one run.  It owns every
@@ -47,6 +54,12 @@ type World struct {
 	runq    procHeap
 	resume  chan *Proc // scheduler -> proc handoff target (per-proc channel used instead)
 	toSched chan schedEvent
+
+	// Virtual-time events (deliveries, retransmissions, acks, receive
+	// deadlines), interleaved with process execution by the scheduler.
+	timers   timerHeap
+	timerSeq int
+	net      *netLayer
 
 	failure *runFailure
 }
@@ -122,6 +135,9 @@ func newWorld(cfg Config) (*World, error) {
 	}
 	if cfg.Trace {
 		w.trace = &Trace{}
+	}
+	if cfg.Fault != nil || cfg.Reliable != nil {
+		w.net = newNetLayer(w, cfg.Fault, cfg.Reliable)
 	}
 	w.stats.Machine = cfg.Machine.Name
 	nodeID := 0
@@ -218,6 +234,12 @@ func (w *World) schedule() {
 			// that is about to panic anyway.
 			return
 		}
+		// Fire due virtual-time events first: every event at or before
+		// the next runnable process's clock, and all of them while no
+		// process is runnable (an event may wake one).
+		for len(w.timers) > 0 && (w.runq.Len() == 0 || w.timers[0].at <= w.runq[0].clock) {
+			w.fireTimer(heap.Pop(&w.timers).(*timer))
+		}
 		if w.runq.Len() == 0 {
 			w.panicDeadlock()
 		}
@@ -259,6 +281,15 @@ func (w *World) panicDeadlock() {
 	msg := "mpsim: deadlock: every live process is blocked in Recv:\n"
 	for _, d := range desc {
 		msg += d + "\n"
+	}
+	if w.net != nil && !w.net.reliable {
+		var dropped int64
+		for i := range w.stats.PerRank {
+			dropped += w.stats.PerRank[i].Drops
+		}
+		if dropped > 0 {
+			msg += fmt.Sprintf("  (%d messages were dropped by fault injection with no reliable transport; consider Config.Reliable)\n", dropped)
+		}
 	}
 	panic(msg)
 }

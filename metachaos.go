@@ -41,6 +41,7 @@ import (
 	"metachaos/internal/chaoslib"
 	"metachaos/internal/core"
 	"metachaos/internal/distarray"
+	"metachaos/internal/faultsim"
 	"metachaos/internal/gidx"
 	"metachaos/internal/hpfrt"
 	"metachaos/internal/lparx"
@@ -69,6 +70,43 @@ type (
 	Config = mpsim.Config
 	// ProgramSpec describes one program of a run.
 	ProgramSpec = mpsim.ProgramSpec
+)
+
+// Fault injection and reliable transport (see internal/faultsim and
+// the chaos-harness section of the README).
+type (
+	// FaultInjector decides the fate of each inter-node transmission.
+	FaultInjector = mpsim.FaultInjector
+	// FaultDecision is one transmission's injected fate.
+	FaultDecision = mpsim.FaultDecision
+	// Reliability configures the retransmitting transport.
+	Reliability = mpsim.Reliability
+	// NetError is a typed transport failure (timeout, unreachable peer).
+	NetError = mpsim.NetError
+	// FaultProfile is a deterministic seed-driven fault injector.
+	FaultProfile = faultsim.Profile
+	// FaultRates are per-link fault probabilities.
+	FaultRates = faultsim.Rates
+)
+
+// Typed transport errors.
+var (
+	// ErrTimeout reports a virtual-time deadline expiry.
+	ErrTimeout = mpsim.ErrTimeout
+	// ErrPeerUnreachable reports retransmission give-up on a dead link.
+	ErrPeerUnreachable = mpsim.ErrPeerUnreachable
+)
+
+// Deterministic fault profiles.
+var (
+	// MildFaults models an occasionally lossy link (~1% drops).
+	MildFaults = faultsim.Mild
+	// LossyFaults models a badly congested link (5% drops).
+	LossyFaults = faultsim.Lossy
+	// RandomFaults derives a reproducible regime from the seed.
+	RandomFaults = faultsim.Random
+	// FaultProfileByName maps "none"/"mild"/"lossy"/"random" to a profile.
+	FaultProfileByName = faultsim.ByName
 )
 
 // Run executes a configured set of programs on the simulated machine.
@@ -106,6 +144,14 @@ type (
 	Coupling = core.Coupling
 	// Method selects the schedule computation algorithm.
 	Method = core.Method
+	// MoveResult reports a move's element count and, under the
+	// reliable transport, its per-peer retransmission costs and any
+	// peers that failed.
+	MoveResult = core.MoveResult
+	// PeerNet is one peer's share of a MoveResult.
+	PeerNet = core.PeerNet
+	// RetryPolicy bounds a fault-tolerant schedule exchange.
+	RetryPolicy = core.RetryPolicy
 	// LibraryIface is the inquiry interface a data-parallel library
 	// implements to join the framework.
 	LibraryIface = core.Library
@@ -141,6 +187,9 @@ var (
 	CoupleByName = core.CoupleByName
 	// ComputeSchedule builds a communication schedule.
 	ComputeSchedule = core.ComputeSchedule
+	// ComputeScheduleReliable is ComputeSchedule with bounded retry
+	// under a virtual-time deadline.
+	ComputeScheduleReliable = core.ComputeScheduleReliable
 	// RegisterLibrary adds a library to the registry.
 	RegisterLibrary = core.RegisterLibrary
 	// LookupLibrary finds a registered library.

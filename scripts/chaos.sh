@@ -1,0 +1,40 @@
+#!/bin/sh
+# Chaos harness: the cross-library sweep and the Figure 10 workload on
+# a deterministically faulty network with reliable transport, asserting
+# bit-identical results against fault-free runs.
+#
+# Usage:
+#   scripts/chaos.sh                     # default seed 1, lossy profile
+#   scripts/chaos.sh -seed 7 -profile mild
+#   scripts/chaos.sh -seed 3 -profile random -v
+set -eu
+cd "$(dirname "$0")/.."
+
+seed=1
+profile=lossy
+verbose=
+while [ $# -gt 0 ]; do
+	case "$1" in
+	-seed)
+		seed="$2"
+		shift 2
+		;;
+	-profile)
+		profile="$2"
+		shift 2
+		;;
+	-v)
+		verbose=-v
+		shift
+		;;
+	*)
+		echo "usage: scripts/chaos.sh [-seed N] [-profile mild|lossy|random] [-v]" >&2
+		exit 2
+		;;
+	esac
+done
+
+echo "chaos: seed=$seed profile=$profile" >&2
+CHAOS_SEED="$seed" CHAOS_PROFILE="$profile" \
+	go test $verbose -run Chaos ./internal/crosstest/ ./internal/exp/
+echo "chaos: OK" >&2
