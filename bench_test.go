@@ -139,6 +139,14 @@ func BenchmarkAblationReliability(b *testing.B) {
 	}
 }
 
+func BenchmarkAblationDtype(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.AblationDtype()
+		b.ReportMetric(t.Rows[1].Values[0], "float64-wire-bytes/move")
+		b.ReportMetric(t.Rows[1].Values[1]/t.Rows[1].Values[0], "float32-vs-float64-bytes-x")
+	}
+}
+
 // Substrate microbenchmarks: host-side cost of the core machinery.
 
 func BenchmarkScheduleBuildRegular(b *testing.B) {

@@ -18,11 +18,14 @@ import (
 func main() {
 	figure := flag.Int("figure", 0, "figure number to regenerate (10-15); 0 runs all")
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned text")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per figure (JSON lines)")
 	plot := flag.Bool("plot", false, "render ASCII bar charts instead of tables")
 	flag.Parse()
 
 	render := func(t *exp.Table) string {
 		switch {
+		case *jsonOut:
+			return t.JSON()
 		case *csv:
 			return t.CSV()
 		case *plot:

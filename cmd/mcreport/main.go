@@ -89,6 +89,7 @@ them out.`)
 		exp.AblationScheduleReuse(),
 		exp.AblationRLE(),
 		exp.AblationReliability(),
+		exp.AblationDtype(),
 	} {
 		fmt.Printf("### %s\n\n```\n%s```\n\n", t.ID, t.Format())
 	}

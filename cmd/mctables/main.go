@@ -21,10 +21,14 @@ func main() {
 	matrix := flag.Bool("matrix", false, "run the extension cross-library cost matrix")
 	app := flag.Bool("app", false, "run the end-to-end Figure 1 application profile")
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned text")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per table (JSON lines)")
 	flag.Parse()
 
 	render := func(t *exp.Table) string {
-		if *csv {
+		switch {
+		case *jsonOut:
+			return t.JSON()
+		case *csv:
 			return t.CSV()
 		}
 		return t.Format()
@@ -46,6 +50,7 @@ func main() {
 		fmt.Println(render(exp.AblationScheduleReuse()))
 		fmt.Println(render(exp.AblationRLE()))
 		fmt.Println(render(exp.AblationReliability()))
+		fmt.Println(render(exp.AblationDtype()))
 		return
 	}
 

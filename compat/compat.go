@@ -203,6 +203,18 @@ func (s *Session) MC_DataMoveRecv(id ScheduleID, obj core.DistObject) error {
 	return nil
 }
 
+// MC_SchedElemType returns the element type a schedule was built for.
+// Data moves verify the objects they are handed carry exactly this
+// type, so a caller coupling mixed-precision programs can inquire
+// before moving.
+func (s *Session) MC_SchedElemType(id ScheduleID) (core.ElemType, error) {
+	sched, err := s.schedule(id)
+	if err != nil {
+		return core.ElemType{}, err
+	}
+	return sched.Elem(), nil
+}
+
 // MC_FreeSched releases a schedule handle.
 func (s *Session) MC_FreeSched(id ScheduleID) error {
 	if _, err := s.schedule(id); err != nil {

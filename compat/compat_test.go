@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"metachaos/internal/chaoslib"
+	"metachaos/internal/core"
 	"metachaos/internal/distarray"
 	"metachaos/internal/gidx"
 	"metachaos/internal/hpfrt"
@@ -80,6 +81,9 @@ func TestSetAssemblyAndIntraProgramMove(t *testing.T) {
 		sched, err := mc.MC_ComputeSched("hpf", src, srcSet, "chaos", dst, dstSet)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if et, err := mc.MC_SchedElemType(sched); err != nil || et != core.Float64 {
+			t.Errorf("MC_SchedElemType = %v, %v", et, err)
 		}
 		if err := mc.MC_DataMove(sched, src, dst); err != nil {
 			t.Fatal(err)

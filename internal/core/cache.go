@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // ScheduleCache memoizes communication schedules under caller-chosen
 // keys.  Compilers targeting the original runtime libraries wrapped
@@ -23,13 +26,20 @@ func NewScheduleCache() *ScheduleCache {
 	return &ScheduleCache{}
 }
 
-// Get returns the schedule cached under key, building and caching it
-// with build on a miss.  A failed build is not cached.
-func (c *ScheduleCache) Get(key string, build func() (*Schedule, error)) (*Schedule, error) {
+// Get returns the schedule cached under key for element type et,
+// building and caching it with build on a miss.  A failed build is not
+// cached.  The element type is part of the cache key, so two transfers
+// that share a caller key but move different element types — say a
+// 1-word float64 array and a same-width int64 array — can never be
+// served each other's schedule; Get also rejects a built schedule
+// whose element type disagrees with et, which would otherwise poison
+// the cache.
+func (c *ScheduleCache) Get(key string, et ElemType, build func() (*Schedule, error)) (*Schedule, error) {
 	if c.entries == nil {
 		c.entries = make(map[string]*Schedule)
 	}
-	if s, ok := c.entries[key]; ok {
+	full := key + "|" + et.String()
+	if s, ok := c.entries[full]; ok {
 		c.hits++
 		return s, nil
 	}
@@ -38,14 +48,22 @@ func (c *ScheduleCache) Get(key string, build func() (*Schedule, error)) (*Sched
 	if err != nil {
 		return nil, fmt.Errorf("core: building schedule for cache key %q: %w", key, err)
 	}
-	c.entries[key] = s
+	if s.elem != et {
+		return nil, fmt.Errorf("core: schedule built for cache key %q moves %v elements, caller declared %v", key, s.elem, et)
+	}
+	c.entries[full] = s
 	return s, nil
 }
 
-// Invalidate drops the entry under key (after a redistribution, for
-// example).  Dropping a missing key is a no-op.
+// Invalidate drops key's entries for every element type (after a
+// redistribution, for example).  Dropping a missing key is a no-op.
 func (c *ScheduleCache) Invalidate(key string) {
-	delete(c.entries, key)
+	prefix := key + "|"
+	for k := range c.entries {
+		if strings.HasPrefix(k, prefix) {
+			delete(c.entries, k)
+		}
+	}
 }
 
 // Clear drops every entry but keeps the hit/miss counters.

@@ -23,7 +23,7 @@ func TestScheduleCacheHitsAndMisses(t *testing.T) {
 		}
 		var before float64
 		for iter := 0; iter < 5; iter++ {
-			s, err := cache.Get("loop-17", build)
+			s, err := cache.Get("loop-17", Float64, build)
 			if err != nil {
 				t.Errorf("%v", err)
 				return
@@ -48,7 +48,7 @@ func TestScheduleCacheHitsAndMisses(t *testing.T) {
 		if cache.Len() != 0 {
 			t.Error("Invalidate did not drop the entry")
 		}
-		if _, err := cache.Get("loop-17", build); err != nil {
+		if _, err := cache.Get("loop-17", Float64, build); err != nil {
 			t.Errorf("rebuild after invalidate: %v", err)
 		}
 		if builds != 2 {
@@ -68,10 +68,10 @@ func TestScheduleCacheDoesNotCacheFailures(t *testing.T) {
 		calls++
 		return nil, errors.New("boom")
 	}
-	if _, err := cache.Get("k", fail); err == nil {
+	if _, err := cache.Get("k", Float64, fail); err == nil {
 		t.Fatal("expected error")
 	}
-	if _, err := cache.Get("k", fail); err == nil {
+	if _, err := cache.Get("k", Float64, fail); err == nil {
 		t.Fatal("expected error on retry")
 	}
 	if calls != 2 {
@@ -79,5 +79,54 @@ func TestScheduleCacheDoesNotCacheFailures(t *testing.T) {
 	}
 	if cache.Len() != 0 {
 		t.Error("failure left an entry")
+	}
+}
+
+// TestScheduleCacheKeyedByElemType pins the bugfix: the same caller key
+// used for two element types builds two distinct schedules — a float64
+// schedule is never served for a same-width int64 transfer — and a
+// build whose schedule disagrees with the declared element type is
+// rejected rather than cached.
+func TestScheduleCacheKeyedByElemType(t *testing.T) {
+	cache := NewScheduleCache()
+	builds := 0
+	buildFor := func(et ElemType) func() (*Schedule, error) {
+		return func() (*Schedule, error) {
+			builds++
+			return &Schedule{elem: et}, nil
+		}
+	}
+	f, err := cache.Get("loop-3", Float64, buildFor(Float64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := cache.Get("loop-3", Int64, buildFor(Int64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == i {
+		t.Fatal("float64 and int64 transfers shared one cached schedule")
+	}
+	if builds != 2 || cache.Len() != 2 {
+		t.Errorf("builds=%d Len=%d, want 2 entries", builds, cache.Len())
+	}
+	// Hits stay per-type.
+	if s, _ := cache.Get("loop-3", Float64, buildFor(Float64)); s != f {
+		t.Error("float64 hit returned a different schedule")
+	}
+	if builds != 2 {
+		t.Errorf("hit rebuilt: builds=%d", builds)
+	}
+	// A schedule that contradicts the declared type is rejected.
+	if _, err := cache.Get("bad", Float32, buildFor(Int32)); err == nil {
+		t.Error("mismatched element type accepted into the cache")
+	}
+	if cache.Len() != 2 {
+		t.Errorf("mismatch was cached: Len=%d", cache.Len())
+	}
+	// Invalidate drops the key's entries for every element type.
+	cache.Invalidate("loop-3")
+	if cache.Len() != 0 {
+		t.Errorf("Invalidate left %d entries", cache.Len())
 	}
 }

@@ -27,8 +27,8 @@ type testObj struct {
 	data   []float64 // nil for descriptor-only remote views
 }
 
-func (o *testObj) ElemWords() int   { return o.words }
-func (o *testObj) Local() []float64 { return o.data }
+func (o *testObj) Elem() ElemType { return Float64Elems(o.words) }
+func (o *testObj) LocalMem() Mem  { return Float64Mem(o.words, o.data) }
 
 func (o *testObj) block() int { return (o.global + o.nprocs - 1) / o.nprocs }
 
@@ -498,8 +498,8 @@ func TestWordMismatchError(t *testing.T) {
 			&Spec{Lib: testLib{}, Obj: src, Set: NewSetOfRegions(testRegion(seqIdx(0, 10, 1))), Ctx: ctx},
 			&Spec{Lib: testLib{}, Obj: dst, Set: NewSetOfRegions(testRegion(seqIdx(0, 10, 1))), Ctx: ctx},
 			Cooperation)
-		if err == nil || !strings.Contains(err.Error(), "words") {
-			t.Errorf("want word mismatch error, got %v", err)
+		if err == nil || !strings.Contains(err.Error(), "elements are") {
+			t.Errorf("want element type mismatch error, got %v", err)
 		}
 	})
 }

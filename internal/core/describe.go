@@ -11,7 +11,7 @@ import (
 // tests of communication patterns.
 func (s *Schedule) Describe() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "schedule: %d elements of %d word(s)\n", s.elems, s.words)
+	fmt.Fprintf(&b, "schedule: %d elements of type %s\n", s.elems, s.elem)
 	fmt.Fprintf(&b, "  sends: %d lane(s), %d element(s)\n", len(s.Sends), s.SendCount())
 	for i := range s.Sends {
 		pl := &s.Sends[i]

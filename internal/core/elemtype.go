@@ -1,0 +1,102 @@
+package core
+
+import "fmt"
+
+// Element types.  The virtual linearization is defined over elements,
+// not over float64 words, so the data plane carries an explicit
+// element type from the DistObject storage down to the wire: schedules
+// record the type they were built for, the executor packs and unpacks
+// with kernels matched to the scalar kind, and the simulated network
+// charges the actual payload bytes — a float32 move ships half the
+// bytes of a float64 move and shows it in virtual time.
+
+// ElemKind enumerates the scalar storage kinds an element can be built
+// from.  KindFloat64 is zero so that metadata encoded before element
+// kinds existed (a bare word count in an int32 slot) decodes as
+// float64 unchanged.
+type ElemKind uint8
+
+const (
+	KindFloat64 ElemKind = iota
+	KindFloat32
+	KindInt64
+	KindInt32
+	KindByte
+)
+
+// Size returns the scalar's width in bytes.
+func (k ElemKind) Size() int {
+	switch k {
+	case KindFloat64, KindInt64:
+		return 8
+	case KindFloat32, KindInt32:
+		return 4
+	case KindByte:
+		return 1
+	}
+	panic(fmt.Sprintf("core: unknown element kind %d", k))
+}
+
+func (k ElemKind) String() string {
+	switch k {
+	case KindFloat64:
+		return "float64"
+	case KindFloat32:
+		return "float32"
+	case KindInt64:
+		return "int64"
+	case KindInt32:
+		return "int32"
+	case KindByte:
+		return "byte"
+	}
+	return fmt.Sprintf("ElemKind(%d)", int(k))
+}
+
+// ElemType describes one element of a distributed object: Words
+// scalars of kind Kind.  Words > 1 models struct-like elements (pC++
+// element objects, interleaved vector components) the same way the
+// old float64 word count did.
+type ElemType struct {
+	Kind  ElemKind
+	Words int
+}
+
+// The single-scalar element types.
+var (
+	Float64 = ElemType{Kind: KindFloat64, Words: 1}
+	Float32 = ElemType{Kind: KindFloat32, Words: 1}
+	Int64   = ElemType{Kind: KindInt64, Words: 1}
+	Int32   = ElemType{Kind: KindInt32, Words: 1}
+	Byte    = ElemType{Kind: KindByte, Words: 1}
+)
+
+// Float64Elems returns the legacy element type: words float64 scalars
+// per element.
+func Float64Elems(words int) ElemType {
+	return ElemType{Kind: KindFloat64, Words: words}
+}
+
+// Bytes returns the element's wire and storage size in bytes.
+func (et ElemType) Bytes() int { return et.Kind.Size() * et.Words }
+
+func (et ElemType) String() string {
+	if et.Words == 1 {
+		return et.Kind.String()
+	}
+	return fmt.Sprintf("%d*%s", et.Words, et.Kind)
+}
+
+// PackElem encodes an element type into the int32 slot that carried a
+// bare float64 word count before element kinds existed: the kind in
+// the top byte, the word count below.  KindFloat64 is zero, so
+// float64 metadata is byte-identical to the legacy encoding.  Library
+// descriptor codecs use the same trick to keep their wire formats.
+func PackElem(et ElemType) int32 {
+	return int32(et.Kind)<<24 | int32(et.Words)
+}
+
+// UnpackElem decodes PackElem's encoding.
+func UnpackElem(v int32) ElemType {
+	return ElemType{Kind: ElemKind(v >> 24), Words: int(v & 0xffffff)}
+}

@@ -1,0 +1,202 @@
+package core
+
+import "fmt"
+
+// Mem is one process's local element storage for a distributed object:
+// a slice of the element type's scalar kind, tagged with the type.  It
+// is a small value — copies alias the same underlying array — and the
+// zero value (or NilMem) is the storage of a descriptor-only remote
+// view, which owns no elements.
+//
+// The executor works on the typed slice of the active kind directly;
+// generic code (reference executors, generic fills) uses the GetF/SetF
+// unit accessors, which convert through float64.
+type Mem struct {
+	et  ElemType
+	f64 []float64
+	f32 []float32
+	i64 []int64
+	i32 []int32
+	by  []byte
+}
+
+// MakeMem allocates zeroed storage for elems elements of type et.
+func MakeMem(et ElemType, elems int) Mem {
+	n := elems * et.Words
+	m := Mem{et: et}
+	switch et.Kind {
+	case KindFloat64:
+		m.f64 = make([]float64, n)
+	case KindFloat32:
+		m.f32 = make([]float32, n)
+	case KindInt64:
+		m.i64 = make([]int64, n)
+	case KindInt32:
+		m.i32 = make([]int32, n)
+	case KindByte:
+		m.by = make([]byte, n)
+	default:
+		panic(fmt.Sprintf("core: MakeMem of unknown element kind %d", et.Kind))
+	}
+	return m
+}
+
+// NilMem returns the storage of a descriptor-only remote view: typed,
+// but owning no elements (IsNil reports true).
+func NilMem(et ElemType) Mem { return Mem{et: et} }
+
+// Float64Mem wraps an existing float64 slice as storage for
+// words-float64 elements, the adapter that lets the pre-ElemType
+// libraries keep their []float64 backing arrays.
+func Float64Mem(words int, data []float64) Mem {
+	return Mem{et: ElemType{Kind: KindFloat64, Words: words}, f64: data}
+}
+
+// Float32Mem wraps an existing float32 slice as words-float32 element
+// storage.
+func Float32Mem(words int, data []float32) Mem {
+	return Mem{et: ElemType{Kind: KindFloat32, Words: words}, f32: data}
+}
+
+// Int64Mem wraps an existing int64 slice as words-int64 element
+// storage.
+func Int64Mem(words int, data []int64) Mem {
+	return Mem{et: ElemType{Kind: KindInt64, Words: words}, i64: data}
+}
+
+// Int32Mem wraps an existing int32 slice as words-int32 element
+// storage.
+func Int32Mem(words int, data []int32) Mem {
+	return Mem{et: ElemType{Kind: KindInt32, Words: words}, i32: data}
+}
+
+// ByteMem wraps an existing byte slice as words-byte element storage.
+func ByteMem(words int, data []byte) Mem {
+	return Mem{et: ElemType{Kind: KindByte, Words: words}, by: data}
+}
+
+// Elem returns the element type the storage holds.
+func (m Mem) Elem() ElemType { return m.et }
+
+// Clone returns a Mem backed by a fresh copy of the storage (a nil Mem
+// clones to a nil Mem).
+func (m Mem) Clone() Mem {
+	out := m
+	out.f64 = append([]float64(nil), m.f64...)
+	out.f32 = append([]float32(nil), m.f32...)
+	out.i64 = append([]int64(nil), m.i64...)
+	out.i32 = append([]int32(nil), m.i32...)
+	out.by = append([]byte(nil), m.by...)
+	return out
+}
+
+// IsNil reports whether the Mem owns no storage at all — the
+// descriptor-only remote-view case.  An allocated zero-length slice is
+// not nil, matching the nil test on a bare []float64.
+func (m Mem) IsNil() bool {
+	switch m.et.Kind {
+	case KindFloat64:
+		return m.f64 == nil
+	case KindFloat32:
+		return m.f32 == nil
+	case KindInt64:
+		return m.i64 == nil
+	case KindInt32:
+		return m.i32 == nil
+	case KindByte:
+		return m.by == nil
+	}
+	return true
+}
+
+// Units returns the storage length in scalars of the element kind
+// (ElemType.Words units per element).
+func (m Mem) Units() int {
+	switch m.et.Kind {
+	case KindFloat64:
+		return len(m.f64)
+	case KindFloat32:
+		return len(m.f32)
+	case KindInt64:
+		return len(m.i64)
+	case KindInt32:
+		return len(m.i32)
+	case KindByte:
+		return len(m.by)
+	}
+	return 0
+}
+
+// Elems returns the number of locally stored elements.
+func (m Mem) Elems() int { return m.Units() / max(m.et.Words, 1) }
+
+// Float64s returns the underlying slice of a KindFloat64 Mem, nil for
+// any other kind.  The typed accessors exist so library-native code
+// paths keep working on their natural slice type.
+func (m Mem) Float64s() []float64 { return m.f64 }
+
+// Float32s returns the underlying slice of a KindFloat32 Mem.
+func (m Mem) Float32s() []float32 { return m.f32 }
+
+// Int64s returns the underlying slice of a KindInt64 Mem.
+func (m Mem) Int64s() []int64 { return m.i64 }
+
+// Int32s returns the underlying slice of a KindInt32 Mem.
+func (m Mem) Int32s() []int32 { return m.i32 }
+
+// Bytes returns the underlying slice of a KindByte Mem.
+func (m Mem) Bytes() []byte { return m.by }
+
+// GetF reads scalar unit u converted to float64.
+func (m Mem) GetF(u int) float64 {
+	switch m.et.Kind {
+	case KindFloat64:
+		return m.f64[u]
+	case KindFloat32:
+		return float64(m.f32[u])
+	case KindInt64:
+		return float64(m.i64[u])
+	case KindInt32:
+		return float64(m.i32[u])
+	case KindByte:
+		return float64(m.by[u])
+	}
+	panic(fmt.Sprintf("core: GetF on unknown element kind %d", m.et.Kind))
+}
+
+// SetF stores v into scalar unit u, converting from float64 (integer
+// kinds truncate).
+func (m Mem) SetF(u int, v float64) {
+	switch m.et.Kind {
+	case KindFloat64:
+		m.f64[u] = v
+	case KindFloat32:
+		m.f32[u] = float32(v)
+	case KindInt64:
+		m.i64[u] = int64(v)
+	case KindInt32:
+		m.i32[u] = int32(v)
+	case KindByte:
+		m.by[u] = byte(v)
+	default:
+		panic(fmt.Sprintf("core: SetF on unknown element kind %d", m.et.Kind))
+	}
+}
+
+// AddF adds v into scalar unit u in the storage's native arithmetic.
+func (m Mem) AddF(u int, v float64) {
+	switch m.et.Kind {
+	case KindFloat64:
+		m.f64[u] += v
+	case KindFloat32:
+		m.f32[u] += float32(v)
+	case KindInt64:
+		m.i64[u] += int64(v)
+	case KindInt32:
+		m.i32[u] += int32(v)
+	case KindByte:
+		m.by[u] += byte(v)
+	default:
+		panic(fmt.Sprintf("core: AddF on unknown element kind %d", m.et.Kind))
+	}
+}

@@ -9,7 +9,7 @@ import "fmt"
 // message replaces one message per constituent schedule).
 //
 // The constituent schedules must share the union communicator and
-// element width, and every process must merge the same schedules in
+// element type, and every process must merge the same schedules in
 // the same order (the per-peer packing order becomes: all of a's
 // elements, then all of b's, and so on).  The merged schedule moves
 // between the same source and destination objects as the constituents.
@@ -23,7 +23,7 @@ func MergeSchedules(scheds ...*Schedule) (*Schedule, error) {
 	}
 	merged := &Schedule{
 		union: first.union,
-		words: first.words,
+		elem:  first.elem,
 	}
 	sendMap := map[int]*PeerList{}
 	recvMap := map[int]*PeerList{}
@@ -48,9 +48,9 @@ func MergeSchedules(scheds ...*Schedule) (*Schedule, error) {
 		if s.union != first.union {
 			return nil, fmt.Errorf("core: schedule %d built over a different coupling", i)
 		}
-		if s.words != first.words {
-			return nil, fmt.Errorf("core: schedule %d moves %d-word elements, schedule 0 moves %d",
-				i, s.words, first.words)
+		if s.elem != first.elem {
+			return nil, fmt.Errorf("core: schedule %d moves %v elements, schedule 0 moves %v",
+				i, s.elem, first.elem)
 		}
 		merged.elems += s.elems
 		appendLanes(s.Sends, sendMap, &sendOrder)

@@ -97,8 +97,8 @@ func TestMergeSchedulesValidation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := MergeSchedules(a, b); err == nil || !strings.Contains(err.Error(), "word") {
-			t.Errorf("word mismatch merge: %v", err)
+		if _, err := MergeSchedules(a, b); err == nil || !strings.Contains(err.Error(), "moves") {
+			t.Errorf("element type mismatch merge: %v", err)
 		}
 	})
 }

@@ -141,27 +141,30 @@ const tagMoveSpan = (1 << 21) - tagMoveBase
 // moveTag maps a move sequence number into the data-move tag space.
 func moveTag(seq int) int { return tagMoveBase + seq%tagMoveSpan }
 
-// checkWords panics when a schedule is executed against an object of
-// the wrong element width.
-func (s *Schedule) checkWords(obj DistObject) {
-	if obj.ElemWords() != s.words {
-		panic(fmt.Sprintf("core: schedule built for %d-word elements used with %d-word object", s.words, obj.ElemWords()))
+// checkElem panics when a schedule is executed against an object of
+// the wrong element type.  The full type is compared, not just the
+// width, so a schedule built for float64 elements can never silently
+// reinterpret a same-width int64 object's bytes.
+func (s *Schedule) checkElem(obj DistObject) {
+	if obj.Elem() != s.elem {
+		panic(fmt.Sprintf("core: schedule built for %v elements used with %v object", s.elem, obj.Elem()))
 	}
 }
 
 // checkRunBounds panics when a run's offsets fall outside the object's
-// local storage, which means the wrong object was passed to Move.
-func checkRunBounds(run Run, local []float64, w int) {
+// local storage (units scalar units long), which means the wrong
+// object was passed to Move.
+func checkRunBounds(run Run, units, w int) {
 	lo, hi := run.Start, run.Last()
 	if hi < lo {
 		lo, hi = hi, lo
 	}
-	if lo < 0 || int(hi)*w+w > len(local) {
+	if lo < 0 || int(hi)*w+w > units {
 		bad := run.Start
-		if int(hi)*w+w > len(local) {
+		if int(hi)*w+w > units {
 			bad = hi
 		}
-		panic(fmt.Sprintf("core: schedule offset %d outside local storage of %d elements; wrong object passed to Move?", bad, len(local)/max(w, 1)))
+		panic(fmt.Sprintf("core: schedule offset %d outside local storage of %d elements; wrong object passed to Move?", bad, units/max(w, 1)))
 	}
 }
 
@@ -170,7 +173,7 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 	s.moveSeq++
 	tag := moveTag(seq)
 	p := s.union.Proc()
-	w := s.words
+	w := s.elem.Words
 	var res MoveResult
 
 	sends, recvs := s.Sends, s.Recvs
@@ -194,7 +197,7 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 	// match pending requests immediately.
 	reqs := s.reqs[:0]
 	if unpackObj != nil {
-		s.checkWords(unpackObj)
+		s.checkElem(unpackObj)
 		for i := range recvs {
 			reqs = append(reqs, s.union.Irecv(recvs[i].Peer, tag))
 		}
@@ -202,8 +205,8 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 	s.reqs = reqs
 
 	if packObj != nil {
-		s.checkWords(packObj)
-		local := packObj.Local()
+		s.checkElem(packObj)
+		local := packObj.LocalMem()
 		buf := s.packBuf
 		for i := range sends {
 			pl := &sends[i]
@@ -230,7 +233,7 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 	}
 
 	if unpackObj != nil {
-		local := unpackObj.Local()
+		local := unpackObj.LocalMem()
 		for {
 			var i int
 			if rel {
@@ -251,17 +254,15 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 			data, _ := reqs[i].Wait()
 			pl := &recvs[i]
 			n := pl.Len()
-			want := 8 * w * n
+			want := s.elem.Bytes() * n
 			if rel {
 				p.ChargeCopy(len(data))
 				data = verifyChecksum(data, pl.Peer)
 			}
 			if len(data) != want {
-				panic(fmt.Sprintf("core: move message carries %d words, schedule expects %d", len(data)/8, w*n))
+				panic(fmt.Sprintf("core: move message carries %d bytes, schedule expects %d", len(data), want))
 			}
-			vals := s.valsScratch(w * n)
-			codec.Float64sInto(vals, data)
-			unpackLanes(local, vals, pl.Runs, w, op)
+			unpackLanes(local, data, pl.Runs, w, op)
 			res.Elems += n
 			p.ChargeMemOps(n)
 			if op == opAdd {
@@ -409,63 +410,147 @@ func fnv64(data []byte) uint64 {
 }
 
 // packRun appends the run's elements to buf in wire encoding; a
-// stride-1 run of k w-word elements is one bulk append instead of k
-// scalar copies.
-func packRun(buf []byte, local []float64, run Run, w int) []byte {
-	checkRunBounds(run, local, w)
+// stride-1 run of k w-scalar elements is one bulk append instead of k
+// scalar copies.  The scalar kind is dispatched once per append, so
+// the per-kind codec kernels keep their bulk fast paths.
+func packRun(buf []byte, m Mem, run Run, w int) []byte {
+	checkRunBounds(run, m.Units(), w)
 	if run.Stride == 1 {
 		o := int(run.Start) * w
-		return codec.AppendFloat64s(buf, local[o:o+int(run.Count)*w])
+		return appendUnits(buf, m, o, int(run.Count)*w)
 	}
 	for k := int32(0); k < run.Count; k++ {
-		o := int(run.At(k)) * w
-		buf = codec.AppendFloat64s(buf, local[o:o+w])
+		buf = appendUnits(buf, m, int(run.At(k))*w, w)
 	}
 	return buf
 }
 
-// unpackLanes scatters a decoded payload into local storage run by
-// run, with bulk copies (or fused add loops) for stride-1 runs.
-func unpackLanes(local, vals []float64, runs []Run, w, op int) {
+// appendUnits appends n scalar units starting at unit o of m to buf in
+// wire encoding.
+func appendUnits(buf []byte, m Mem, o, n int) []byte {
+	switch m.et.Kind {
+	case KindFloat64:
+		return codec.AppendFloat64s(buf, m.f64[o:o+n])
+	case KindFloat32:
+		return codec.AppendFloat32s(buf, m.f32[o:o+n])
+	case KindInt64:
+		return codec.AppendInt64s(buf, m.i64[o:o+n])
+	case KindInt32:
+		return codec.AppendInt32s(buf, m.i32[o:o+n])
+	case KindByte:
+		return append(buf, m.by[o:o+n]...)
+	}
+	panic(fmt.Sprintf("core: packing unknown element kind %d", m.et.Kind))
+}
+
+// unpackLanes scatters a raw payload into local storage run by run,
+// decoding each run's bytes straight into the typed storage (no
+// staging buffer) with bulk decodes — or fused decode-and-add kernels
+// for accumulating moves — on stride-1 runs.
+func unpackLanes(m Mem, data []byte, runs []Run, w, op int) {
+	es := m.et.Kind.Size()
 	t := 0
 	for _, run := range runs {
-		checkRunBounds(run, local, w)
+		checkRunBounds(run, m.Units(), w)
 		if run.Stride == 1 {
 			o := int(run.Start) * w
 			n := int(run.Count) * w
-			if op == opAdd {
-				dst, src := local[o:o+n], vals[t:t+n]
-				for k := range dst {
-					dst[k] += src[k]
-				}
-			} else {
-				copy(local[o:o+n], vals[t:t+n])
-			}
-			t += n
+			readUnits(m, o, data[t:t+n*es], op)
+			t += n * es
 			continue
 		}
 		for k := int32(0); k < run.Count; k++ {
 			o := int(run.At(k)) * w
-			if op == opAdd {
-				for j := 0; j < w; j++ {
-					local[o+j] += vals[t+j]
-				}
-			} else {
-				copy(local[o:o+w], vals[t:t+w])
-			}
-			t += w
+			readUnits(m, o, data[t:t+w*es], op)
+			t += w * es
 		}
 	}
+}
+
+// readUnits decodes the payload slice b into m starting at unit o,
+// either overwriting or accumulating.
+func readUnits(m Mem, o int, b []byte, op int) {
+	switch m.et.Kind {
+	case KindFloat64:
+		dst := m.f64[o : o+len(b)/8]
+		if op == opAdd {
+			codec.AddFloat64s(dst, b)
+		} else {
+			codec.Float64sInto(dst, b)
+		}
+	case KindFloat32:
+		dst := m.f32[o : o+len(b)/4]
+		if op == opAdd {
+			codec.AddFloat32s(dst, b)
+		} else {
+			codec.Float32sInto(dst, b)
+		}
+	case KindInt64:
+		dst := m.i64[o : o+len(b)/8]
+		if op == opAdd {
+			codec.AddInt64s(dst, b)
+		} else {
+			codec.Int64sInto(dst, b)
+		}
+	case KindInt32:
+		dst := m.i32[o : o+len(b)/4]
+		if op == opAdd {
+			codec.AddInt32s(dst, b)
+		} else {
+			codec.Int32sInto(dst, b)
+		}
+	case KindByte:
+		dst := m.by[o : o+len(b)]
+		if op == opAdd {
+			codec.AddBytes(dst, b)
+		} else {
+			copy(dst, b)
+		}
+	default:
+		panic(fmt.Sprintf("core: unpacking unknown element kind %d", m.et.Kind))
+	}
+}
+
+// scalar is the set of storage types elements are built from; the
+// compiler specializes the local-copy kernels per type, so the float64
+// path compiles to the same code the pre-ElemType executor had.
+type scalar interface {
+	~float64 | ~float32 | ~int64 | ~int32 | ~byte
 }
 
 // moveLocal executes the same-process runs, with bulk copies when both
 // sides are contiguous, returning the element count.
 func (s *Schedule) moveLocal(srcObj, dstObj DistObject, reverse bool, op int) int {
 	p := s.union.Proc()
-	w := s.words
-	from, to := srcObj.Local(), dstObj.Local()
+	w := s.elem.Words
+	from, to := srcObj.LocalMem(), dstObj.LocalMem()
+	var elems int
+	switch s.elem.Kind {
+	case KindFloat64:
+		elems = localRuns(from.f64, to.f64, s.Local, w, reverse, op)
+	case KindFloat32:
+		elems = localRuns(from.f32, to.f32, s.Local, w, reverse, op)
+	case KindInt64:
+		elems = localRuns(from.i64, to.i64, s.Local, w, reverse, op)
+	case KindInt32:
+		elems = localRuns(from.i32, to.i32, s.Local, w, reverse, op)
+	case KindByte:
+		elems = localRuns(from.by, to.by, s.Local, w, reverse, op)
+	default:
+		panic(fmt.Sprintf("core: local copy of unknown element kind %d", s.elem.Kind))
+	}
+	p.ChargeMemOps(2 * elems)
+	p.ChargeCopy(s.elem.Bytes() * elems)
+	if op == opAdd {
+		p.ChargeFlops(w * elems)
+	}
+	return elems
+}
+
+// localRuns is the typed local-copy kernel behind moveLocal.
+func localRuns[T scalar](from, to []T, local []LocalRun, w int, reverse bool, op int) int {
 	elems := 0
-	for _, lr := range s.Local {
+	for _, lr := range local {
 		elems += int(lr.Count)
 		if lr.SrcStride == 1 && lr.DstStride == 1 {
 			a, b, n := int(lr.Src)*w, int(lr.Dst)*w, int(lr.Count)*w
@@ -497,20 +582,5 @@ func (s *Schedule) moveLocal(srcObj, dstObj DistObject, reverse bool, op int) in
 			}
 		}
 	}
-	p.ChargeMemOps(2 * elems)
-	p.ChargeCopy(8 * w * elems)
-	if op == opAdd {
-		p.ChargeFlops(w * elems)
-	}
 	return elems
-}
-
-// valsScratch returns the schedule's reusable unpack buffer sized to n
-// words.
-func (s *Schedule) valsScratch(n int) []float64 {
-	if cap(s.recvVals) < n {
-		s.recvVals = make([]float64, n)
-	}
-	s.recvVals = s.recvVals[:n]
-	return s.recvVals
 }

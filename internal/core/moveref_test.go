@@ -19,10 +19,13 @@ const refTag = 0x3000
 
 // refMoveOp is the per-element reference executor.  It mirrors
 // moveOp's data semantics with none of its optimizations: offsets are
-// expanded, every element is copied scalar-by-scalar, lanes are
-// received in schedule order, and every buffer is freshly allocated.
+// expanded, every scalar unit is moved one at a time through the Mem
+// unit accessors (transported as float64, which is exact for every
+// kind at test magnitudes and bit-identical for float64 data), lanes
+// are received in schedule order, and every buffer is freshly
+// allocated.
 func refMoveOp(s *Schedule, srcObj, dstObj DistObject, reverse bool, op int, tag int) {
-	w := s.words
+	w := s.elem.Words
 	sends, recvs := s.Sends, s.Recvs
 	packObj, unpackObj := srcObj, dstObj
 	if reverse {
@@ -30,35 +33,37 @@ func refMoveOp(s *Schedule, srcObj, dstObj DistObject, reverse bool, op int, tag
 		packObj, unpackObj = dstObj, srcObj
 	}
 	if packObj != nil {
-		local := packObj.Local()
+		local := packObj.LocalMem()
 		for i := range sends {
 			pl := &sends[i]
 			vals := make([]float64, 0, pl.Len()*w)
 			for _, off := range pl.ExpandOffsets() {
 				o := int(off) * w
-				vals = append(vals, local[o:o+w]...)
+				for j := 0; j < w; j++ {
+					vals = append(vals, local.GetF(o+j))
+				}
 			}
 			s.union.Send(pl.Peer, tag, codec.Float64sToBytes(vals))
 		}
 	}
 	if srcObj != nil && dstObj != nil {
-		from, to := srcObj.Local(), dstObj.Local()
+		from, to := srcObj.LocalMem(), dstObj.LocalMem()
 		s.EachLocal(func(so, do int32) {
 			a, b := int(so)*w, int(do)*w
 			for j := 0; j < w; j++ {
 				switch {
 				case op == opAdd:
-					to[b+j] += from[a+j]
+					to.AddF(b+j, from.GetF(a+j))
 				case reverse:
-					from[a+j] = to[b+j]
+					from.SetF(a+j, to.GetF(b+j))
 				default:
-					to[b+j] = from[a+j]
+					to.SetF(b+j, from.GetF(a+j))
 				}
 			}
 		})
 	}
 	if unpackObj != nil {
-		local := unpackObj.Local()
+		local := unpackObj.LocalMem()
 		for i := range recvs {
 			pl := &recvs[i]
 			data, _ := s.union.Recv(pl.Peer, tag)
@@ -68,9 +73,9 @@ func refMoveOp(s *Schedule, srcObj, dstObj DistObject, reverse bool, op int, tag
 				o := int(off) * w
 				for j := 0; j < w; j++ {
 					if op == opAdd {
-						local[o+j] += vals[t]
+						local.AddF(o+j, vals[t])
 					} else {
-						local[o+j] = vals[t]
+						local.SetF(o+j, vals[t])
 					}
 					t++
 				}
@@ -79,18 +84,26 @@ func refMoveOp(s *Schedule, srcObj, dstObj DistObject, reverse bool, op int, tag
 	}
 }
 
-// refObj is a bare local array implementing DistObject.
+// refObj is a bare local float64 array implementing DistObject.
 type refObj struct {
 	words int
 	data  []float64
 }
 
-func (o *refObj) ElemWords() int   { return o.words }
-func (o *refObj) Local() []float64 { return o.data }
+func (o *refObj) Elem() ElemType { return Float64Elems(o.words) }
+func (o *refObj) LocalMem() Mem  { return Float64Mem(o.words, o.data) }
 
 func (o *refObj) clone() *refObj {
 	return &refObj{words: o.words, data: append([]float64(nil), o.data...)}
 }
+
+// memObj is a bare Mem-backed DistObject for dtype sweeps.
+type memObj struct{ mem Mem }
+
+func (o *memObj) Elem() ElemType { return o.mem.Elem() }
+func (o *memObj) LocalMem() Mem  { return o.mem }
+
+func (o *memObj) clone() *memObj { return &memObj{mem: o.mem.Clone()} }
 
 // buildSchedFromPerm constructs one process's Schedule directly from a
 // global slot bijection: global source slot i (process i/slotsPer,
@@ -98,9 +111,9 @@ func (o *refObj) clone() *refObj {
 // process iterates the bijection in the same order, so per-lane
 // sequences line up across processes exactly as the real schedule
 // builds guarantee.
-func buildSchedFromPerm(comm *mpsim.Comm, slotsPer, words int, perm []int) *Schedule {
+func buildSchedFromPerm(comm *mpsim.Comm, slotsPer int, elem ElemType, perm []int) *Schedule {
 	rank := comm.Rank()
-	s := &Schedule{union: comm, elems: len(perm), words: words}
+	s := &Schedule{union: comm, elems: len(perm), elem: elem}
 	sendMap := map[int]*PeerList{}
 	recvMap := map[int]*PeerList{}
 	var sendOrder, recvOrder []int
@@ -177,7 +190,7 @@ func TestMoveMatchesReferenceExecutor(t *testing.T) {
 		}
 		mpsim.RunSPMD(mpsim.Ideal(), nprocs, func(p *mpsim.Proc) {
 			comm := p.Comm()
-			sched := buildSchedFromPerm(comm, slotsPer, words, perm)
+			sched := buildSchedFromPerm(comm, slotsPer, Float64Elems(words), perm)
 			if regular && sched.RunCount() > 3*nprocs {
 				t.Errorf("trial %d: regular schedule kept %d runs for %d lanes", trial, sched.RunCount(), nprocs)
 			}
@@ -245,14 +258,14 @@ func TestMoveHalvesMatchReference(t *testing.T) {
 		}
 		mpsim.RunSPMD(mpsim.Ideal(), nprocs, func(p *mpsim.Proc) {
 			comm := p.Comm()
-			full := buildSchedFromPerm(comm, slotsPer, words, perm)
+			full := buildSchedFromPerm(comm, slotsPer, Float64Elems(words), perm)
 			if len(full.Local) != 0 {
 				t.Fatalf("trial %d: bijection produced local pairs", trial)
 			}
 			// Each process plays both roles with separate schedule
 			// instances, as two coupled programs would.
-			sSend := &Schedule{union: comm, elems: m, words: words, Sends: full.Sends}
-			sRecv := &Schedule{union: comm, elems: m, words: words, Recvs: full.Recvs}
+			sSend := &Schedule{union: comm, elems: m, elem: Float64Elems(words), Sends: full.Sends}
+			sRecv := &Schedule{union: comm, elems: m, elem: Float64Elems(words), Recvs: full.Recvs}
 
 			src := &refObj{words: words, data: make([]float64, slotsPer*words)}
 			dst := &refObj{words: words, data: make([]float64, slotsPer*words)}
@@ -276,6 +289,90 @@ func TestMoveHalvesMatchReference(t *testing.T) {
 			bitEqual(t, "MoveReverseSend/Recv", srcA.data, srcB.data)
 		})
 	}
+}
+
+// TestMoveMatchesReferenceExecutorDtypes runs the randomized
+// equivalence property over every element kind, including a 2-word
+// struct-like type: the typed pack/unpack/local kernels must match the
+// unit-at-a-time reference executor exactly.  Values are small
+// integers, exact in every kind.
+func TestMoveMatchesReferenceExecutorDtypes(t *testing.T) {
+	dtypes := []ElemType{Float32, Int64, Int32, Byte, Float64Elems(2), {Kind: KindFloat32, Words: 3}}
+	for di, et := range dtypes {
+		et := et
+		t.Run(et.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(5000 + di)))
+			nprocs := 2 + rng.Intn(3)
+			slotsPer := 8 + rng.Intn(25)
+			m := nprocs * slotsPer
+			perm := make([]int, m)
+			if di%2 == 0 {
+				shift := 1 + rng.Intn(m-1)
+				for i := range perm {
+					perm[i] = (i + shift) % m
+				}
+			} else {
+				copy(perm, rng.Perm(m))
+			}
+			mpsim.RunSPMD(mpsim.Ideal(), nprocs, func(p *mpsim.Proc) {
+				comm := p.Comm()
+				sched := buildSchedFromPerm(comm, slotsPer, et, perm)
+				src := &memObj{mem: MakeMem(et, slotsPer)}
+				dst := &memObj{mem: MakeMem(et, slotsPer)}
+				// Values stay below 128 so every kind (including byte,
+				// even after one accumulation) represents them exactly.
+				for u := 0; u < src.mem.Units(); u++ {
+					src.mem.SetF(u, float64((comm.Rank()*37+u*3)%100))
+					dst.mem.SetF(u, float64((u*7)%25))
+				}
+
+				memEqual := func(label string, got, want Mem) {
+					t.Helper()
+					for u := 0; u < want.Units(); u++ {
+						if got.GetF(u) != want.GetF(u) {
+							t.Fatalf("%s (%v): unit %d = %v, reference %v", label, et, u, got.GetF(u), want.GetF(u))
+						}
+					}
+				}
+
+				srcA, dstA := src.clone(), dst.clone()
+				srcB, dstB := src.clone(), dst.clone()
+				sched.Move(srcA, dstA)
+				refMoveOp(sched, srcB, dstB, false, opCopy, refTag)
+				memEqual("Move dst", dstA.mem, dstB.mem)
+				memEqual("Move src untouched", srcA.mem, srcB.mem)
+
+				srcA, dstA = src.clone(), dst.clone()
+				srcB, dstB = src.clone(), dst.clone()
+				sched.MoveReverse(srcA, dstA)
+				refMoveOp(sched, srcB, dstB, true, opCopy, refTag)
+				memEqual("MoveReverse src", srcA.mem, srcB.mem)
+
+				srcA, dstA = src.clone(), dst.clone()
+				srcB, dstB = src.clone(), dst.clone()
+				sched.MoveAdd(srcA, dstA)
+				refMoveOp(sched, srcB, dstB, false, opAdd, refTag)
+				memEqual("MoveAdd dst", dstA.mem, dstB.mem)
+			})
+		})
+	}
+}
+
+// TestMoveWrongKindPanics pins the full-element-type execution guard: a
+// schedule built for float64 elements must refuse a same-width int64
+// object instead of reinterpreting its bytes.
+func TestMoveWrongKindPanics(t *testing.T) {
+	mpsim.RunSPMD(mpsim.Ideal(), 1, func(p *mpsim.Proc) {
+		sched := buildSchedFromPerm(p.Comm(), 4, Float64, []int{1, 0, 3, 2})
+		i64 := &memObj{mem: MakeMem(Int64, 4)}
+		f64 := &memObj{mem: MakeMem(Float64, 4)}
+		defer func() {
+			if recover() == nil {
+				t.Error("move with same-width int64 object did not panic")
+			}
+		}()
+		sched.Move(i64, f64)
+	})
 }
 
 // TestMoveTagSpan pins the widened move-tag space: tags must stay
@@ -310,7 +407,7 @@ func TestMoveBeyondOldTagWindow(t *testing.T) {
 		comm := p.Comm()
 		// Rank 0's 4 elements feed rank 1's 4 elements.
 		perm := []int{4, 5, 6, 7, 0, 1, 2, 3}
-		sched := buildSchedFromPerm(comm, 4, 1, perm)
+		sched := buildSchedFromPerm(comm, 4, Float64, perm)
 		src := &refObj{words: 1, data: make([]float64, 4)}
 		dst := &refObj{words: 1, data: make([]float64, 4)}
 		for it := 0; it < iters; it++ {

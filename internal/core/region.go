@@ -139,15 +139,16 @@ type PosLoc struct {
 
 // DistObject is one process's handle on a distributed data structure:
 // the element geometry plus this process's local element storage.
-// Elements are fixed-size groups of float64 words, which covers the
-// paper's arrays of doubles as well as pC++-style element objects.
+// Elements are fixed-size groups of scalars described by an ElemType —
+// the paper's arrays of doubles (ElemType{KindFloat64, 1}), pC++-style
+// multi-word element objects, and float32/int64/int32/byte data alike.
 type DistObject interface {
-	// ElemWords returns the number of float64 words per element.
-	ElemWords() int
-	// Local returns the calling process's local element storage, of
-	// length ElemWords times the number of locally owned elements.
-	// Descriptor-only remote views return nil.
-	Local() []float64
+	// Elem returns the element type.
+	Elem() ElemType
+	// LocalMem returns the calling process's local element storage, of
+	// Elem().Words scalar units per locally owned element.
+	// Descriptor-only remote views return a nil Mem (IsNil true).
+	LocalMem() Mem
 }
 
 func max(a, b int) int {

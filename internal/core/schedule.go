@@ -87,7 +87,7 @@ func (pl *PeerList) ExpandOffsets() []int32 {
 type Schedule struct {
 	union *mpsim.Comm
 	elems int
-	words int
+	elem  ElemType
 
 	Sends []PeerList
 	Recvs []PeerList
@@ -103,9 +103,8 @@ type Schedule struct {
 	// Executor scratch, cached across moves so a reused schedule packs,
 	// ships and unpacks without allocating (see move.go).  A Schedule is
 	// per-process state and moves are collective, so no locking.
-	packBuf  []byte
-	recvVals []float64
-	reqs     []*mpsim.Request
+	packBuf []byte
+	reqs    []*mpsim.Request
 
 	// Reliability-path scratch (untouched when the transport is not
 	// reliable): per-peer network-counter snapshots around a move.
@@ -137,9 +136,12 @@ func (s *Schedule) EachLocal(f func(src, dst int32)) {
 // (across all processes).
 func (s *Schedule) Elems() int { return s.elems }
 
-// ElemWords returns the per-element word count the schedule was built
-// for.
-func (s *Schedule) ElemWords() int { return s.words }
+// Elem returns the element type the schedule was built for.
+func (s *Schedule) Elem() ElemType { return s.elem }
+
+// ElemWords returns the per-element scalar count the schedule was
+// built for.
+func (s *Schedule) ElemWords() int { return s.elem.Words }
 
 // SendCount returns the number of elements this process sends remotely.
 func (s *Schedule) SendCount() int {
@@ -211,33 +213,36 @@ func ComputeSchedule(c *Coupling, src, dst *Spec, method Method) (*Schedule, err
 		return nil, fmt.Errorf("core: destination spec rank mapping inconsistent with coupling")
 	}
 
-	// Agree on element count and element width across both programs.
+	// Agree on element count and element type across both programs.
+	// The element type rides in the int32 slot that used to carry the
+	// bare word count (packElem), so float64 metadata — and therefore
+	// the coupling's virtual-time message traffic — is unchanged.
 	var mySrcMeta, myDstMeta []byte
 	if src != nil && src.Ctx.Comm.Rank() == 0 {
 		var w codec.Writer
 		w.PutInt64(int64(src.Set.Size()))
-		w.PutInt32(int32(src.Obj.ElemWords()))
+		w.PutInt32(PackElem(src.Obj.Elem()))
 		mySrcMeta = w.Bytes()
 	}
 	if dst != nil && dst.Ctx.Comm.Rank() == 0 {
 		var w codec.Writer
 		w.PutInt64(int64(dst.Set.Size()))
-		w.PutInt32(int32(dst.Obj.ElemWords()))
+		w.PutInt32(PackElem(dst.Obj.Elem()))
 		myDstMeta = w.Bytes()
 	}
 	srcMeta := c.Union.Bcast(c.SrcRanks[0], mySrcMeta)
 	dstMeta := c.Union.Bcast(c.DstRanks[0], myDstMeta)
 	sr, dr := codec.NewReader(srcMeta), codec.NewReader(dstMeta)
-	nSrc, wSrc := int(sr.Int64()), int(sr.Int32())
-	nDst, wDst := int(dr.Int64()), int(dr.Int32())
+	nSrc, eSrc := int(sr.Int64()), UnpackElem(sr.Int32())
+	nDst, eDst := int(dr.Int64()), UnpackElem(dr.Int32())
 	if nSrc != nDst {
 		return nil, fmt.Errorf("core: source set has %d elements, destination %d", nSrc, nDst)
 	}
-	if wSrc != wDst {
-		return nil, fmt.Errorf("core: source elements are %d words, destination %d", wSrc, wDst)
+	if eSrc != eDst {
+		return nil, fmt.Errorf("core: source elements are %v, destination %v", eSrc, eDst)
 	}
 
-	sched := &Schedule{union: c.Union, elems: nSrc, words: wSrc}
+	sched := &Schedule{union: c.Union, elems: nSrc, elem: eSrc}
 	switch method {
 	case Cooperation:
 		buildCooperation(c, src, dst, sched)
@@ -468,7 +473,7 @@ func buildDuplication(c *Coupling, src, dst *Spec, sched *Schedule) error {
 
 	// Pass one: build send lists from the elements I own on the source
 	// side.
-	if src.Obj.Local() != nil {
+	if !src.Obj.LocalMem().IsNil() {
 		owned := src.Lib.OwnedPositions(src.Ctx, src.Obj, src.Set)
 		positions := make([]int32, len(owned))
 		for i, pl := range owned {
@@ -498,7 +503,7 @@ func buildDuplication(c *Coupling, src, dst *Spec, sched *Schedule) error {
 
 	// Pass two: build receive lists from the elements I own on the
 	// destination side.
-	if dst.Obj.Local() != nil {
+	if !dst.Obj.LocalMem().IsNil() {
 		owned := dst.Lib.OwnedPositions(dst.Ctx, dst.Obj, dst.Set)
 		positions := make([]int32, len(owned))
 		for i, pl := range owned {

@@ -8,6 +8,7 @@ package distarray
 import (
 	"fmt"
 
+	"metachaos/internal/core"
 	"metachaos/internal/gidx"
 )
 
@@ -331,20 +332,30 @@ func (d *Dist) GlobalOf(rank int, local []int) []int {
 	return out
 }
 
-// Array is one process's portion of a distributed array of float64
-// elements: the shared distribution descriptor plus the local tile.
+// Array is one process's portion of a distributed array: the shared
+// distribution descriptor plus the local tile.  Tiles default to
+// float64 elements; NewArrayTyped builds tiles of any core.ElemType.
 type Array struct {
 	dist  *Dist
 	rank  int
-	local []float64
+	mem   core.Mem
+	local []float64 // float64 alias of mem (nil for other element kinds)
 }
 
-// NewArray allocates rank's tile of a distributed array.
+// NewArray allocates rank's tile of a distributed array of float64.
 func NewArray(dist *Dist, rank int) *Array {
+	return NewArrayTyped(dist, rank, core.Float64)
+}
+
+// NewArrayTyped allocates rank's tile of a distributed array whose
+// elements have type et.
+func NewArrayTyped(dist *Dist, rank int, et core.ElemType) *Array {
 	if rank < 0 || rank >= dist.NProcs() {
 		panic(fmt.Sprintf("distarray: rank %d outside distribution over %d procs", rank, dist.NProcs()))
 	}
-	return &Array{dist: dist, rank: rank, local: make([]float64, dist.LocalSize(rank))}
+	a := &Array{dist: dist, rank: rank, mem: core.MakeMem(et, dist.LocalSize(rank))}
+	a.local = a.mem.Float64s()
+	return a
 }
 
 // Dist returns the distribution descriptor.
@@ -353,38 +364,55 @@ func (a *Array) Dist() *Dist { return a.dist }
 // Rank returns the owning process rank the tile belongs to.
 func (a *Array) Rank() int { return a.rank }
 
-// Local returns the local tile storage in row-major order.
+// Elem returns the array's element type.
+func (a *Array) Elem() core.ElemType { return a.mem.Elem() }
+
+// LocalMem returns the local tile storage in row-major order.
+func (a *Array) LocalMem() core.Mem { return a.mem }
+
+// Local returns the local tile of a float64 array in row-major order;
+// it is nil for other element kinds (use LocalMem).
 func (a *Array) Local() []float64 { return a.local }
 
-// Get reads the element at global coords, which must be owned locally.
-func (a *Array) Get(coords []int) float64 {
+// unitOf locates the first storage unit of the element at global
+// coords, which must be owned locally.
+func (a *Array) unitOf(coords []int) int {
 	rank, off := a.dist.Locate(coords)
 	if rank != a.rank {
-		panic(fmt.Sprintf("distarray: rank %d reading element %v owned by rank %d", a.rank, coords, rank))
+		panic(fmt.Sprintf("distarray: rank %d addressing element %v owned by rank %d", a.rank, coords, rank))
 	}
-	return a.local[off]
+	return off * a.mem.Elem().Words
 }
 
-// Set writes the element at global coords, which must be owned locally.
+// Get reads the element at global coords (its first scalar, converted
+// to float64), which must be owned locally.
+func (a *Array) Get(coords []int) float64 {
+	return a.mem.GetF(a.unitOf(coords))
+}
+
+// Set writes the element at global coords (its first scalar, converted
+// from float64), which must be owned locally.
 func (a *Array) Set(coords []int, v float64) {
-	rank, off := a.dist.Locate(coords)
-	if rank != a.rank {
-		panic(fmt.Sprintf("distarray: rank %d writing element %v owned by rank %d", a.rank, coords, rank))
-	}
-	a.local[off] = v
+	a.mem.SetF(a.unitOf(coords), v)
 }
 
 // FillGlobal sets every locally owned element to f(globalCoords),
 // letting tests and examples initialize a distributed array from a
-// global definition without communication.
+// global definition without communication.  Multi-word elements have
+// every scalar set to the same value.
 func (a *Array) FillGlobal(f func(coords []int) float64) {
 	counts := a.dist.LocalCounts(a.rank)
-	if len(a.local) == 0 {
+	n := a.mem.Elems()
+	if n == 0 {
 		return
 	}
+	w := a.mem.Elem().Words
 	local := make([]int, len(counts))
-	for off := 0; off < len(a.local); off++ {
-		a.local[off] = f(a.dist.GlobalOf(a.rank, local))
+	for off := 0; off < n; off++ {
+		v := f(a.dist.GlobalOf(a.rank, local))
+		for j := 0; j < w; j++ {
+			a.mem.SetF(off*w+j, v)
+		}
 		for d := len(local) - 1; d >= 0; d-- {
 			local[d]++
 			if local[d] < counts[d] {

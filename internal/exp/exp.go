@@ -8,6 +8,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -110,6 +111,47 @@ func (t *Table) CSV() string {
 		}
 	}
 	return b.String()
+}
+
+// JSON renders the table as a single-line JSON object, so printing
+// several tables yields JSON-lines output that scripted consumers can
+// split on newlines.  NaN marks absent cells in Values; JSON has no
+// NaN, so absent cells are encoded as null.
+func (t *Table) JSON() string {
+	type jsonRow struct {
+		Label  string     `json:"label"`
+		Values []*float64 `json:"values"`
+		Paper  []*float64 `json:"paper,omitempty"`
+	}
+	nullable := func(vals []float64) []*float64 {
+		if vals == nil {
+			return nil
+		}
+		out := make([]*float64, len(vals))
+		for i := range vals {
+			if v := vals[i]; v == v {
+				out[i] = &v
+			}
+		}
+		return out
+	}
+	doc := struct {
+		ID        string    `json:"id"`
+		Title     string    `json:"title"`
+		Unit      string    `json:"unit"`
+		ColHeader string    `json:"col_header"`
+		Cols      []string  `json:"cols"`
+		Rows      []jsonRow `json:"rows"`
+		Notes     []string  `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Unit, t.ColHeader, t.Cols, nil, t.Notes}
+	for _, r := range t.Rows {
+		doc.Rows = append(doc.Rows, jsonRow{r.Label, nullable(r.Values), nullable(r.Paper)})
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		panic(err) // plain data; cannot fail
+	}
+	return string(b)
 }
 
 func csvEscape(s string) string {

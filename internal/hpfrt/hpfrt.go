@@ -27,13 +27,17 @@ type Array struct {
 	*distarray.Array
 }
 
-// NewArray allocates rank's tile.
+// NewArray allocates rank's tile of a float64 array.
 func NewArray(dist *distarray.Dist, rank int) *Array {
 	return &Array{Array: distarray.NewArray(dist, rank)}
 }
 
-// ElemWords reports one word per element.
-func (a *Array) ElemWords() int { return 1 }
+// NewArrayTyped allocates rank's tile of an array with element type
+// et; non-float64 arrays move through Meta-Chaos schedules but are not
+// usable with the float64-native MatVec.
+func NewArrayTyped(dist *distarray.Dist, rank int, et core.ElemType) *Array {
+	return &Array{Array: distarray.NewArrayTyped(dist, rank, et)}
+}
 
 // SecDist exposes the distribution for seclib.
 func (a *Array) SecDist() *distarray.Dist { return a.Dist() }

@@ -137,47 +137,62 @@ func (d *Decomposition) locate(coords []int) (core.Loc, bool) {
 	return core.Loc{}, false
 }
 
-// Grid is one process's storage for a decomposed grid.
+// Grid is one process's storage for a decomposed grid.  Grids default
+// to float64 points; NewGridTyped builds grids of any core.ElemType.
 type Grid struct {
 	dec  *Decomposition
 	rank int
-	data []float64
+	mem  core.Mem
+	data []float64 // float64 alias of mem (nil for other element kinds)
 }
 
-// NewGrid allocates rank's patches of the decomposition.
+// NewGrid allocates rank's patches of the decomposition as float64
+// points.
 func NewGrid(dec *Decomposition, rank int) *Grid {
-	return &Grid{dec: dec, rank: rank, data: make([]float64, dec.LocalSize(rank))}
+	return NewGridTyped(dec, rank, core.Float64)
+}
+
+// NewGridTyped is NewGrid for an arbitrary element type.
+func NewGridTyped(dec *Decomposition, rank int, et core.ElemType) *Grid {
+	g := &Grid{dec: dec, rank: rank, mem: core.MakeMem(et, dec.LocalSize(rank))}
+	g.data = g.mem.Float64s()
+	return g
 }
 
 // Dec returns the decomposition.
 func (g *Grid) Dec() *Decomposition { return g.dec }
 
-// ElemWords reports one word per point.
-func (g *Grid) ElemWords() int { return 1 }
+// Elem returns the grid's element type.
+func (g *Grid) Elem() core.ElemType { return g.mem.Elem() }
 
-// Local returns the local storage (owned patches concatenated).
+// LocalMem returns the local storage (owned patches concatenated).
+func (g *Grid) LocalMem() core.Mem { return g.mem }
+
+// Local returns the local storage of a float64 grid; it is nil for
+// other element kinds (use LocalMem).
 func (g *Grid) Local() []float64 { return g.data }
 
-// Get reads a locally owned point by global coordinates.
-func (g *Grid) Get(coords []int) float64 {
+// unitOf locates the first storage unit of a locally owned point.
+func (g *Grid) unitOf(coords []int) int {
 	loc, ok := g.dec.locate(coords)
 	if !ok || int(loc.Proc) != g.rank {
-		panic(fmt.Sprintf("lparx: rank %d reading %v (owned=%v)", g.rank, coords, ok))
+		panic(fmt.Sprintf("lparx: rank %d addressing %v (owned=%v)", g.rank, coords, ok))
 	}
-	return g.data[loc.Off]
+	return int(loc.Off) * g.mem.Elem().Words
 }
 
-// Set writes a locally owned point by global coordinates.
-func (g *Grid) Set(coords []int, v float64) {
-	loc, ok := g.dec.locate(coords)
-	if !ok || int(loc.Proc) != g.rank {
-		panic(fmt.Sprintf("lparx: rank %d writing %v (owned=%v)", g.rank, coords, ok))
-	}
-	g.data[loc.Off] = v
-}
+// Get reads a locally owned point (its first scalar, converted to
+// float64) by global coordinates.
+func (g *Grid) Get(coords []int) float64 { return g.mem.GetF(g.unitOf(coords)) }
 
-// FillGlobal sets every locally owned point to f(coords).
+// Set writes a locally owned point (its first scalar, converted from
+// float64) by global coordinates.
+func (g *Grid) Set(coords []int, v float64) { g.mem.SetF(g.unitOf(coords), v) }
+
+// FillGlobal sets every locally owned point to f(coords); multi-word
+// elements have every scalar set.
 func (g *Grid) FillGlobal(f func(coords []int) float64) {
+	w := g.mem.Elem().Words
 	for i, pt := range g.dec.patches {
 		if pt.Owner != g.rank {
 			continue
@@ -185,16 +200,22 @@ func (g *Grid) FillGlobal(f func(coords []int) float64) {
 		sec := gidx.NewSection(pt.Lo, pt.Hi)
 		base := g.dec.base[i]
 		sec.ForEach(func(pos int, coords []int) {
-			g.data[base+pos] = f(coords)
+			v := f(coords)
+			for j := 0; j < w; j++ {
+				g.mem.SetF((base+pos)*w+j, v)
+			}
 		})
 	}
 }
 
-// view is a descriptor-only remote image of a grid.
+// view is a descriptor-only remote image of a grid.  The patch list is
+// the whole descriptor, so a view reports the default float64 element
+// type; views dereference but never carry or receive data, so the type
+// is never consulted.
 type view struct{ dec *Decomposition }
 
-func (v *view) ElemWords() int   { return 1 }
-func (v *view) Local() []float64 { return nil }
+func (v *view) Elem() core.ElemType { return core.Float64 }
+func (v *view) LocalMem() core.Mem  { return core.NilMem(core.Float64) }
 
 // decOf extracts the decomposition from a grid or view.
 func decOf(o core.DistObject) *Decomposition {

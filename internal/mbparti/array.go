@@ -19,25 +19,34 @@ var Library = seclib.New("mbparti")
 
 func init() { core.RegisterLibrary(Library) }
 
-// Array is one process's portion of a block-distributed array of
-// float64 with a ghost-cell halo of uniform width.  The local tile is
-// stored row-major with the halo margins included, so an interior
-// element's neighbours are addressable even when owned remotely (after
-// a ghost exchange).
+// Array is one process's portion of a block-distributed array with a
+// ghost-cell halo of uniform width.  The local tile is stored
+// row-major with the halo margins included, so an interior element's
+// neighbours are addressable even when owned remotely (after a ghost
+// exchange).  Tiles default to float64 elements; NewArrayTyped builds
+// tiles of any core.ElemType, which move through Meta-Chaos schedules
+// like any other but are not usable with the float64-native stencil
+// and ghost-exchange helpers.
 type Array struct {
 	dist   *distarray.Dist
 	rank   int
 	halo   int
 	counts []int // interior extents of the local tile
 	gshape []int // padded extents (counts + 2*halo)
-	data   []float64
+	mem    core.Mem
+	data   []float64 // float64 alias of mem (nil for other element kinds)
 }
 
-// NewArray allocates rank's halo-padded tile of a distributed array.
-// Halo must be non-negative; distributions with a halo must be Block
-// in every dimension (ghost regions of cyclic distributions are not
-// meaningful).
+// NewArray allocates rank's halo-padded tile of a distributed array of
+// float64.  Halo must be non-negative; distributions with a halo must
+// be Block in every dimension (ghost regions of cyclic distributions
+// are not meaningful).
 func NewArray(dist *distarray.Dist, rank, halo int) (*Array, error) {
+	return NewArrayTyped(dist, rank, halo, core.Float64)
+}
+
+// NewArrayTyped is NewArray for an arbitrary element type.
+func NewArrayTyped(dist *distarray.Dist, rank, halo int, et core.ElemType) (*Array, error) {
 	if halo < 0 {
 		return nil, fmt.Errorf("mbparti: negative halo %d", halo)
 	}
@@ -52,7 +61,8 @@ func NewArray(dist *distarray.Dist, rank, halo int) (*Array, error) {
 		a.gshape = append(a.gshape, c+2*halo)
 		size *= c + 2*halo
 	}
-	a.data = make([]float64, size)
+	a.mem = core.MakeMem(et, size)
+	a.data = a.mem.Float64s()
 	return a, nil
 }
 
@@ -71,10 +81,14 @@ func (a *Array) Dist() *distarray.Dist { return a.dist }
 // Rank returns the owning process's program rank.
 func (a *Array) Rank() int { return a.rank }
 
-// ElemWords reports one word per element (Parti arrays hold doubles).
-func (a *Array) ElemWords() int { return 1 }
+// Elem returns the array's element type.
+func (a *Array) Elem() core.ElemType { return a.mem.Elem() }
 
-// Local returns the halo-padded local tile.
+// LocalMem returns the halo-padded local tile storage.
+func (a *Array) LocalMem() core.Mem { return a.mem }
+
+// Local returns the halo-padded local tile of a float64 array; it is
+// nil for other element kinds (use LocalMem).
 func (a *Array) Local() []float64 { return a.data }
 
 // SecDist exposes the distribution for seclib.
@@ -108,26 +122,38 @@ func (a *Array) OffsetOf(global []int) int {
 	return a.offsetLocal(local)
 }
 
-// Get reads a locally owned element by global coordinates.
-func (a *Array) Get(global []int) float64 { return a.data[a.OffsetOf(global)] }
+// Get reads a locally owned element (its first scalar, converted to
+// float64) by global coordinates.
+func (a *Array) Get(global []int) float64 {
+	return a.mem.GetF(a.OffsetOf(global) * a.mem.Elem().Words)
+}
 
-// Set writes a locally owned element by global coordinates.
-func (a *Array) Set(global []int, v float64) { a.data[a.OffsetOf(global)] = v }
+// Set writes a locally owned element (its first scalar, converted from
+// float64) by global coordinates.
+func (a *Array) Set(global []int, v float64) {
+	a.mem.SetF(a.OffsetOf(global)*a.mem.Elem().Words, v)
+}
 
 // GetPadded reads by local coordinates that may reach into the halo,
 // for stencil code after a ghost exchange.
-func (a *Array) GetPadded(local []int) float64 { return a.data[a.offsetLocal(local)] }
+func (a *Array) GetPadded(local []int) float64 {
+	return a.mem.GetF(a.offsetLocal(local) * a.mem.Elem().Words)
+}
 
 // FillGlobal sets every locally owned interior element to
-// f(globalCoords).
+// f(globalCoords); multi-word elements have every scalar set.
 func (a *Array) FillGlobal(f func(coords []int) float64) {
 	if a.interiorSize() == 0 {
 		return
 	}
+	w := a.mem.Elem().Words
 	local := make([]int, len(a.counts))
 	for {
-		global := a.dist.GlobalOf(a.rank, local)
-		a.data[a.offsetLocal(local)] = f(global)
+		v := f(a.dist.GlobalOf(a.rank, local))
+		off := a.offsetLocal(local) * w
+		for j := 0; j < w; j++ {
+			a.mem.SetF(off+j, v)
+		}
 		if !incr(local, a.counts) {
 			return
 		}

@@ -404,7 +404,7 @@ func TestSeclibDescriptorRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("DecodeDescriptor: %v", err)
 		}
-		if view.Local() != nil {
+		if !view.LocalMem().IsNil() {
 			t.Error("view should carry no storage")
 		}
 		set := core.NewSetOfRegions(gidx.FullSection(gidx.Shape{12, 8}))

@@ -20,36 +20,52 @@ var Library = Lib{}
 func init() { core.RegisterLibrary(Library) }
 
 // Collection is one process's portion of a distributed collection of n
-// elements, each elemWords float64 words, placed round-robin: element
-// i lives on process i mod P at local slot i div P.
+// fixed-size element objects placed round-robin: element i lives on
+// process i mod P at local slot i div P.  Element objects default to
+// multi-word float64 records; NewCollectionTyped builds collections of
+// any core.ElemType.
 type Collection struct {
 	n      int
 	nprocs int
-	words  int
 	rank   int // -1 for descriptor-only remote views
-	data   []float64
+	mem    core.Mem
+	data   []float64 // float64 alias of mem (nil for other element kinds)
 }
 
-// NewCollection allocates rank's share of an n-element collection.
+// NewCollection allocates rank's share of an n-element collection of
+// elemWords-float64 element objects.
 func NewCollection(n, nprocs, elemWords, rank int) (*Collection, error) {
-	if n <= 0 || nprocs <= 0 || elemWords <= 0 {
-		return nil, fmt.Errorf("pcxxrt: invalid collection n=%d procs=%d words=%d", n, nprocs, elemWords)
+	return NewCollectionTyped(n, nprocs, core.Float64Elems(elemWords), rank)
+}
+
+// NewCollectionTyped is NewCollection for an arbitrary element type.
+func NewCollectionTyped(n, nprocs int, et core.ElemType, rank int) (*Collection, error) {
+	if n <= 0 || nprocs <= 0 || et.Words <= 0 {
+		return nil, fmt.Errorf("pcxxrt: invalid collection n=%d procs=%d elem=%v", n, nprocs, et)
 	}
 	if rank < 0 || rank >= nprocs {
 		return nil, fmt.Errorf("pcxxrt: rank %d outside [0,%d)", rank, nprocs)
 	}
-	c := &Collection{n: n, nprocs: nprocs, words: elemWords, rank: rank}
-	c.data = make([]float64, elemWords*c.localCount(rank))
+	c := &Collection{n: n, nprocs: nprocs, rank: rank}
+	c.mem = core.MakeMem(et, c.localCount(rank))
+	c.data = c.mem.Float64s()
 	return c, nil
 }
 
 // N returns the collection's global element count.
 func (c *Collection) N() int { return c.n }
 
-// ElemWords returns the per-element word count.
-func (c *Collection) ElemWords() int { return c.words }
+// Elem returns the collection's element type.
+func (c *Collection) Elem() core.ElemType { return c.mem.Elem() }
 
-// Local returns the local element storage.
+// ElemWords returns the per-element scalar count.
+func (c *Collection) ElemWords() int { return c.mem.Elem().Words }
+
+// LocalMem returns the local element storage.
+func (c *Collection) LocalMem() core.Mem { return c.mem }
+
+// Local returns the local storage of a float64 collection; it is nil
+// for other element kinds (use LocalMem).
 func (c *Collection) Local() []float64 { return c.data }
 
 func (c *Collection) localCount(rank int) int {
@@ -65,22 +81,25 @@ func (c *Collection) Owner(i int) int { return i % c.nprocs }
 // Slot returns element i's local slot on its owner.
 func (c *Collection) Slot(i int) int { return i / c.nprocs }
 
-// Elem returns the local storage of global element i, which must be
-// owned by this process.
-func (c *Collection) Elem(i int) []float64 {
+// ElemData returns the local float64 storage of global element i,
+// which must be owned by this process; it is only usable on float64
+// collections.
+func (c *Collection) ElemData(i int) []float64 {
 	if c.Owner(i) != c.rank {
 		panic(fmt.Sprintf("pcxxrt: rank %d accessing element %d owned by rank %d", c.rank, i, c.Owner(i)))
 	}
-	s := c.Slot(i) * c.words
-	return c.data[s : s+c.words]
+	w := c.mem.Elem().Words
+	s := c.Slot(i) * w
+	return c.data[s : s+w]
 }
 
-// ForEachOwned iterates the locally owned elements, passing the global
-// element index and its storage.
+// ForEachOwned iterates the locally owned elements of a float64
+// collection, passing the global element index and its storage.
 func (c *Collection) ForEachOwned(f func(i int, elem []float64)) {
+	w := c.mem.Elem().Words
 	for k := 0; k*c.nprocs+c.rank < c.n; k++ {
 		i := k*c.nprocs + c.rank
-		f(i, c.data[k*c.words:(k+1)*c.words])
+		f(i, c.data[k*w:(k+1)*w])
 	}
 }
 
@@ -172,11 +191,14 @@ func (Lib) OwnedPositions(ctx *core.Ctx, o core.DistObject, set *core.SetOfRegio
 	return out
 }
 
-// EncodeDescriptor serializes (n, nprocs, words); compact.
+// EncodeDescriptor serializes (n, nprocs, element type); compact.  The
+// element type packs into the slot that used to carry a bare float64
+// word count, so float64 descriptors are byte-identical to the legacy
+// format.
 func (Lib) EncodeDescriptor(ctx *core.Ctx, o core.DistObject) ([]byte, bool) {
 	c := coll(o)
 	var w codec.Writer
-	w.PutInts([]int{c.n, c.nprocs, c.words})
+	w.PutInts([]int{c.n, c.nprocs, int(core.PackElem(c.mem.Elem()))})
 	return w.Bytes(), true
 }
 
@@ -186,7 +208,8 @@ func (Lib) DecodeDescriptor(data []byte) (core.DistObject, error) {
 	if len(v) != 3 {
 		return nil, fmt.Errorf("pcxx: corrupt descriptor")
 	}
-	return &Collection{n: v[0], nprocs: v[1], words: v[2], rank: -1}, nil
+	et := core.UnpackElem(int32(v[2]))
+	return &Collection{n: v[0], nprocs: v[1], rank: -1, mem: core.NilMem(et)}, nil
 }
 
 // EncodeRegion serializes a range region.

@@ -54,7 +54,7 @@ func TestElemAccessPanicsOnRemote(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	c.Elem(1)
+	c.ElemData(1)
 }
 
 func TestRangeRegionSize(t *testing.T) {
@@ -216,7 +216,8 @@ func TestDescriptorAndRegionCodecs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if v.ElemWords() != 2 || v.Local() != nil {
+		view := v.(*Collection)
+		if view.Elem() != core.Float64Elems(2) || !view.LocalMem().IsNil() {
 			t.Error("bad view")
 		}
 	})

@@ -156,7 +156,10 @@ func (l *Lib) OwnedPositions(ctx *core.Ctx, o core.DistObject, set *core.SetOfRe
 }
 
 // EncodeDescriptor serializes the distribution descriptor (shape, grid,
-// kinds, halo, element width); regular descriptors are compact.
+// kinds, halo, element type); regular descriptors are compact.  The
+// element type packs into the int32 slot that used to carry a bare
+// float64 word count, so float64 descriptors are byte-identical to the
+// legacy format.
 func (l *Lib) EncodeDescriptor(ctx *core.Ctx, o core.DistObject) ([]byte, bool) {
 	so := l.object(o)
 	dist := so.SecDist()
@@ -171,7 +174,7 @@ func (l *Lib) EncodeDescriptor(ctx *core.Ctx, o core.DistObject) ([]byte, bool) 
 	w.PutInts(ki)
 	w.PutInts(dist.Params())
 	w.PutInt32(int32(so.Halo()))
-	w.PutInt32(int32(so.ElemWords()))
+	w.PutInt32(core.PackElem(so.Elem()))
 	return w.Bytes(), true
 }
 
@@ -188,12 +191,12 @@ func (l *Lib) DecodeDescriptor(data []byte) (core.DistObject, error) {
 	}
 	params := r.Ints()
 	halo := int(r.Int32())
-	words := int(r.Int32())
+	et := core.UnpackElem(r.Int32())
 	dist, err := distarray.NewDistParams(shape, grid, kinds, params)
 	if err != nil {
 		return nil, fmt.Errorf("%s: decoding descriptor: %w", l.name, err)
 	}
-	return &View{dist: dist, halo: halo, words: words}, nil
+	return &View{dist: dist, halo: halo, et: et}, nil
 }
 
 // EncodeRegion serializes a section region.
@@ -218,16 +221,16 @@ func (l *Lib) DecodeRegion(data []byte) (core.Region, error) {
 // View is a descriptor-only remote image of a regular distributed
 // array: it dereferences but holds no data.
 type View struct {
-	dist  *distarray.Dist
-	halo  int
-	words int
+	dist *distarray.Dist
+	halo int
+	et   core.ElemType
 }
 
-// ElemWords returns the element width in float64 words.
-func (v *View) ElemWords() int { return v.words }
+// Elem returns the decoded element type.
+func (v *View) Elem() core.ElemType { return v.et }
 
-// Local returns nil: views carry no element storage.
-func (v *View) Local() []float64 { return nil }
+// LocalMem returns nil storage: views carry no elements.
+func (v *View) LocalMem() core.Mem { return core.NilMem(v.et) }
 
 // SecDist returns the decoded distribution descriptor.
 func (v *View) SecDist() *distarray.Dist { return v.dist }

@@ -20,8 +20,8 @@ type testObject struct {
 	data  []float64
 }
 
-func (o *testObject) ElemWords() int           { return o.words }
-func (o *testObject) Local() []float64         { return o.data }
+func (o *testObject) Elem() core.ElemType      { return core.Float64Elems(o.words) }
+func (o *testObject) LocalMem() core.Mem       { return core.Float64Mem(o.words, o.data) }
 func (o *testObject) SecDist() *distarray.Dist { return o.dist }
 func (o *testObject) Halo() int                { return o.halo }
 
@@ -121,8 +121,8 @@ func TestWrongObjectTypePanics(t *testing.T) {
 
 type badObject struct{}
 
-func (badObject) ElemWords() int   { return 1 }
-func (badObject) Local() []float64 { return nil }
+func (badObject) Elem() core.ElemType { return core.Float64 }
+func (badObject) LocalMem() core.Mem  { return core.NilMem(core.Float64) }
 
 func TestDescriptorPreservesWordsAndHalo(t *testing.T) {
 	mpsim.RunSPMD(mpsim.Ideal(), 2, func(p *mpsim.Proc) {
@@ -138,8 +138,8 @@ func TestDescriptorPreservesWordsAndHalo(t *testing.T) {
 			t.Fatal(err)
 		}
 		view := v.(*View)
-		if view.ElemWords() != 3 || view.Halo() != 1 {
-			t.Errorf("view words=%d halo=%d", view.ElemWords(), view.Halo())
+		if view.Elem() != core.Float64Elems(3) || view.Halo() != 1 {
+			t.Errorf("view elem=%v halo=%d", view.Elem(), view.Halo())
 		}
 		if view.SecDist().Shape().Size() != 24 {
 			t.Errorf("view shape %v", view.SecDist().Shape())
@@ -229,7 +229,7 @@ func TestViewLocalIsNil(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if v.Local() != nil {
+		if !v.LocalMem().IsNil() {
 			t.Error("view carries storage")
 		}
 	})

@@ -157,6 +157,40 @@ type (
 	LibraryIface = core.Library
 	// DistObject is a handle on a distributed data structure.
 	DistObject = core.DistObject
+	// ElemType describes one element of a distributed object: Words
+	// scalars of kind Kind.
+	ElemType = core.ElemType
+	// ElemKind enumerates the scalar storage kinds.
+	ElemKind = core.ElemKind
+	// Mem is a distributed object's typed local element storage.
+	Mem = core.Mem
+)
+
+// Element kinds and the single-scalar element types.
+const (
+	KindFloat64 = core.KindFloat64
+	KindFloat32 = core.KindFloat32
+	KindInt64   = core.KindInt64
+	KindInt32   = core.KindInt32
+	KindByte    = core.KindByte
+)
+
+var (
+	// Float64 is the default element type: one float64 per element.
+	Float64 = core.Float64
+	// Float32 elements ship half the wire bytes of Float64.
+	Float32 = core.Float32
+	// Int64 is one int64 per element.
+	Int64 = core.Int64
+	// Int32 is one int32 per element.
+	Int32 = core.Int32
+	// ByteElem is one byte per element.
+	ByteElem = core.Byte
+	// Float64Elems is the legacy multi-word element type: words
+	// float64 scalars per element.
+	Float64Elems = core.Float64Elems
+	// MakeMem allocates zeroed storage for elements of a type.
+	MakeMem = core.MakeMem
 )
 
 // Schedule computation methods.
@@ -251,16 +285,25 @@ type (
 var (
 	// NewMBPartiArray allocates a Multiblock Parti array tile.
 	NewMBPartiArray = mbparti.NewArray
+	// NewMBPartiArrayTyped is NewMBPartiArray for any element type.
+	NewMBPartiArrayTyped = mbparti.NewArrayTyped
 	// NewChaosArray builds an irregular array and its translation
 	// table (collective).
 	NewChaosArray = chaoslib.NewArray
+	// NewChaosArrayTyped is NewChaosArray for any element type.
+	NewChaosArrayTyped = chaoslib.NewArrayTyped
 	// NewAlignedChaosArray builds an array sharing another's
 	// distribution.
 	NewAlignedChaosArray = chaoslib.NewAligned
 	// NewHPFArray allocates an HPF array tile.
 	NewHPFArray = hpfrt.NewArray
+	// NewHPFArrayTyped is NewHPFArray for any element type.
+	NewHPFArrayTyped = hpfrt.NewArrayTyped
 	// NewPCXXCollection allocates a collection share.
 	NewPCXXCollection = pcxxrt.NewCollection
+	// NewPCXXCollectionTyped is NewPCXXCollection for any element
+	// type.
+	NewPCXXCollectionTyped = pcxxrt.NewCollectionTyped
 	// Block2D builds a 2-D (BLOCK, BLOCK) distribution.
 	Block2D = distarray.MustBlock2D
 	// BlockVector builds a 1-D BLOCK distribution.
@@ -289,6 +332,8 @@ var (
 	NewLPARXDecomposition = lparx.NewDecomposition
 	// NewLPARXGrid allocates a process's patches of a decomposition.
 	NewLPARXGrid = lparx.NewGrid
+	// NewLPARXGridTyped is NewLPARXGrid for any element type.
+	NewLPARXGridTyped = lparx.NewGridTyped
 )
 
 // Multiblock manages coupled Parti blocks and their interfaces.

@@ -13,4 +13,7 @@ fi
 
 go vet ./...
 go test -race ./...
+# Codec wire-format fuzz targets: the seed corpus must pass on every
+# change (longer fuzzing runs use `go test -fuzz=Fuzz ./internal/codec/`).
+go test -run '^Fuzz' ./internal/codec/
 echo "check: OK"
