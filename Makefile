@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check chaos bench report
+.PHONY: build test check chaos bench benchdiff coverage report
 
 build:
 	$(GO) build ./...
@@ -19,8 +19,19 @@ chaos:
 	sh scripts/chaos.sh
 
 # Full benchmark suite with -benchmem, recorded as BENCH_<date>.json.
+# Refuses to overwrite an existing snapshot; use `make bench BENCH=-f`
+# (or scripts/bench.sh -f) to re-record.
 bench:
-	sh scripts/bench.sh
+	sh scripts/bench.sh $(BENCH)
+
+# Perf-regression gate: gated benchmarks vs the newest committed
+# BENCH_<date>.json (ns/op +10% or any allocs/op increase fails).
+benchdiff:
+	sh scripts/benchdiff.sh
+
+# Coverage gate: full-suite statement coverage vs the recorded baseline.
+coverage:
+	sh scripts/coverage.sh
 
 report:
 	$(GO) run ./cmd/mcreport > EXPERIMENTS.md

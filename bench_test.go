@@ -256,6 +256,36 @@ func BenchmarkMoveOverlap(b *testing.B) {
 	b.ReportMetric(8, "moves/op")
 }
 
+func BenchmarkMoveObsOff(b *testing.B) {
+	// The observability layer's opt-in contract, stated as a benchmark:
+	// with no tracer attached a reuse move allocates nothing (the 0
+	// allocs/op here is asserted as a hard test in
+	// internal/core.TestMoveObsOffAllocFree).  A single-process world
+	// makes the move a pure local copy with no scheduler hand-offs, so
+	// the counters isolate the instrumented move path itself.
+	metachaos.RunSPMD(metachaos.Ideal(), 1, func(p *metachaos.Proc) {
+		ctx := metachaos.NewCtx(p, p.Comm())
+		src := metachaos.NewHPFArray(metachaos.Block2D(256, 256, 1), p.Rank())
+		dst := metachaos.NewHPFArray(metachaos.Block2D(256, 256, 1), p.Rank())
+		sched, err := metachaos.ComputeSchedule(metachaos.SingleProgram(p.Comm()),
+			&metachaos.Spec{Lib: metachaos.HPF, Obj: src,
+				Set: metachaos.NewSetOfRegions(metachaos.NewSection([]int{0, 0}, []int{128, 256})), Ctx: ctx},
+			&metachaos.Spec{Lib: metachaos.HPF, Obj: dst,
+				Set: metachaos.NewSetOfRegions(metachaos.NewSection([]int{128, 0}, []int{256, 256})), Ctx: ctx},
+			metachaos.Duplication)
+		if err != nil {
+			panic(err)
+		}
+		sched.Move(src, dst) // warm-up grows the schedule's reusable buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sched.Move(src, dst)
+		}
+		b.StopTimer()
+	})
+}
+
 func BenchmarkChaosLookup(b *testing.B) {
 	// Host cost of one collective translation-table lookup round
 	// (16384 lookups over 4 processes).

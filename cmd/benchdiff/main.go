@@ -1,0 +1,119 @@
+// Command benchdiff compares a benchmark run against a committed
+// BENCH_<date>.json baseline and fails on performance regressions: a
+// gated benchmark more than -max-regress slower in ns/op, any
+// allocs/op increase (allocation counts are deterministic, so any
+// growth is a real change), or a gated benchmark missing from the new
+// run.  scripts/benchdiff.sh wires it into CI.
+//
+// The current run is read from a file argument or stdin ("-"), as
+// either mcbench JSON or raw `go test -bench -benchmem` text (sniffed
+// by the first byte):
+//
+//	go test -run '^$' -bench 'Table5' -benchmem -count 3 . | benchdiff -baseline BENCH_2026-08-06.json -
+//	benchdiff -baseline BENCH_2026-08-06.json current.json
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+
+	"metachaos/internal/benchfmt"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline snapshot (required)")
+	filter := flag.String("filter", "Table5|MovePack|MoveOverlap", "regexp naming the gated benchmarks")
+	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional ns/op growth before failing")
+	flag.Parse()
+
+	if *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline is required")
+		os.Exit(2)
+	}
+	match, err := regexp.Compile(*filter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -filter: %v\n", err)
+		os.Exit(2)
+	}
+	base, err := benchfmt.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	var in io.Reader
+	switch arg := flag.Arg(0); arg {
+	case "", "-":
+		in = os.Stdin
+	default:
+		f, err := os.Open(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	cur, err := readCurrent(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: reading current run: %v\n", err)
+		os.Exit(2)
+	}
+	if len(cur.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: current run has no benchmark results")
+		os.Exit(2)
+	}
+
+	d := benchfmt.Diff(base, cur, match, *maxRegress)
+	if len(d.Compared) == 0 && len(d.Missing) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: filter %q matches nothing in %s — an empty gate gates nothing\n", *filter, *baseline)
+		os.Exit(2)
+	}
+	if base.CPU != "" && cur.CPU != "" && base.CPU != cur.CPU {
+		fmt.Printf("note: baseline CPU %q != current CPU %q; ns/op comparison is cross-machine\n", base.CPU, cur.CPU)
+	}
+	fmt.Printf("baseline %s, gate: ns/op +%.0f%%, allocs/op +0\n", *baseline, *maxRegress*100)
+	for _, c := range d.Compared {
+		fmt.Printf("  %-28s ns/op %12.0f -> %12.0f (%+6.1f%%)   allocs/op %8.0f -> %8.0f\n",
+			c.Name, c.BaseNs, c.NewNs, 100*(c.NewNs/c.BaseNs-1), c.BaseAllocs, c.NewAllocs)
+	}
+	for _, name := range d.Missing {
+		fmt.Printf("  %-28s MISSING from current run\n", name)
+	}
+	if !d.OK() {
+		fmt.Println("FAIL: performance regressions:")
+		for _, g := range d.Regressions {
+			fmt.Printf("  %s\n", g)
+		}
+		for _, name := range d.Missing {
+			fmt.Printf("  %s: gated benchmark missing from current run\n", name)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("OK: no regressions")
+}
+
+// readCurrent sniffs JSON (an mcbench snapshot) vs text (raw go test
+// output) by the first non-space byte.
+func readCurrent(r io.Reader) (*benchfmt.Report, error) {
+	br := bufio.NewReader(r)
+	for {
+		b, err := br.Peek(1)
+		if err != nil {
+			return nil, fmt.Errorf("empty input: %w", err)
+		}
+		switch b[0] {
+		case ' ', '\t', '\n', '\r':
+			br.Discard(1)
+			continue
+		case '{':
+			return benchfmt.Read(br)
+		default:
+			return benchfmt.ParseGotest(br)
+		}
+	}
+}

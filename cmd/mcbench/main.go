@@ -3,57 +3,22 @@
 // every custom metric (the virtual-millisecond measurements the
 // benchmarks report).  scripts/bench.sh uses it to append a dated
 // BENCH_<date>.json snapshot so the performance trajectory — host time
-// AND allocation counts — is tracked in the repository.
+// AND allocation counts — is tracked in the repository, and
+// cmd/benchdiff gates CI against those snapshots.
 //
 //	go test -bench=. -benchmem | go run ./cmd/mcbench > BENCH_$(date +%F).json
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+
+	"metachaos/internal/benchfmt"
 )
 
-// Result is one benchmark line.
-type Result struct {
-	Name        string             `json:"name"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Report is the full snapshot written to stdout.
-type Report struct {
-	Go      string   `json:"go,omitempty"`
-	Pkg     string   `json:"pkg,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"results"`
-}
-
 func main() {
-	rep := Report{}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "pkg:"):
-			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-		case strings.HasPrefix(line, "cpu:"):
-			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"):
-		case strings.HasPrefix(line, "Benchmark"):
-			if r, ok := parseLine(line); ok {
-				rep.Results = append(rep.Results, r)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
+	rep, err := benchfmt.ParseGotest(os.Stdin)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcbench: reading stdin: %v\n", err)
 		os.Exit(1)
 	}
@@ -61,51 +26,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mcbench: no benchmark lines on stdin (pipe `go test -bench -benchmem` output in)")
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := rep.Write(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-// parseLine decodes one benchmark result line: a name, the iteration
-// count, then (value, unit) pairs.
-func parseLine(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 {
-		return Result{}, false
-	}
-	// Strip the -<GOMAXPROCS> suffix go test appends to names.
-	name := fields[0]
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
-		}
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	r := Result{Name: name, Iterations: iters}
-	for i := 2; i+1 < len(fields); i += 2 {
-		val, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			continue
-		}
-		switch unit := fields[i+1]; unit {
-		case "ns/op":
-			r.NsPerOp = val
-		case "B/op":
-			r.BytesPerOp = val
-		case "allocs/op":
-			r.AllocsPerOp = val
-		default:
-			if r.Metrics == nil {
-				r.Metrics = map[string]float64{}
-			}
-			r.Metrics[unit] = val
-		}
-	}
-	return r, true
 }

@@ -1,0 +1,84 @@
+// Command mcprof profiles a workload on the virtual clock and exports
+// its span timeline.  Runs are deterministic, so the same invocation
+// always produces byte-identical output.
+//
+// Formats:
+//
+//	chrome    — trace-event JSON for chrome://tracing / Perfetto / speedscope
+//	collapsed — collapsed stacks for flamegraph.pl / inferno
+//	phases    — plain-text per-phase totals, counters and histograms
+//
+// Usage:
+//
+//	mcprof -workload figure10 -format chrome -o trace.json
+//	mcprof -workload section -procs 8 -iters 10 -format collapsed | flamegraph.pl > flame.svg
+//	mcprof -workload figure10 -server-procs 8 -format phases
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"metachaos/internal/exp"
+	"metachaos/internal/obs"
+)
+
+func main() {
+	workload := flag.String("workload", "figure10", "workload to profile: figure10 or section")
+	procs := flag.Int("procs", 4, "process count (section workload)")
+	serverProcs := flag.Int("server-procs", 2, "server process count (figure10 workload)")
+	vectors := flag.Int("vectors", 1, "vectors shipped through the coupling (figure10 workload)")
+	size := flag.Int("n", 256, "mesh dimension (section workload)")
+	iters := flag.Int("iters", 4, "schedule reuses (section workload)")
+	format := flag.String("format", "chrome", "output format: chrome, collapsed or phases")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var tr *obs.Tracer
+	switch *workload {
+	case "figure10":
+		tr, _ = exp.ProfileFigure10(*serverProcs, *vectors)
+	case "section":
+		tr = exp.ProfileSection(*size, *procs, *iters)
+	default:
+		fmt.Fprintf(os.Stderr, "mcprof: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	if n := tr.OpenSpans(); n != 0 {
+		fmt.Fprintf(os.Stderr, "mcprof: %d spans left open after the run\n", n)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcprof: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var err error
+	switch *format {
+	case "chrome":
+		err = tr.WriteChromeTrace(w)
+	case "collapsed":
+		err = tr.WriteCollapsed(w)
+	case "phases":
+		err = tr.WriteReport(w)
+	default:
+		fmt.Fprintf(os.Stderr, "mcprof: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcprof: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "mcprof: wrote %s (%d spans)\n", *out, tr.SpanCount())
+	}
+}

@@ -7,10 +7,15 @@
 // add -reliable to let the retransmitting transport recover, and the
 // report grows drop/retransmit/duplicate/corruption counters.
 //
+// With -phases the run carries the virtual-time observability layer
+// and the report ends with the per-phase breakdown (schedule build,
+// pack, ship, wait, unpack, ...) that cmd/mcprof exports as timelines.
+//
 // Usage:
 //
 //	mctrace -workload remap|section|clientserver [-procs N]
 //	mctrace -workload section -fault lossy -seed 7 -reliable
+//	mctrace -workload section -phases
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"metachaos/internal/exp"
 	"metachaos/internal/faultsim"
 	"metachaos/internal/mpsim"
+	"metachaos/internal/obs"
 )
 
 func main() {
@@ -33,6 +39,7 @@ func main() {
 	fault := flag.String("fault", "none", "fault profile: none, mild, lossy or random")
 	seed := flag.Uint64("seed", 1, "fault profile seed")
 	reliable := flag.Bool("reliable", false, "enable the retransmitting reliable transport")
+	phases := flag.Bool("phases", false, "attach the observability layer and print per-phase virtual-time totals")
 	flag.Parse()
 
 	prof, err := faultsim.ByName(*fault, *seed)
@@ -48,11 +55,16 @@ func main() {
 	if *reliable {
 		rel = &mpsim.Reliability{}
 	}
+	var tr *obs.Tracer
+	if *phases {
+		tr = obs.NewTracer()
+	}
 	runSPMD := func(nprocs int, body func(p *mpsim.Proc)) *mpsim.Stats {
 		return mpsim.Run(mpsim.Config{
 			Machine:  mpsim.SP2(),
 			Fault:    inj,
 			Reliable: rel,
+			Obs:      tr,
 			Programs: []mpsim.ProgramSpec{{Name: "spmd", Procs: nprocs, Body: body}},
 		})
 	}
@@ -66,13 +78,20 @@ func main() {
 	case "clientserver":
 		stats = exp.RunClientServerStats(exp.CSConfig{
 			ClientProcs: 1, ServerProcs: *procs, Vectors: 1,
-			Fault: inj, Reliable: *reliable,
+			Fault: inj, Reliable: *reliable, Obs: tr,
 		})
 	default:
 		fmt.Fprintf(os.Stderr, "mctrace: unknown workload %q\n", *workload)
 		os.Exit(2)
 	}
 	report(stats)
+	if tr != nil {
+		fmt.Println()
+		if err := tr.WriteReport(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mctrace: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 type runner func(nprocs int, body func(p *mpsim.Proc)) *mpsim.Stats

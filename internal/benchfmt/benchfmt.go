@@ -1,0 +1,225 @@
+// Package benchfmt is the shared benchmark-record format: parsing
+// `go test -bench -benchmem` text into structured results, reading and
+// writing the repository's BENCH_<date>.json snapshots, and diffing
+// two snapshots for performance regressions.  cmd/mcbench records
+// snapshots with it and cmd/benchdiff gates CI on them.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is one full benchmark snapshot.
+type Report struct {
+	Go      string   `json:"go,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// ParseGotest reads `go test -bench -benchmem` text output.  Repeated
+// names (from -count N) all land in Results; Best collapses them.
+func ParseGotest(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"):
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := ParseLine(line); ok {
+				rep.Results = append(rep.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// ParseLine decodes one benchmark result line: a name, the iteration
+// count, then (value, unit) pairs.
+func ParseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	// Strip the -<GOMAXPROCS> suffix go test appends to names.
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			r.BytesPerOp = val
+		case "allocs/op":
+			r.AllocsPerOp = val
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	return r, true
+}
+
+// Read decodes a JSON snapshot.
+func Read(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	if err := json.NewDecoder(r).Decode(rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// ReadFile loads a JSON snapshot from disk.
+func ReadFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Write encodes the report as indented JSON.
+func (rep *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Best collapses repeated names (a -count N run) to one Result per
+// name, keeping each name's minimum-ns/op run whole.  Minimum is the
+// standard scheduler-noise reducer: a benchmark can only be slowed
+// down by interference, never sped up.
+func (rep *Report) Best() map[string]Result {
+	best := make(map[string]Result, len(rep.Results))
+	for _, r := range rep.Results {
+		prev, ok := best[r.Name]
+		if !ok || r.NsPerOp < prev.NsPerOp {
+			best[r.Name] = r
+		}
+	}
+	return best
+}
+
+// Regression is one gate violation found by Diff.
+type Regression struct {
+	Name   string
+	Metric string // "ns/op" or "allocs/op"
+	Base   float64
+	New    float64
+}
+
+func (g Regression) String() string {
+	if g.Metric == "allocs/op" {
+		return fmt.Sprintf("%s: allocs/op %v -> %v (any increase fails)", g.Name, g.Base, g.New)
+	}
+	return fmt.Sprintf("%s: ns/op %.0f -> %.0f (%+.1f%%)", g.Name, g.Base, g.New, 100*(g.New/g.Base-1))
+}
+
+// Comparison is one benchmark's base-vs-current numbers.
+type Comparison struct {
+	Name                  string
+	BaseNs, NewNs         float64
+	BaseAllocs, NewAllocs float64
+}
+
+// DiffResult is the outcome of comparing two snapshots.
+type DiffResult struct {
+	// Compared lists every benchmark present in both snapshots, in
+	// base-snapshot order.
+	Compared []Comparison
+	// Missing lists benchmarks the baseline has (and the filter
+	// matches) that the current run lacks — a gate that silently stops
+	// covering a benchmark is itself a failure.
+	Missing []string
+	// Regressions holds the violations: ns/op beyond the ratio, or any
+	// allocs/op increase.
+	Regressions []Regression
+}
+
+// OK reports whether the gate passes.
+func (d *DiffResult) OK() bool { return len(d.Regressions) == 0 && len(d.Missing) == 0 }
+
+// Diff compares cur against base over the benchmarks whose name
+// matches match (nil matches all).  A benchmark regresses when its
+// ns/op exceeds the baseline by more than maxRatio (0.10 = +10%), or
+// when its allocs/op increases at all — allocation counts are
+// deterministic, so any growth is a real change, not noise.
+func Diff(base, cur *Report, match *regexp.Regexp, maxRatio float64) *DiffResult {
+	baseBest, curBest := base.Best(), cur.Best()
+	d := &DiffResult{}
+	seen := map[string]bool{}
+	for _, r := range base.Results {
+		if seen[r.Name] || (match != nil && !match.MatchString(r.Name)) {
+			continue
+		}
+		seen[r.Name] = true
+		b := baseBest[r.Name]
+		c, ok := curBest[r.Name]
+		if !ok {
+			d.Missing = append(d.Missing, r.Name)
+			continue
+		}
+		d.Compared = append(d.Compared, Comparison{
+			Name:   r.Name,
+			BaseNs: b.NsPerOp, NewNs: c.NsPerOp,
+			BaseAllocs: b.AllocsPerOp, NewAllocs: c.AllocsPerOp,
+		})
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+maxRatio) {
+			d.Regressions = append(d.Regressions, Regression{
+				Name: r.Name, Metric: "ns/op", Base: b.NsPerOp, New: c.NsPerOp,
+			})
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			d.Regressions = append(d.Regressions, Regression{
+				Name: r.Name, Metric: "allocs/op", Base: b.AllocsPerOp, New: c.AllocsPerOp,
+			})
+		}
+	}
+	return d
+}

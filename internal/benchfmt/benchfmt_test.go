@@ -1,0 +1,155 @@
+package benchfmt
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: metachaos
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkTable5-8            	       3	 400000000 ns/op	     12.3 sched-vms@2	 1000000 B/op	    5000 allocs/op
+BenchmarkTable5-8            	       3	 380000000 ns/op	     12.3 sched-vms@2	 1000000 B/op	    5000 allocs/op
+BenchmarkMovePack-8          	     100	   1000000 ns/op	    2048 B/op	       0 allocs/op
+BenchmarkMoveOverlap-8       	      50	   2000000 ns/op	    4096 B/op	       2 allocs/op
+PASS
+ok  	metachaos	12.3s
+`
+
+func parseSample(t *testing.T) *Report {
+	t.Helper()
+	rep, err := ParseGotest(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatalf("ParseGotest: %v", err)
+	}
+	return rep
+}
+
+func TestParseGotest(t *testing.T) {
+	rep := parseSample(t)
+	if rep.Pkg != "metachaos" {
+		t.Errorf("pkg = %q", rep.Pkg)
+	}
+	if rep.CPU == "" {
+		t.Error("cpu not captured")
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "BenchmarkTable5" || r.Iterations != 3 || r.NsPerOp != 400000000 {
+		t.Errorf("first result = %+v", r)
+	}
+	if r.Metrics["sched-vms@2"] != 12.3 {
+		t.Errorf("custom metric lost: %v", r.Metrics)
+	}
+	if r.AllocsPerOp != 5000 || r.BytesPerOp != 1000000 {
+		t.Errorf("memory columns lost: %+v", r)
+	}
+}
+
+func TestBestTakesMinimumRun(t *testing.T) {
+	best := parseSample(t).Best()
+	if got := best["BenchmarkTable5"].NsPerOp; got != 380000000 {
+		t.Errorf("Best ns/op = %g, want the 380000000 run", got)
+	}
+	if len(best) != 3 {
+		t.Errorf("Best has %d names, want 3", len(best))
+	}
+}
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	base := parseSample(t)
+	cur := parseSample(t)
+	// +5% everywhere stays under the 10% gate.
+	for i := range cur.Results {
+		cur.Results[i].NsPerOp *= 1.05
+	}
+	d := Diff(base, cur, nil, 0.10)
+	if !d.OK() {
+		t.Fatalf("5%% drift flagged: %v %v", d.Regressions, d.Missing)
+	}
+	if len(d.Compared) != 3 {
+		t.Errorf("compared %d benchmarks, want 3", len(d.Compared))
+	}
+}
+
+func TestDiffFlagsSyntheticTwoXRegression(t *testing.T) {
+	base := parseSample(t)
+	cur := parseSample(t)
+	for i := range cur.Results {
+		if cur.Results[i].Name == "BenchmarkMovePack" {
+			cur.Results[i].NsPerOp *= 2
+		}
+	}
+	d := Diff(base, cur, nil, 0.10)
+	if len(d.Regressions) != 1 {
+		t.Fatalf("regressions = %v, want exactly the 2x MovePack", d.Regressions)
+	}
+	g := d.Regressions[0]
+	if g.Name != "BenchmarkMovePack" || g.Metric != "ns/op" {
+		t.Errorf("flagged %+v", g)
+	}
+}
+
+func TestDiffFlagsAnyAllocIncrease(t *testing.T) {
+	base := parseSample(t)
+	cur := parseSample(t)
+	for i := range cur.Results {
+		if cur.Results[i].Name == "BenchmarkMovePack" {
+			cur.Results[i].AllocsPerOp++ // 0 -> 1: tiny, but deterministic
+		}
+	}
+	d := Diff(base, cur, nil, 0.10)
+	if len(d.Regressions) != 1 || d.Regressions[0].Metric != "allocs/op" {
+		t.Fatalf("regressions = %v, want one allocs/op violation", d.Regressions)
+	}
+}
+
+func TestDiffFlagsMissingBenchmark(t *testing.T) {
+	base := parseSample(t)
+	cur := parseSample(t)
+	kept := cur.Results[:0]
+	for _, r := range cur.Results {
+		if r.Name != "BenchmarkMoveOverlap" {
+			kept = append(kept, r)
+		}
+	}
+	cur.Results = kept
+	d := Diff(base, cur, regexp.MustCompile(`Table5|MovePack|MoveOverlap`), 0.10)
+	if d.OK() || len(d.Missing) != 1 || d.Missing[0] != "BenchmarkMoveOverlap" {
+		t.Fatalf("missing = %v, want [BenchmarkMoveOverlap]", d.Missing)
+	}
+}
+
+func TestDiffFilter(t *testing.T) {
+	base := parseSample(t)
+	cur := parseSample(t)
+	for i := range cur.Results {
+		cur.Results[i].NsPerOp *= 10 // everything regresses...
+	}
+	d := Diff(base, cur, regexp.MustCompile(`^BenchmarkTable5$`), 0.10)
+	if len(d.Regressions) != 1 || d.Regressions[0].Name != "BenchmarkTable5" {
+		t.Fatalf("filter leaked: %v", d.Regressions) // ...but only Table5 is gated
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rep := parseSample(t)
+	var buf strings.Builder
+	if err := rep.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(back.Results) != len(rep.Results) || back.CPU != rep.CPU {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if back.Results[0].Metrics["sched-vms@2"] != 12.3 {
+		t.Errorf("metrics lost in round trip")
+	}
+}

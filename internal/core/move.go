@@ -41,6 +41,35 @@ type PeerNet struct {
 	Dups int64
 }
 
+// MovePhases breaks one move's virtual-time cost on this process into
+// contiguous phases.  The executor stamps the virtual clock at every
+// phase boundary, so the five fields telescope: their sum is exactly
+// the clock advance from the move's first instruction to its last.
+// The accounting is always on — it costs a handful of clock reads per
+// lane and allocates nothing — whereas spans (the same boundaries,
+// exported to timelines) are recorded only when a tracer is attached.
+type MovePhases struct {
+	// Pack is time spent building wire buffers for the send lanes,
+	// including checksum trailers on a reliable transport.
+	Pack float64
+	// Ship is time spent handing packed buffers to the transport (send
+	// overhead; the wire time itself overlaps with everything below).
+	Ship float64
+	// Local is time spent on same-process storage-to-storage copies.
+	Local float64
+	// Wait is time spent posting receives and blocked waiting for
+	// message arrivals (and residual bookkeeping).
+	Wait float64
+	// Unpack is time spent decoding arrived lanes into destination
+	// storage, including checksum verification.
+	Unpack float64
+}
+
+// Total returns the move's virtual-time cost on this process.
+func (ph *MovePhases) Total() float64 {
+	return ph.Pack + ph.Ship + ph.Local + ph.Wait + ph.Unpack
+}
+
 // MoveResult reports what a move accomplished and what the network
 // cost to accomplish it.  On a perfect network (or with reliability
 // disabled) it is all zeros with nil slices — the fast path allocates
@@ -52,6 +81,8 @@ type MoveResult struct {
 	// Elems is the number of elements this process unpacked or copied
 	// locally.
 	Elems int
+	// Phases is this process's per-phase virtual-time breakdown.
+	Phases MovePhases
 	// Retransmits and DupsDiscarded total the PerPeer counters.
 	Retransmits   int64
 	DupsDiscarded int64
@@ -183,6 +214,15 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 		packObj, unpackObj = dstObj, srcObj
 	}
 
+	// Phase accounting: tMark walks the virtual clock from boundary to
+	// boundary, so every instant of the move lands in exactly one
+	// MovePhases bucket and the buckets telescope to the move's total.
+	// The matching spans carry the same boundaries onto the timeline
+	// when a tracer is attached (p.Span is a no-op otherwise).
+	tMark := p.Clock()
+	mv := p.Span("move")
+	mv.SetElem(s.elem.String())
+
 	// End-to-end robustness on a reliable transport: each lane's
 	// payload carries a trailing checksum verified at unpack time, the
 	// application-level guard behind the transport's own per-packet
@@ -203,6 +243,9 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 		}
 	}
 	s.reqs = reqs
+	now := p.Clock()
+	res.Phases.Wait += now - tMark
+	tMark = now
 
 	if packObj != nil {
 		s.checkElem(packObj)
@@ -210,6 +253,7 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 		buf := s.packBuf
 		for i := range sends {
 			pl := &sends[i]
+			sp := p.Span("move.pack")
 			buf = buf[:0]
 			for _, run := range pl.Runs {
 				buf = packRun(buf, local, run, w)
@@ -219,9 +263,18 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 				buf = appendChecksum(buf)
 				p.ChargeCopy(len(buf))
 			}
+			now = p.Clock()
+			sp.SetPeer(pl.Peer).SetBytes(len(buf)).End(now)
+			res.Phases.Pack += now - tMark
+			tMark = now
+			sp = p.Span("move.ship")
 			// Isend is buffered (the payload is copied), so one pack
 			// buffer serves every lane and the next move.
 			s.union.Isend(pl.Peer, tag, buf)
+			now = p.Clock()
+			sp.SetPeer(pl.Peer).SetBytes(len(buf)).End(now)
+			res.Phases.Ship += now - tMark
+			tMark = now
 		}
 		s.packBuf = buf
 	}
@@ -229,17 +282,28 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 	// Same-process elements: direct storage-to-storage copy, no message
 	// and no staging buffer, overlapped with the messages in flight.
 	if len(s.Local) > 0 && srcObj != nil && dstObj != nil {
-		res.Elems += s.moveLocal(srcObj, dstObj, reverse, op)
+		sp := p.Span("move.local")
+		n := s.moveLocal(srcObj, dstObj, reverse, op)
+		res.Elems += n
+		now = p.Clock()
+		sp.SetBytes(s.elem.Bytes() * n).End(now)
+		res.Phases.Local += now - tMark
+		tMark = now
 	}
 
 	if unpackObj != nil {
 		local := unpackObj.LocalMem()
 		for {
+			spw := p.Span("move.wait")
 			var i int
 			if rel {
 				var werr error
 				i, werr = mpsim.WaitanyTimeout(reqs, s.timeout)
 				if werr != nil {
+					now = p.Clock()
+					spw.End(now)
+					res.Phases.Wait += now - tMark
+					tMark = now
 					if !s.cancelFailed(&res, reqs, recvs, werr) {
 						break // deadline expired: pending lanes abandoned
 					}
@@ -248,11 +312,16 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 			} else {
 				i = mpsim.Waitany(reqs)
 			}
+			now = p.Clock()
+			spw.End(now)
+			res.Phases.Wait += now - tMark
+			tMark = now
 			if i < 0 {
 				break
 			}
 			data, _ := reqs[i].Wait()
 			pl := &recvs[i]
+			spu := p.Span("move.unpack")
 			n := pl.Len()
 			want := s.elem.Bytes() * n
 			if rel {
@@ -268,12 +337,19 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 			if op == opAdd {
 				p.ChargeFlops(w * n)
 			}
+			now = p.Clock()
+			spu.SetPeer(pl.Peer).SetBytes(want).End(now)
+			res.Phases.Unpack += now - tMark
+			tMark = now
 		}
 	}
 
 	if rel {
 		s.collectNet(&res, sends, recvs, packObj != nil, unpackObj != nil)
 	}
+	now = p.Clock()
+	res.Phases.Wait += now - tMark
+	mv.SetBytes(s.elem.Bytes() * res.Elems).End(now)
 	return res
 }
 

@@ -212,11 +212,21 @@ func ComputeSchedule(c *Coupling, src, dst *Spec, method Method) (*Schedule, err
 	if dst != nil && c.DstRanks[dst.Ctx.Comm.Rank()] != myUnion {
 		return nil, fmt.Errorf("core: destination spec rank mapping inconsistent with coupling")
 	}
+	p := c.Union.Proc()
+	sp := p.Span("sched.compute")
+	sched, err := computeSchedule(c, src, dst, method, p)
+	sp.End(p.Clock())
+	return sched, err
+}
 
+// computeSchedule is the body of ComputeSchedule, split out so the
+// wrapping span closes on every return path.
+func computeSchedule(c *Coupling, src, dst *Spec, method Method, p *mpsim.Proc) (*Schedule, error) {
 	// Agree on element count and element type across both programs.
 	// The element type rides in the int32 slot that used to carry the
 	// bare word count (packElem), so float64 metadata — and therefore
 	// the coupling's virtual-time message traffic — is unchanged.
+	msp := p.Span("sched.meta")
 	var mySrcMeta, myDstMeta []byte
 	if src != nil && src.Ctx.Comm.Rank() == 0 {
 		var w codec.Writer
@@ -235,6 +245,7 @@ func ComputeSchedule(c *Coupling, src, dst *Spec, method Method) (*Schedule, err
 	sr, dr := codec.NewReader(srcMeta), codec.NewReader(dstMeta)
 	nSrc, eSrc := int(sr.Int64()), UnpackElem(sr.Int32())
 	nDst, eDst := int(dr.Int64()), UnpackElem(dr.Int32())
+	msp.End(p.Clock())
 	if nSrc != nDst {
 		return nil, fmt.Errorf("core: source set has %d elements, destination %d", nSrc, nDst)
 	}
@@ -273,17 +284,21 @@ func chunk(n, parts, i int) (lo, hi int) {
 func buildCooperation(c *Coupling, src, dst *Spec, sched *Schedule) {
 	n := sched.elems
 	nS, nD := len(c.SrcRanks), len(c.DstRanks)
+	p := c.Union.Proc()
 
 	// Phase 1: source processes dereference their chunk of positions.
+	sp := p.Span("sched.deref")
 	var srcLocs []Loc
 	var srcLo, srcHi int
 	if src != nil {
 		srcLo, srcHi = chunk(n, nS, src.Ctx.Comm.Rank())
 		srcLocs = src.Lib.DerefRange(src.Ctx, src.Obj, src.Set, srcLo, srcHi)
 	}
+	sp.End(p.Clock())
 
 	// Phase 2: route source locations to the destination processes
 	// responsible for each position chunk.
+	sp = p.Span("sched.route")
 	bufs := make([][]byte, c.Union.Size())
 	if src != nil {
 		procs := make([]int32, 0, len(srcLocs))
@@ -305,10 +320,12 @@ func buildCooperation(c *Coupling, src, dst *Spec, sched *Schedule) {
 		}
 	}
 	parts := c.Union.Alltoall(bufs)
+	sp.End(p.Clock())
 
 	// Phase 3: destination processes dereference their chunk and join
 	// it with the received source locations; phase 4: accumulate the
 	// schedule fragments each owning process needs.
+	sp = p.Span("sched.join")
 	frag := make([]*fragAccum, c.Union.Size())
 	fragOf := func(u int) *fragAccum {
 		if frag[u] == nil {
@@ -360,11 +377,14 @@ func buildCooperation(c *Coupling, src, dst *Spec, sched *Schedule) {
 		}
 	}
 
+	sp.End(p.Clock())
+
 	// Phase 5: one all-to-all routes every fragment to its owner; each
 	// process assembles its lists.  Fragments arrive ordered by
 	// producing chunk, and chunks are position-ordered, so the
 	// per-peer offset lists come out in linearization order without
 	// sorting.
+	sp = p.Span("sched.assemble")
 	fragBufs := make([][]byte, c.Union.Size())
 	for u, f := range frag {
 		if f != nil {
@@ -430,12 +450,6 @@ func buildCooperation(c *Coupling, src, dst *Spec, sched *Schedule) {
 				total += int(count)
 			})
 	}
-	var p *mpsim.Proc
-	if src != nil {
-		p = src.Ctx.P
-	} else {
-		p = dst.Ctx.P
-	}
 	p.ChargeSectionOps(total)
 	for _, peer := range sendOrder {
 		sched.Sends = append(sched.Sends, *sendMap[peer])
@@ -443,6 +457,7 @@ func buildCooperation(c *Coupling, src, dst *Spec, sched *Schedule) {
 	for _, peer := range recvOrder {
 		sched.Recvs = append(sched.Recvs, *recvMap[peer])
 	}
+	sp.End(p.Clock())
 }
 
 // fragAccum gathers one owning process's schedule fragments before
@@ -461,10 +476,13 @@ type fragAccum struct {
 // are exchanged first, which requires both libraries to implement
 // DescriptorCodec and RegionCodec.
 func buildDuplication(c *Coupling, src, dst *Spec, sched *Schedule) error {
+	p := c.Union.Proc()
 	singleProgram := src != nil && dst != nil
 	if !singleProgram {
+		sp := p.Span("sched.exchange")
 		var err error
 		src, dst, err = exchangeDescriptors(c, src, dst)
+		sp.End(p.Clock())
 		if err != nil {
 			return err
 		}
@@ -473,6 +491,7 @@ func buildDuplication(c *Coupling, src, dst *Spec, sched *Schedule) error {
 
 	// Pass one: build send lists from the elements I own on the source
 	// side.
+	sp := p.Span("sched.deref")
 	if !src.Obj.LocalMem().IsNil() {
 		owned := src.Lib.OwnedPositions(src.Ctx, src.Obj, src.Set)
 		positions := make([]int32, len(owned))
@@ -500,9 +519,11 @@ func buildDuplication(c *Coupling, src, dst *Spec, sched *Schedule) error {
 			sched.Sends = append(sched.Sends, *sendMap[peer])
 		}
 	}
+	sp.End(p.Clock())
 
 	// Pass two: build receive lists from the elements I own on the
 	// destination side.
+	sp = p.Span("sched.deref")
 	if !dst.Obj.LocalMem().IsNil() {
 		owned := dst.Lib.OwnedPositions(dst.Ctx, dst.Obj, dst.Set)
 		positions := make([]int32, len(owned))
@@ -529,6 +550,7 @@ func buildDuplication(c *Coupling, src, dst *Spec, sched *Schedule) error {
 			sched.Recvs = append(sched.Recvs, *recvMap[peer])
 		}
 	}
+	sp.End(p.Clock())
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"metachaos/internal/hpfrt"
 	"metachaos/internal/mbparti"
 	"metachaos/internal/mpsim"
+	"metachaos/internal/obs"
 )
 
 // Section 5.4's client/server experiment on the Alpha farm: a Fortran
@@ -39,6 +40,9 @@ type CSConfig struct {
 	// Fingerprint gathers the final result vector into ResultHash,
 	// at the cost of an extra client-side allgather.
 	Fingerprint bool
+	// Obs, when non-nil, records the run's spans and metrics on the
+	// virtual clock (see internal/obs); nil keeps observability off.
+	Obs *obs.Tracer
 }
 
 // CSBreakdown carries the stacked components of Figures 10-14, in
@@ -90,6 +94,7 @@ func runClientServer(cfg CSConfig) (CSBreakdown, *mpsim.Stats) {
 		Machine:  mpsim.AlphaFarmATM(),
 		Fault:    cfg.Fault,
 		Reliable: rel,
+		Obs:      cfg.Obs,
 		Programs: []mpsim.ProgramSpec{
 			{Name: "client", Procs: cfg.ClientProcs, ProcsPerNode: 1, Body: func(p *mpsim.Proc) {
 				ctx := core.NewCtx(p, p.Comm())

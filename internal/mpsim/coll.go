@@ -33,23 +33,29 @@ func (c *Comm) nextSeq() int {
 // Barrier blocks until every member of the communicator has entered it.
 func (c *Comm) Barrier() {
 	c.require()
+	sp := c.p.beginSpan("coll.barrier")
 	seq := c.nextSeq()
 	c.reduceBytes(0, seq, nil, nil)
 	c.bcastTree(0, seq, nil)
+	sp.End(c.p.clock)
 }
 
 // Bcast distributes root's data to every member and returns each
 // member's copy.  Non-root callers pass nil.
 func (c *Comm) Bcast(root int, data []byte) []byte {
 	c.require()
+	sp := c.p.beginSpan("coll.bcast")
 	seq := c.nextSeq()
+	var out []byte
 	if c.myRank == root {
-		out := make([]byte, len(data))
+		out = make([]byte, len(data))
 		copy(out, data)
 		c.bcastTree(root, seq, data)
-		return out
+	} else {
+		out = c.bcastTree(root, seq, nil)
 	}
-	return c.bcastTree(root, seq, nil)
+	sp.End(c.p.clock)
+	return out
 }
 
 // bcastTree runs a binomial-tree broadcast rooted at root and returns
@@ -110,10 +116,12 @@ func (c *Comm) reduceBytes(root, seq int, acc []byte, combine func(acc, in []byt
 // slice per member in communicator-rank order; elsewhere it returns nil.
 func (c *Comm) Gather(root int, data []byte) [][]byte {
 	c.require()
+	sp := c.p.beginSpan("coll.gather")
 	seq := c.nextSeq()
 	wire := c.collWire(seq, phGather)
 	if c.myRank != root {
 		c.p.send(c.ranks[root], wire, data)
+		sp.End(c.p.clock)
 		return nil
 	}
 	out := make([][]byte, c.Size())
@@ -127,6 +135,7 @@ func (c *Comm) Gather(root int, data []byte) [][]byte {
 		buf, _ := c.p.recv(c.ranks[i], wire)
 		out[i] = buf
 	}
+	sp.End(c.p.clock)
 	return out
 }
 
@@ -135,13 +144,16 @@ func (c *Comm) Gather(root int, data []byte) [][]byte {
 // followed by a broadcast of the framed concatenation.
 func (c *Comm) Allgather(data []byte) [][]byte {
 	c.require()
+	sp := c.p.beginSpan("coll.allgather")
 	parts := c.Gather(0, data)
 	var packed []byte
 	if c.myRank == 0 {
 		packed = frameSlices(parts)
 	}
 	packed = c.Bcast(0, packed)
-	return unframeSlices(packed, c.Size())
+	out := unframeSlices(packed, c.Size())
+	sp.End(c.p.clock)
+	return out
 }
 
 // Alltoall exchanges bufs[i] with member i for all i, returning the
@@ -155,6 +167,7 @@ func (c *Comm) Alltoall(bufs [][]byte) [][]byte {
 	if len(bufs) != n {
 		panic(fmt.Sprintf("mpsim: Alltoall needs %d buffers, got %d", n, len(bufs)))
 	}
+	sp := c.p.beginSpan("coll.alltoall")
 	seq := c.nextSeq()
 	wire := c.collWire(seq, phExchange)
 	out := make([][]byte, n)
@@ -171,6 +184,7 @@ func (c *Comm) Alltoall(bufs [][]byte) [][]byte {
 		buf, _ := c.p.recv(c.ranks[src], wire)
 		out[src] = buf
 	}
+	sp.End(c.p.clock)
 	return out
 }
 
@@ -178,6 +192,7 @@ func (c *Comm) Alltoall(bufs [][]byte) [][]byte {
 // result is only meaningful on root (others receive 0).
 func (c *Comm) ReduceFloat64(root int, op ReduceOp, x float64) float64 {
 	c.require()
+	sp := c.p.beginSpan("coll.reduce")
 	seq := c.nextSeq()
 	buf := make([]byte, 8)
 	binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
@@ -187,6 +202,7 @@ func (c *Comm) ReduceFloat64(root int, op ReduceOp, x float64) float64 {
 		binary.LittleEndian.PutUint64(acc, math.Float64bits(combineFloat64(op, a, b)))
 		return acc
 	})
+	sp.End(c.p.clock)
 	if c.myRank != root {
 		return 0
 	}
@@ -206,6 +222,7 @@ const (
 // the result on every member.
 func (c *Comm) AllreduceFloat64(op ReduceOp, x float64) float64 {
 	c.require()
+	sp := c.p.beginSpan("coll.allreduce")
 	seq := c.nextSeq()
 	buf := make([]byte, 8)
 	binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
@@ -216,6 +233,7 @@ func (c *Comm) AllreduceFloat64(op ReduceOp, x float64) float64 {
 		return acc
 	})
 	acc = c.bcastTree(0, seq, acc)
+	sp.End(c.p.clock)
 	return math.Float64frombits(binary.LittleEndian.Uint64(acc))
 }
 
@@ -223,6 +241,7 @@ func (c *Comm) AllreduceFloat64(op ReduceOp, x float64) float64 {
 // result on every member.
 func (c *Comm) AllreduceInt64(op ReduceOp, x int64) int64 {
 	c.require()
+	sp := c.p.beginSpan("coll.allreduce")
 	seq := c.nextSeq()
 	buf := make([]byte, 8)
 	binary.LittleEndian.PutUint64(buf, uint64(x))
@@ -233,6 +252,7 @@ func (c *Comm) AllreduceInt64(op ReduceOp, x int64) int64 {
 		return acc
 	})
 	acc = c.bcastTree(0, seq, acc)
+	sp.End(c.p.clock)
 	return int64(binary.LittleEndian.Uint64(acc))
 }
 

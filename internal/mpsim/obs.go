@@ -1,0 +1,114 @@
+package mpsim
+
+import "metachaos/internal/obs"
+
+// Observability glue: when Config.Obs carries a tracer, the simulator
+// records one span per point-to-point operation (send and receive,
+// each nested under whatever collective or move phase the library
+// layer has open), one instant per network-recovery event, and a set
+// of counters resolved once here so the per-message path never touches
+// the registry maps.  Every hook sits behind a `w.obs != nil` check:
+// with observability off the only cost is that pointer comparison.
+
+// obsCounters caches the simulator's counter and histogram handles.
+type obsCounters struct {
+	sends       *obs.Counter
+	recvs       *obs.Counter
+	bytesSent   *obs.Counter
+	bytesRecv   *obs.Counter
+	drops       *obs.Counter
+	retransmits *obs.Counter
+	dups        *obs.Counter
+	corrupts    *obs.Counter
+	acks        *obs.Counter
+	timeouts    *obs.Counter
+	peerFails   *obs.Counter
+	msgBytes    *obs.Histogram
+}
+
+// resolve binds the counters to a registry.
+func (c *obsCounters) resolve(m *obs.Metrics) {
+	c.sends = m.Counter("mpsim.sends")
+	c.recvs = m.Counter("mpsim.recvs")
+	c.bytesSent = m.Counter("mpsim.bytes_sent")
+	c.bytesRecv = m.Counter("mpsim.bytes_recv")
+	c.drops = m.Counter("mpsim.drops")
+	c.retransmits = m.Counter("mpsim.retransmits")
+	c.dups = m.Counter("mpsim.dup_discards")
+	c.corrupts = m.Counter("mpsim.corrupt_discards")
+	c.acks = m.Counter("mpsim.acks")
+	c.timeouts = m.Counter("mpsim.timeouts")
+	c.peerFails = m.Counter("mpsim.peer_fails")
+	c.msgBytes = m.Histogram("mpsim.msg_bytes", obs.DefBytesBuckets)
+}
+
+// obsEvent mirrors a trace event into the observability layer: traffic
+// events bump counters (their spans are opened at the call sites,
+// where the before-clock is known); network-recovery events, which
+// happen inside scheduler timers rather than on a process's own
+// instruction stream, surface as instants on the acting rank's
+// timeline.  Only called when w.obs != nil.
+func (w *World) obsEvent(e Event) {
+	switch e.Kind {
+	case EvSend:
+		w.obsC.sends.Inc()
+		w.obsC.bytesSent.Add(int64(e.Bytes))
+		w.obsC.msgBytes.Observe(float64(e.Bytes))
+	case EvRecv:
+		w.obsC.recvs.Inc()
+		w.obsC.bytesRecv.Add(int64(e.Bytes))
+	case EvDrop:
+		w.obsC.drops.Inc()
+		w.obsInstant(e)
+	case EvRetransmit:
+		w.obsC.retransmits.Inc()
+		w.obsInstant(e)
+	case EvDupDiscard:
+		w.obsC.dups.Inc()
+		w.obsInstant(e)
+	case EvCorruptDiscard:
+		w.obsC.corrupts.Inc()
+		w.obsInstant(e)
+	case EvAck:
+		w.obsC.acks.Inc()
+		w.obsInstant(e)
+	case EvTimeout:
+		w.obsC.timeouts.Inc()
+		w.obsInstant(e)
+	case EvPeerFail:
+		w.obsC.peerFails.Inc()
+		w.obsInstant(e)
+	}
+}
+
+// obsInstant records a zero-duration event on the acting rank.
+func (w *World) obsInstant(e Event) {
+	sp := w.obs.Instant(e.Rank, e.Kind.String(), e.Time)
+	if e.Peer >= 0 {
+		sp.SetPeer(e.Peer)
+	}
+	if e.Bytes > 0 {
+		sp.SetBytes(e.Bytes)
+	}
+}
+
+// beginSpan opens a span on the process's own clock; the zero Span of
+// an observability-off run ignores every later call.
+func (p *Proc) beginSpan(name string) obs.Span {
+	w := p.world
+	if w.obs == nil {
+		return obs.Span{}
+	}
+	return w.obs.Begin(p.worldRank, name, p.clock)
+}
+
+// Obs returns the run's tracer, or nil when observability is off.
+// Libraries above the simulator use it to wrap their own phases in
+// spans on the same virtual clock.
+func (p *Proc) Obs() *obs.Tracer { return p.world.obs }
+
+// Span opens a span on the process's virtual clock, for library layers
+// above the simulator; close it with End(p.Clock()).  With
+// observability off it returns the zero Span, which ignores every
+// later call.
+func (p *Proc) Span(name string) obs.Span { return p.beginSpan(name) }

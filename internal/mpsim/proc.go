@@ -175,6 +175,8 @@ func (p *Proc) send(to, tag int, data []byte) {
 	if to < 0 || to >= len(p.world.procs) {
 		panic(fmt.Sprintf("mpsim: rank %d sends to invalid rank %d", p.worldRank, to))
 	}
+	sp := p.beginSpan("send")
+	sp.SetPeer(to).SetBytes(len(data))
 	m := p.world.machine
 	buf := make([]byte, len(data))
 	copy(buf, data)
@@ -205,6 +207,7 @@ func (p *Proc) send(to, tag int, data []byte) {
 				st.recordPair(p.worldRank, to, len(data))
 				p.world.record(Event{Time: p.clock, Rank: p.worldRank, Kind: EvSend, Peer: to, Bytes: len(data)})
 				p.world.net.send(p.worldRank, to, tag, buf, xmit, start)
+				sp.End(p.clock)
 				p.yield()
 				return
 			}
@@ -223,6 +226,7 @@ func (p *Proc) send(to, tag int, data []byte) {
 	st.recordPair(p.worldRank, to, len(data))
 
 	p.world.record(Event{Time: p.clock, Rank: p.worldRank, Kind: EvSend, Peer: to, Bytes: len(data)})
+	sp.End(p.clock)
 	dst.queue = append(dst.queue, msg)
 	if dst.state == stateBlocked && dst.wantsMsg(msg) {
 		p.world.wake(dst)
@@ -358,6 +362,7 @@ func (p *Proc) checkBeforeBlock(from int, wants []recvWant) {
 // is not retried — the caller decides how to degrade.
 func (p *Proc) WithTimeout(d float64, f func()) (err error) {
 	prevAt, prevGen := p.deadlineAt, p.deadlineGen
+	spanDepth := p.world.obs.Depth(p.worldRank)
 	defer func() {
 		p.deadlineAt, p.deadlineGen = prevAt, prevGen
 		if r := recover(); r != nil {
@@ -365,6 +370,10 @@ func (p *Proc) WithTimeout(d float64, f func()) (err error) {
 			if !ok {
 				panic(r)
 			}
+			// The aborted operation cannot end the spans it opened;
+			// close them at the abandonment clock so the timeline
+			// stays well-nested.
+			p.world.obs.Unwind(p.worldRank, spanDepth, p.clock)
 			err = np.err
 		}
 	}()
@@ -400,8 +409,12 @@ func (p *Proc) NetPairStats(from, to int) PairStats {
 }
 
 // deliver applies receive-side costs: inbound link occupancy on the
-// receiver's node, the receive overhead, and payload unpacking.
+// receiver's node, the receive overhead, and payload unpacking.  Its
+// span starts on the pre-delivery clock, so any jump to the message's
+// arrival time (the receiver's wait) is inside the span.
 func (p *Proc) deliver(msg *message) {
+	sp := p.beginSpan("recv")
+	sp.SetPeer(msg.src).SetBytes(len(msg.data))
 	m := p.world.machine
 	arrival := msg.arrival
 	if !msg.local {
@@ -422,6 +435,7 @@ func (p *Proc) deliver(msg *message) {
 	st.PerRank[p.worldRank].MsgsRecv++
 	st.PerRank[p.worldRank].BytesRecv += int64(len(msg.data))
 	p.world.record(Event{Time: p.clock, Rank: p.worldRank, Kind: EvRecv, Peer: msg.src, Bytes: len(msg.data)})
+	sp.End(p.clock)
 }
 
 // yield hands control back to the scheduler with the process still

@@ -248,6 +248,7 @@ func (c *Comm) Probe(from, tag int) bool {
 // bufs[i].  Non-roots pass nil.
 func (c *Comm) Scatter(root int, bufs [][]byte) []byte {
 	c.require()
+	sp := c.p.beginSpan("coll.scatter")
 	seq := c.nextSeq()
 	wire := c.collWire(seq, phGather)
 	if c.myRank == root {
@@ -262,9 +263,11 @@ func (c *Comm) Scatter(root int, bufs [][]byte) []byte {
 		}
 		own := make([]byte, len(bufs[root]))
 		copy(own, bufs[root])
+		sp.End(c.p.clock)
 		return own
 	}
 	data, _ := c.p.recv(c.ranks[root], wire)
+	sp.End(c.p.clock)
 	return data
 }
 
@@ -273,6 +276,7 @@ func (c *Comm) Scatter(root int, bufs [][]byte) []byte {
 // solvers use for residual norms and dot products.
 func (c *Comm) AllreduceFloat64s(op ReduceOp, xs []float64) []float64 {
 	c.require()
+	sp := c.p.beginSpan("coll.allreduce")
 	seq := c.nextSeq()
 	buf := codec.Float64sToBytes(xs)
 	acc := c.reduceBytes(0, seq, buf, func(acc, in []byte) []byte {
@@ -287,5 +291,6 @@ func (c *Comm) AllreduceFloat64s(op ReduceOp, xs []float64) []float64 {
 		return codec.Float64sToBytes(a)
 	})
 	acc = c.bcastTree(0, seq, acc)
+	sp.End(c.p.clock)
 	return codec.BytesToFloat64s(acc)
 }

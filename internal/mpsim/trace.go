@@ -127,9 +127,13 @@ func (t *Trace) Sends() int {
 	return n
 }
 
-// record appends an event if tracing is enabled.
+// record appends an event if tracing is enabled, and mirrors it into
+// the observability layer if a tracer is attached.
 func (w *World) record(e Event) {
 	if w.trace != nil {
 		w.trace.Events = append(w.trace.Events, e)
+	}
+	if w.obs != nil {
+		w.obsEvent(e)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+
+	"metachaos/internal/obs"
 )
 
 // ProgramSpec describes one SPMD program participating in a simulated
@@ -37,6 +39,10 @@ type Config struct {
 	// numbers, acks, retransmission, dedup/reassembly) on inter-node
 	// links, restoring in-order exactly-once delivery under faults.
 	Reliable *Reliability
+	// Obs, when non-nil, records virtual-time spans and metrics for
+	// every messaging operation (and, through the layers above, every
+	// data-move phase).  nil keeps the hot paths allocation-free.
+	Obs *obs.Tracer
 }
 
 // World is the simulated machine state for one run.  It owns every
@@ -54,6 +60,12 @@ type World struct {
 	runq    procHeap
 	resume  chan *Proc // scheduler -> proc handoff target (per-proc channel used instead)
 	toSched chan schedEvent
+
+	// Observability (nil when Config.Obs was nil).  Counters are
+	// resolved once here so per-message accounting never hits the
+	// registry maps.
+	obs  *obs.Tracer
+	obsC obsCounters
 
 	// Virtual-time events (deliveries, retransmissions, acks, receive
 	// deadlines), interleaved with process execution by the scheduler.
@@ -106,6 +118,9 @@ func Run(cfg Config) *Stats {
 			w.failure.prog, w.failure.rank, w.failure.err))
 	}
 	w.stats.Trace = w.trace
+	if w.obs != nil {
+		w.obs.MetricsRegistry().Gauge("mpsim.makespan_seconds").Set(w.stats.MakespanSeconds)
+	}
 	return &w.stats
 }
 
@@ -135,6 +150,10 @@ func newWorld(cfg Config) (*World, error) {
 	}
 	if cfg.Trace {
 		w.trace = &Trace{}
+	}
+	if cfg.Obs != nil {
+		w.obs = cfg.Obs
+		w.obsC.resolve(cfg.Obs.MetricsRegistry())
 	}
 	if cfg.Fault != nil || cfg.Reliable != nil {
 		w.net = newNetLayer(w, cfg.Fault, cfg.Reliable)
@@ -171,6 +190,9 @@ func newWorld(cfg Config) (*World, error) {
 			w.nodes[nid].procsOnOut++
 			w.procs = append(w.procs, p)
 			progRanks[r] = worldRank
+			if w.obs != nil {
+				w.obs.SetRankName(worldRank, fmt.Sprintf("%s/%d", spec.Name, r))
+			}
 			worldRank++
 		}
 		nodeID = len(w.nodes)

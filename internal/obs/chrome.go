@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: the JSON object format consumed by
+// chrome://tracing, Perfetto and speedscope.  Each rank renders as one
+// thread; spans are complete ("X") events and instants are "i" events,
+// all stamped in virtual microseconds.  Output is deterministic — no
+// map iteration, events in record order — so a trace of a fixed
+// workload is a golden-file-stable artifact.
+
+// chromeEvent is one trace event.  Field order fixes the JSON key
+// order, which is what makes the export byte-stable.
+type chromeEvent struct {
+	Name  string      `json:"name"`
+	Cat   string      `json:"cat,omitempty"`
+	Phase string      `json:"ph"`
+	TS    float64     `json:"ts"`
+	Dur   *float64    `json:"dur,omitempty"`
+	PID   int         `json:"pid"`
+	TID   int         `json:"tid"`
+	Scope string      `json:"s,omitempty"`
+	Args  *chromeArgs `json:"args,omitempty"`
+}
+
+type chromeArgs struct {
+	Peer  *int   `json:"peer,omitempty"`
+	Bytes *int64 `json:"bytes,omitempty"`
+	Elem  string `json:"elem,omitempty"`
+	Name  string `json:"name,omitempty"`
+}
+
+// WriteChromeTrace writes the trace in Chrome trace-event JSON.  Open
+// spans are exported as if they ended at their start time, but a
+// well-formed run leaves none (Tracer.OpenSpans).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+	if t != nil {
+		// Thread-name metadata, one event per named rank.
+		for rank := range t.ranks {
+			if t.ranks[rank] == "" {
+				continue
+			}
+			if err := emit(chromeEvent{
+				Name:  "thread_name",
+				Phase: "M",
+				PID:   0,
+				TID:   rank,
+				Args:  &chromeArgs{Name: t.ranks[rank]},
+			}); err != nil {
+				return err
+			}
+		}
+		for i := range t.spans {
+			rec := &t.spans[i]
+			ev := chromeEvent{
+				Name:  rec.name,
+				Cat:   "vtime",
+				Phase: "X",
+				TS:    rec.start * 1e6, // virtual seconds -> microseconds
+				PID:   0,
+				TID:   int(rec.rank),
+			}
+			if rec.instant {
+				ev.Phase = "i"
+				ev.Scope = "t"
+			} else {
+				dur := (rec.end - rec.start) * 1e6
+				ev.Dur = &dur
+			}
+			if rec.peer >= 0 || rec.bytes >= 0 || rec.elem != "" {
+				args := &chromeArgs{Elem: rec.elem}
+				if rec.peer >= 0 {
+					peer := int(rec.peer)
+					args.Peer = &peer
+				}
+				if rec.bytes >= 0 {
+					bytes := rec.bytes
+					args.Bytes = &bytes
+				}
+				ev.Args = args
+			}
+			if err := emit(ev); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteCollapsed writes the trace in collapsed-stack (Brendan Gregg
+// flamegraph) format: one line per unique span stack with its summed
+// self time in integer virtual nanoseconds.  A span's self time is its
+// duration minus its children's, so the flamegraph's column widths sum
+// to each rank's busy virtual time.  Lines come out sorted, making the
+// export deterministic.
+func (t *Tracer) WriteCollapsed(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	// Children's durations, accumulated onto parents.
+	childTime := make([]float64, len(t.spans))
+	for i := range t.spans {
+		rec := &t.spans[i]
+		if rec.parent >= 0 && !rec.instant {
+			childTime[rec.parent] += rec.end - rec.start
+		}
+	}
+	// Stack path per span, built root-first via the parent links.
+	paths := make([]string, len(t.spans))
+	totals := make(map[string]int64)
+	order := make([]string, 0, 64)
+	for i := range t.spans {
+		rec := &t.spans[i]
+		if rec.parent >= 0 {
+			paths[i] = paths[rec.parent] + ";" + rec.name
+		} else {
+			paths[i] = t.rankName(rec.rank) + ";" + rec.name
+		}
+		if rec.instant {
+			continue
+		}
+		self := rec.end - rec.start - childTime[i]
+		if self < 0 {
+			self = 0
+		}
+		ns := int64(self*1e9 + 0.5)
+		if ns == 0 {
+			continue
+		}
+		if _, ok := totals[paths[i]]; !ok {
+			order = append(order, paths[i])
+		}
+		totals[paths[i]] += ns
+	}
+	sort.Strings(order)
+	bw := bufio.NewWriter(w)
+	for _, path := range order {
+		if _, err := fmt.Fprintf(bw, "%s %d\n", path, totals[path]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteReport writes a plain-text summary of the trace: per-phase
+// virtual-time totals (spans aggregated by name), then every gauge,
+// counter and histogram in the registry.  Deterministic — names come
+// out sorted, totals in descending-time order.
+func (t *Tracer) WriteReport(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	totals := t.PhaseTotals()
+	if len(totals) > 0 {
+		fmt.Fprintln(bw, "phase totals (virtual time, all ranks):")
+		for _, pt := range totals {
+			if pt.Bytes > 0 {
+				fmt.Fprintf(bw, "  %-16s %6d x %12.6f ms  %12d B\n",
+					pt.Name, pt.Count, pt.Seconds*1000, pt.Bytes)
+				continue
+			}
+			fmt.Fprintf(bw, "  %-16s %6d x %12.6f ms\n",
+				pt.Name, pt.Count, pt.Seconds*1000)
+		}
+	}
+	m := t.MetricsRegistry()
+	if names := m.GaugeNames(); len(names) > 0 {
+		fmt.Fprintln(bw, "gauges:")
+		for _, name := range names {
+			if v, ok := m.Gauge(name).Value(); ok {
+				fmt.Fprintf(bw, "  %-24s %g\n", name, v)
+			}
+		}
+	}
+	if names := m.CounterNames(); len(names) > 0 {
+		fmt.Fprintln(bw, "counters:")
+		for _, name := range names {
+			fmt.Fprintf(bw, "  %-24s %d\n", name, m.Counter(name).Value())
+		}
+	}
+	for _, name := range m.HistogramNames() {
+		h := m.Histogram(name, nil)
+		bounds, counts := h.Buckets()
+		fmt.Fprintf(bw, "histogram %s: %d samples, sum %g\n", name, h.Count(), h.Sum())
+		for i, b := range bounds {
+			if counts[i] > 0 {
+				fmt.Fprintf(bw, "  <= %10.0f  %d\n", b, counts[i])
+			}
+		}
+		if counts[len(bounds)] > 0 {
+			fmt.Fprintf(bw, "   > %10.0f  %d\n", bounds[len(bounds)-1], counts[len(bounds)])
+		}
+	}
+	return bw.Flush()
+}

@@ -47,6 +47,7 @@ import (
 	"metachaos/internal/lparx"
 	"metachaos/internal/mbparti"
 	"metachaos/internal/mpsim"
+	"metachaos/internal/obs"
 	"metachaos/internal/pcxxrt"
 )
 
@@ -88,6 +89,27 @@ type (
 	// FaultRates are per-link fault probabilities.
 	FaultRates = faultsim.Rates
 )
+
+// Virtual-time observability (see internal/obs, cmd/mcprof and the
+// observability section of DESIGN.md).  Attach a Tracer through
+// Config.Obs; a nil Tracer keeps the whole layer off at the cost of a
+// pointer comparison per instrumented point.
+type (
+	// Tracer records spans, instants and metrics on the virtual clock.
+	Tracer = obs.Tracer
+	// Span is a handle to one open span on a rank's virtual clock.
+	Span = obs.Span
+	// PhaseTotal aggregates the spans sharing one name.
+	PhaseTotal = obs.PhaseTotal
+	// Metrics is the tracer's counter/gauge/histogram registry.
+	Metrics = obs.Metrics
+	// MovePhases is one move's per-phase virtual-time breakdown,
+	// reported always (tracer or not) in MoveResult.Phases.
+	MovePhases = core.MovePhases
+)
+
+// NewTracer returns an empty, enabled tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // Typed transport errors.
 var (

@@ -1,10 +1,24 @@
 #!/bin/sh
 # Run the benchmark suite with allocation counting and record a dated
-# JSON snapshot (BENCH_<date>.json) via cmd/mcbench.  Extra arguments
-# are passed to `go test` (e.g. -benchtime 5x, -bench 'Move').
+# JSON snapshot (BENCH_<date>.json) via cmd/mcbench.  Refuses to
+# overwrite an existing snapshot unless -f is given, so a committed
+# baseline cannot be clobbered by accident.  Extra arguments are passed
+# to `go test` (e.g. -benchtime 5x, -bench 'Move').
+#
+# Usage:
+#   scripts/bench.sh [-f] [go test args...]
 set -eu
 cd "$(dirname "$0")/.."
 
+force=
+if [ "${1:-}" = "-f" ]; then
+	force=1
+	shift
+fi
 out="BENCH_$(date +%F).json"
+if [ -e "$out" ] && [ -z "$force" ]; then
+	echo "bench: $out already exists; pass -f to overwrite it" >&2
+	exit 1
+fi
 go test -run '^$' -bench . -benchmem "$@" . | tee /dev/stderr | go run ./cmd/mcbench > "$out"
 echo "wrote $out" >&2

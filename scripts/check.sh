@@ -1,6 +1,11 @@
 #!/bin/sh
-# Repository health gate: formatting, vet, and the full test suite
-# under the race detector.  Run via `make check` or directly.
+# Repository health gate: formatting, vet, static analysis, the full
+# test suite under the race detector, and the codec fuzz seed corpus.
+# Run via `make check` or directly.
+#
+# staticcheck and govulncheck run when installed and are skipped with a
+# note otherwise; set REQUIRE_LINT=1 (CI does) to make their absence a
+# failure instead.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -12,8 +17,28 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+elif [ -n "${REQUIRE_LINT:-}" ]; then
+	echo "check: staticcheck required (REQUIRE_LINT set) but not installed" >&2
+	exit 1
+else
+	echo "check: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)" >&2
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+	govulncheck ./...
+elif [ -n "${REQUIRE_LINT:-}" ]; then
+	echo "check: govulncheck required (REQUIRE_LINT set) but not installed" >&2
+	exit 1
+else
+	echo "check: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)" >&2
+fi
+
 go test -race ./...
 # Codec wire-format fuzz targets: the seed corpus must pass on every
-# change (longer fuzzing runs use `go test -fuzz=Fuzz ./internal/codec/`).
+# change (longer fuzzing runs use `go test -fuzz=Fuzz ./internal/codec/`
+# or the CI fuzz-smoke job).
 go test -run '^Fuzz' ./internal/codec/
 echo "check: OK"
