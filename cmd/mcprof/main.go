@@ -13,6 +13,11 @@
 //	mcprof -workload figure10 -format chrome -o trace.json
 //	mcprof -workload section -procs 8 -iters 10 -format collapsed | flamegraph.pl > flame.svg
 //	mcprof -workload figure10 -server-procs 8 -format phases
+//	mcprof -workload elastic -server-procs 4 -seed 7 -format phases
+//
+// The elastic workload is the crash-recovery experiment: a server rank
+// dies mid-run, and the timeline carries the crash.detect, group.shrink,
+// ckpt.save/restore and move.retry spans of the recovery path.
 package main
 
 import (
@@ -26,12 +31,13 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "figure10", "workload to profile: figure10 or section")
+	workload := flag.String("workload", "figure10", "workload to profile: figure10, section or elastic")
 	procs := flag.Int("procs", 4, "process count (section workload)")
-	serverProcs := flag.Int("server-procs", 2, "server process count (figure10 workload)")
+	serverProcs := flag.Int("server-procs", 2, "server process count (figure10 and elastic workloads)")
 	vectors := flag.Int("vectors", 1, "vectors shipped through the coupling (figure10 workload)")
 	size := flag.Int("n", 256, "mesh dimension (section workload)")
-	iters := flag.Int("iters", 4, "schedule reuses (section workload)")
+	iters := flag.Int("iters", 4, "schedule reuses (section workload) or solver iterations (elastic)")
+	seed := flag.Uint64("seed", 7, "crash-site seed (elastic workload)")
 	format := flag.String("format", "chrome", "output format: chrome, collapsed or phases")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
@@ -42,6 +48,13 @@ func main() {
 		tr, _ = exp.ProfileFigure10(*serverProcs, *vectors)
 	case "section":
 		tr = exp.ProfileSection(*size, *procs, *iters)
+	case "elastic":
+		var res exp.ElasticResult
+		tr, res = exp.ProfileElastic(*serverProcs, *iters, *seed)
+		for _, c := range res.Crashes {
+			fmt.Fprintf(os.Stderr, "mcprof: rank %d died at %.3fms, detected at %.3fms; %d shrink(s), %d restore(s), %d server(s) finished\n",
+				c.Rank, c.At*1000, c.DetectedAt*1000, res.Shrinks, res.Restores, res.Survivors)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "mcprof: unknown workload %q\n", *workload)
 		os.Exit(2)

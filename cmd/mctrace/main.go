@@ -7,6 +7,12 @@
 // add -reliable to let the retransmitting transport recover, and the
 // report grows drop/retransmit/duplicate/corruption counters.
 //
+// With -crash rank@time (or a crash-scheduling profile such as
+// -fault crashy) a process suffers a fail-stop fault mid-run: the
+// virtual-time heartbeat detector declares it dead, survivors' blocked
+// operations fail fast, and the report grows the crash history with
+// detection lags plus each survivor's outcome.
+//
 // With -phases the run carries the virtual-time observability layer
 // and the report ends with the per-phase breakdown (schedule build,
 // pack, ship, wait, unpack, ...) that cmd/mcprof exports as timelines.
@@ -15,6 +21,8 @@
 //
 //	mctrace -workload remap|section|clientserver [-procs N]
 //	mctrace -workload section -fault lossy -seed 7 -reliable
+//	mctrace -workload section -crash 2@0.004 -reliable
+//	mctrace -workload remap -fault crashy -seed 3 -reliable
 //	mctrace -workload section -phases
 package main
 
@@ -23,6 +31,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"metachaos"
 	"metachaos/internal/chaoslib"
@@ -36,9 +46,10 @@ import (
 func main() {
 	workload := flag.String("workload", "section", "workload to trace: section, remap or clientserver")
 	procs := flag.Int("procs", 4, "process count (per program for clientserver)")
-	fault := flag.String("fault", "none", "fault profile: none, mild, lossy or random")
+	fault := flag.String("fault", "none", "fault profile: none, mild, lossy, random, crashy or flaky")
 	seed := flag.Uint64("seed", 1, "fault profile seed")
 	reliable := flag.Bool("reliable", false, "enable the retransmitting reliable transport")
+	crash := flag.String("crash", "", "schedule fail-stop crashes: rank@time[,rank@time...], e.g. 2@0.004")
 	phases := flag.Bool("phases", false, "attach the observability layer and print per-phase virtual-time totals")
 	flag.Parse()
 
@@ -46,6 +57,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mctrace: %v\n", err)
 		os.Exit(2)
+	}
+	if *crash != "" {
+		if prof == nil {
+			prof = &faultsim.Profile{Seed: *seed}
+		}
+		for _, spec := range strings.Split(*crash, ",") {
+			rank, at, err := parseCrash(spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mctrace: -crash %q: %v\n", spec, err)
+				os.Exit(2)
+			}
+			prof = prof.WithCrash(rank, at)
+		}
 	}
 	var inj mpsim.FaultInjector
 	if prof != nil {
@@ -59,13 +83,36 @@ func main() {
 	if *phases {
 		tr = obs.NewTracer()
 	}
+	crashes := prof.HasCrashes()
+	if crashes && *workload == "clientserver" {
+		fmt.Fprintln(os.Stderr, "mctrace: the clientserver workload does not take crash faults; see the elastic experiment (mcprof -workload elastic)")
+		os.Exit(2)
+	}
+	var outcomes []string
 	runSPMD := func(nprocs int, body func(p *mpsim.Proc)) *mpsim.Stats {
+		wrapped := body
+		if crashes {
+			// Under fail-stop faults a survivor's blocked operation
+			// panics with a peer-death error; run each rank's workload
+			// in a deadline scope so the trace completes and reports
+			// every rank's outcome instead of aborting.
+			outcomes = make([]string, nprocs)
+			wrapped = func(p *mpsim.Proc) {
+				r := p.Rank()
+				if err := p.WithTimeout(0.5, func() { body(p) }); err != nil {
+					outcomes[r] = err.Error()
+				} else {
+					outcomes[r] = "completed"
+				}
+			}
+		}
 		return mpsim.Run(mpsim.Config{
 			Machine:  mpsim.SP2(),
 			Fault:    inj,
 			Reliable: rel,
+			Crash:    prof.CrashPlan(),
 			Obs:      tr,
-			Programs: []mpsim.ProgramSpec{{Name: "spmd", Procs: nprocs, Body: body}},
+			Programs: []mpsim.ProgramSpec{{Name: "spmd", Procs: nprocs, Body: wrapped}},
 		})
 	}
 
@@ -85,6 +132,7 @@ func main() {
 		os.Exit(2)
 	}
 	report(stats)
+	reportCrashes(stats, outcomes)
 	if tr != nil {
 		fmt.Println()
 		if err := tr.WriteReport(os.Stdout); err != nil {
@@ -183,6 +231,55 @@ func report(st *metachaos.Stats) {
 			continue
 		}
 		fmt.Printf("  %2d -> %2d: %4d msgs %8d B\n", k.From, k.To, ps.Msgs, ps.Bytes)
+	}
+}
+
+// parseCrash parses one "rank@time" crash spec.
+func parseCrash(spec string) (rank int, at float64, err error) {
+	r, t, ok := strings.Cut(strings.TrimSpace(spec), "@")
+	if !ok {
+		return 0, 0, fmt.Errorf("want rank@time")
+	}
+	if rank, err = strconv.Atoi(r); err != nil || rank < 0 {
+		return 0, 0, fmt.Errorf("bad rank %q", r)
+	}
+	if at, err = strconv.ParseFloat(t, 64); err != nil || at < 0 {
+		return 0, 0, fmt.Errorf("bad time %q (virtual seconds)", t)
+	}
+	return rank, at, nil
+}
+
+// reportCrashes prints the run's fail-stop history: who died and when,
+// how long the heartbeat detector took to notice, restarts, and what
+// each rank's workload came to.
+func reportCrashes(st *metachaos.Stats, outcomes []string) {
+	if len(st.Crashes) == 0 {
+		return
+	}
+	fmt.Println("\ncrash faults:")
+	for _, c := range st.Crashes {
+		fmt.Printf("  rank %2d died at %.3f ms", c.Rank, c.At*1000)
+		if c.DetectedAt > 0 {
+			fmt.Printf(", detected at %.3f ms (lag %.3f ms)", c.DetectedAt*1000, (c.DetectedAt-c.At)*1000)
+		} else {
+			fmt.Printf(", not detected before the run ended")
+		}
+		if c.RestartAt > 0 {
+			fmt.Printf(", restarted at %.3f ms", c.RestartAt*1000)
+		}
+		fmt.Println()
+	}
+	var timeouts, failedSends int64
+	for r := range st.PerRank {
+		timeouts += st.PerRank[r].Timeouts
+		failedSends += st.PerRank[r].FailedSends
+	}
+	fmt.Printf("  detector: %d crash(es) recorded; %d timeouts, %d abandoned sends across ranks\n",
+		len(st.Crashes), timeouts, failedSends)
+	for r, o := range outcomes {
+		if o != "" {
+			fmt.Printf("  rank %2d outcome: %s\n", r, o)
+		}
 	}
 }
 

@@ -1,0 +1,252 @@
+// Package ckpt provides coordinated checkpoint/restart for
+// distributed objects: each process snapshots its local storage of
+// every registered object into a versioned, checksummed in-memory
+// store, and after a fail-stop crash the survivors (or a restarted
+// process) replay a snapshot back into live objects and resume from
+// it.
+//
+// The store is process-local by design — the simulator's fail-stop
+// model loses a dead rank's memory, so recovery protocols built on it
+// either shrink the group to processes that still hold their
+// snapshots (the elastic experiment's path) or keep a remote copy via
+// SaveFile/LoadFile.  Consistency across processes comes from the
+// caller: SaveCoordinated brackets the snapshot in a barrier so every
+// member checkpoints the same version at the same point of the
+// computation.
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"metachaos/internal/codec"
+	"metachaos/internal/core"
+	"metachaos/internal/mpsim"
+)
+
+// Named pairs a distributed object with the stable name it is
+// checkpointed under.  Names must be consistent across processes and
+// across save/restore pairs.
+type Named struct {
+	Name string
+	Obj  core.DistObject
+}
+
+// snapshot is one object's frozen local storage: the element type and
+// unit count for shape checking, the wire-encoded payload (the same
+// little-endian scalar encoding move lanes use, exact for every
+// element kind), and an FNV-1a checksum of the payload.
+type snapshot struct {
+	elem  core.ElemType
+	units int
+	wire  []byte
+	sum   uint64
+}
+
+type key struct {
+	name    string
+	version int
+}
+
+// Store holds one process's checkpoints, versioned by caller-chosen
+// integer tags (an iteration number, a phase counter).  The zero
+// value is ready to use.
+type Store struct {
+	snaps           map[key]snapshot
+	saves, restores int
+}
+
+// NewStore returns an empty checkpoint store.
+func NewStore() *Store { return &Store{} }
+
+// Save snapshots each object's local storage under version.  A
+// descriptor-only object (nil LocalMem) saves an empty snapshot, so a
+// process can register the same object list on both sides of a
+// coupling.  Saving an existing (name, version) pair overwrites it.
+// The copy cost is charged to the process's virtual clock and the
+// snapshot appears as a ckpt.save span on traces.
+func (st *Store) Save(p *mpsim.Proc, version int, objs ...Named) {
+	sp := p.Span("ckpt.save")
+	if st.snaps == nil {
+		st.snaps = make(map[key]snapshot)
+	}
+	total := 0
+	for _, o := range objs {
+		m := o.Obj.LocalMem()
+		snap := snapshot{elem: o.Obj.Elem(), units: m.Units()}
+		if !m.IsNil() {
+			snap.wire = m.AppendTo(make([]byte, 0, m.Units()*snap.elem.Kind.Size()))
+			snap.sum = fnv64a(snap.wire)
+		}
+		st.snaps[key{o.Name, version}] = snap
+		total += len(snap.wire)
+	}
+	st.saves++
+	p.ChargeCopy(total)
+	sp.SetBytes(total).End(p.Clock())
+}
+
+// SaveCoordinated is Save bracketed by barriers on comm: the entry
+// barrier makes the snapshot a consistency point (no member
+// checkpoints until every member has quiesced its in-flight moves),
+// and the exit barrier keeps a fast member from racing ahead and
+// mutating state other members still reference.  Every member of comm
+// must call it with the same version.
+func (st *Store) SaveCoordinated(p *mpsim.Proc, comm *mpsim.Comm, version int, objs ...Named) {
+	comm.Barrier()
+	st.Save(p, version, objs...)
+	comm.Barrier()
+}
+
+// Restore replays version's snapshots into the objects: each named
+// object's local storage is overwritten with the checkpointed bytes
+// after the checksum and shape are re-verified.  Objects whose
+// snapshot was descriptor-only are skipped.  It is the inverse of
+// Save, process-local — on a shrunken group, each survivor restores
+// its own storage and no communication happens.
+func (st *Store) Restore(p *mpsim.Proc, version int, objs ...Named) error {
+	sp := p.Span("ckpt.restore")
+	defer func() { sp.End(p.Clock()) }()
+	total := 0
+	for _, o := range objs {
+		snap, ok := st.snaps[key{o.Name, version}]
+		if !ok {
+			return fmt.Errorf("ckpt: no checkpoint of %q at version %d", o.Name, version)
+		}
+		if snap.wire == nil {
+			continue
+		}
+		if sum := fnv64a(snap.wire); sum != snap.sum {
+			return fmt.Errorf("ckpt: checkpoint of %q version %d is corrupt (checksum %016x, want %016x)",
+				o.Name, version, sum, snap.sum)
+		}
+		m := o.Obj.LocalMem()
+		if o.Obj.Elem() != snap.elem || m.Units() != snap.units {
+			return fmt.Errorf("ckpt: checkpoint of %q version %d holds %d units of %v, object has %d units of %v",
+				o.Name, version, snap.units, snap.elem, m.Units(), o.Obj.Elem())
+		}
+		m.SetFromWire(snap.wire)
+		total += len(snap.wire)
+	}
+	st.restores++
+	p.ChargeCopy(total)
+	sp.SetBytes(total)
+	return nil
+}
+
+// Has reports whether a checkpoint of name exists at version.
+func (st *Store) Has(name string, version int) bool {
+	_, ok := st.snaps[key{name, version}]
+	return ok
+}
+
+// Latest returns the highest version name is checkpointed at, and
+// false when name was never saved.
+func (st *Store) Latest(name string) (int, bool) {
+	best, found := 0, false
+	for k := range st.snaps {
+		if k.name == name && (!found || k.version > best) {
+			best, found = k.version, true
+		}
+	}
+	return best, found
+}
+
+// Drop removes every object's snapshot at version, bounding the
+// store's memory in long checkpoint loops.
+func (st *Store) Drop(version int) {
+	for k := range st.snaps {
+		if k.version == version {
+			delete(st.snaps, k)
+		}
+	}
+}
+
+// Counters returns how many Save and Restore operations completed.
+func (st *Store) Counters() (saves, restores int) { return st.saves, st.restores }
+
+// Len returns the number of stored snapshots across all versions.
+func (st *Store) Len() int { return len(st.snaps) }
+
+const fileMagic = "mckpt1"
+
+// SaveFile serializes the whole store to path, the durable complement
+// to the in-memory store for restart-from-disk recovery flows.  The
+// encoding is deterministic (snapshots sorted by name then version).
+func (st *Store) SaveFile(path string) error {
+	var w codec.Writer
+	w.PutString(fileMagic)
+	keys := make([]key, 0, len(st.snaps))
+	for k := range st.snaps {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].name != keys[b].name {
+			return keys[a].name < keys[b].name
+		}
+		return keys[a].version < keys[b].version
+	})
+	w.PutInt64(int64(len(keys)))
+	for _, k := range keys {
+		snap := st.snaps[k]
+		w.PutString(k.name)
+		w.PutInt64(int64(k.version))
+		w.PutInt32(int32(snap.elem.Kind))
+		w.PutInt32(int32(snap.elem.Words))
+		w.PutInt64(int64(snap.units))
+		w.PutInt64(int64(snap.sum))
+		w.PutBytes(snap.wire)
+	}
+	if err := os.WriteFile(path, w.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("ckpt: writing store: %w", err)
+	}
+	return nil
+}
+
+// LoadFile deserializes a store written by SaveFile, replacing the
+// receiver's snapshots.  Checksums are verified per snapshot at
+// Restore time, not here, so a corrupt file loads but fails loudly on
+// use.
+func (st *Store) LoadFile(path string) (err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("ckpt: reading store: %w", err)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("ckpt: %s is not a checkpoint store: %v", path, r)
+		}
+	}()
+	r := codec.NewReader(data)
+	if magic := r.String(); magic != fileMagic {
+		return fmt.Errorf("ckpt: %s is not a checkpoint store (magic %q)", path, magic)
+	}
+	n := int(r.Int64())
+	snaps := make(map[key]snapshot, n)
+	for i := 0; i < n; i++ {
+		name := r.String()
+		version := int(r.Int64())
+		snap := snapshot{
+			elem: core.ElemType{Kind: core.ElemKind(r.Int32()), Words: int(r.Int32())},
+		}
+		snap.units = int(r.Int64())
+		snap.sum = uint64(r.Int64())
+		if wire := r.Bytes(); len(wire) > 0 {
+			snap.wire = wire
+		}
+		snaps[key{name, version}] = snap
+	}
+	st.snaps = snaps
+	return nil
+}
+
+// fnv64a is the FNV-1a checksum guarding snapshots against bit rot.
+func fnv64a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,215 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"metachaos/internal/core"
+	"metachaos/internal/mpsim"
+)
+
+// memObj is the minimal DistObject: bare local storage.
+type memObj struct{ m core.Mem }
+
+func (o memObj) Elem() core.ElemType { return o.m.Elem() }
+func (o memObj) LocalMem() core.Mem  { return o.m }
+
+// withProc runs body on a single simulated process.
+func withProc(body func(p *mpsim.Proc)) {
+	mpsim.RunSPMD(mpsim.SP2(), 1, body)
+}
+
+// fillDistinct gives every scalar unit a distinct value, including an
+// int64 beyond 2^53 that a float64 round trip would corrupt.
+func fillDistinct(m core.Mem) {
+	if m.Elem().Kind == core.KindInt64 {
+		i64 := m.Int64s()
+		for u := range i64 {
+			i64[u] = (int64(1) << 53) + 1 + int64(u)
+		}
+		return
+	}
+	for u := 0; u < m.Units(); u++ {
+		m.SetF(u, float64(u+1))
+	}
+}
+
+func TestSaveRestoreAllKinds(t *testing.T) {
+	for _, et := range []core.ElemType{core.Float64, core.Float32, core.Int64, core.Int32, core.Byte} {
+		t.Run(et.String(), func(t *testing.T) {
+			var failure string
+			withProc(func(p *mpsim.Proc) {
+				m := core.MakeMem(et, 16)
+				fillDistinct(m)
+				want := m.Clone()
+				st := NewStore()
+				st.Save(p, 1, Named{Name: "x", Obj: memObj{m}})
+				// Scribble over the live storage, then rewind.
+				for u := 0; u < m.Units(); u++ {
+					m.SetF(u, 0)
+				}
+				if err := st.Restore(p, 1, Named{Name: "x", Obj: memObj{m}}); err != nil {
+					failure = err.Error()
+					return
+				}
+				for u := 0; u < m.Units(); u++ {
+					if m.GetF(u) != want.GetF(u) {
+						failure = "restored value differs"
+						return
+					}
+				}
+				if et.Kind == core.KindInt64 && m.Int64s()[3] != (int64(1)<<53)+4 {
+					failure = "int64 beyond 2^53 not restored bit-exactly"
+				}
+			})
+			if failure != "" {
+				t.Fatal(failure)
+			}
+		})
+	}
+}
+
+func TestRestoreDetectsCorruption(t *testing.T) {
+	var err error
+	withProc(func(p *mpsim.Proc) {
+		m := core.MakeMem(core.Float64, 8)
+		fillDistinct(m)
+		st := NewStore()
+		st.Save(p, 1, Named{Name: "x", Obj: memObj{m}})
+		for k, snap := range st.snaps {
+			snap.wire[5] ^= 0x40
+			st.snaps[k] = snap
+		}
+		err = st.Restore(p, 1, Named{Name: "x", Obj: memObj{m}})
+	})
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("restore of corrupted snapshot: err = %v, want checksum failure", err)
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	var missing, shape error
+	withProc(func(p *mpsim.Proc) {
+		m := core.MakeMem(core.Float64, 8)
+		st := NewStore()
+		st.Save(p, 1, Named{Name: "x", Obj: memObj{m}})
+		missing = st.Restore(p, 2, Named{Name: "x", Obj: memObj{m}})
+		other := core.MakeMem(core.Float64, 4)
+		shape = st.Restore(p, 1, Named{Name: "x", Obj: memObj{other}})
+	})
+	if missing == nil {
+		t.Error("restore of unsaved version succeeded")
+	}
+	if shape == nil {
+		t.Error("restore onto mismatched shape succeeded")
+	}
+}
+
+func TestVersionsAndDrop(t *testing.T) {
+	withProc(func(p *mpsim.Proc) {
+		m := core.MakeMem(core.Int32, 4)
+		st := NewStore()
+		obj := Named{Name: "x", Obj: memObj{m}}
+		st.Save(p, 3, obj)
+		st.Save(p, 7, obj)
+		if v, ok := st.Latest("x"); !ok || v != 7 {
+			panic("Latest wrong")
+		}
+		if !st.Has("x", 3) || st.Has("x", 4) {
+			panic("Has wrong")
+		}
+		st.Drop(3)
+		if st.Has("x", 3) || st.Len() != 1 {
+			panic("Drop wrong")
+		}
+		if _, ok := st.Latest("y"); ok {
+			panic("Latest of unsaved name")
+		}
+		if s, r := st.Counters(); s != 2 || r != 0 {
+			panic("Counters wrong")
+		}
+	})
+}
+
+func TestDescriptorOnlyObjectSkipped(t *testing.T) {
+	var err error
+	withProc(func(p *mpsim.Proc) {
+		remote := memObj{core.NilMem(core.Float64)}
+		st := NewStore()
+		st.Save(p, 1, Named{Name: "x", Obj: remote})
+		err = st.Restore(p, 1, Named{Name: "x", Obj: remote})
+	})
+	if err != nil {
+		t.Fatalf("descriptor-only round trip: %v", err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.mckpt")
+	var failure string
+	withProc(func(p *mpsim.Proc) {
+		m := core.MakeMem(core.Int64, 8)
+		fillDistinct(m)
+		want := m.Clone()
+		st := NewStore()
+		st.Save(p, 5, Named{Name: "x", Obj: memObj{m}})
+		if err := st.SaveFile(path); err != nil {
+			failure = err.Error()
+			return
+		}
+		// A fresh store on a fresh incarnation loads the file and
+		// restores over zeroed storage.
+		loaded := NewStore()
+		if err := loaded.LoadFile(path); err != nil {
+			failure = err.Error()
+			return
+		}
+		clear(m.Int64s())
+		if err := loaded.Restore(p, 5, Named{Name: "x", Obj: memObj{m}}); err != nil {
+			failure = err.Error()
+			return
+		}
+		for u := range m.Int64s() {
+			if m.Int64s()[u] != want.Int64s()[u] {
+				failure = "file round trip lost data"
+				return
+			}
+		}
+	})
+	if failure != "" {
+		t.Fatal(failure)
+	}
+}
+
+func TestLoadFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage")
+	if err := writeGarbage(path); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStore()
+	if err := st.LoadFile(path); err == nil {
+		t.Fatal("loading garbage succeeded")
+	}
+}
+
+func writeGarbage(path string) error {
+	return os.WriteFile(path, []byte("not a checkpoint store at all"), 0o644)
+}
+
+func TestSaveCoordinated(t *testing.T) {
+	saved := make([]bool, 3)
+	mpsim.RunSPMD(mpsim.SP2(), 3, func(p *mpsim.Proc) {
+		m := core.MakeMem(core.Float64, 4)
+		fillDistinct(m)
+		st := NewStore()
+		st.SaveCoordinated(p, p.Comm(), 1, Named{Name: "x", Obj: memObj{m}})
+		saved[p.Rank()] = st.Has("x", 1)
+	})
+	for r, ok := range saved {
+		if !ok {
+			t.Errorf("rank %d missing coordinated checkpoint", r)
+		}
+	}
+}

@@ -19,6 +19,9 @@ type ScheduleCache struct {
 	entries map[string]*Schedule
 	hits    int
 	misses  int
+	// incarnation is the group-membership generation the cached
+	// schedules were computed under (see SetIncarnation).
+	incarnation int
 }
 
 // NewScheduleCache returns an empty cache.
@@ -70,6 +73,22 @@ func (c *ScheduleCache) Invalidate(key string) {
 func (c *ScheduleCache) Clear() {
 	c.entries = nil
 }
+
+// SetIncarnation keys the whole cache on the group-membership
+// generation (mpsim.Proc.GroupIncarnation): when n differs from the
+// cache's current incarnation every entry is dropped, because a
+// schedule computed under an older group may route lanes to ranks that
+// are now dead or renumbered.  Same-incarnation calls are free, so
+// recovery loops can call it before every cached lookup.
+func (c *ScheduleCache) SetIncarnation(n int) {
+	if n != c.incarnation {
+		c.incarnation = n
+		c.Clear()
+	}
+}
+
+// Incarnation returns the generation the cache is currently keyed on.
+func (c *ScheduleCache) Incarnation() int { return c.incarnation }
 
 // Len returns the number of cached schedules.
 func (c *ScheduleCache) Len() int { return len(c.entries) }

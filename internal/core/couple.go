@@ -67,6 +67,41 @@ func NewCoupling(p *mpsim.Proc, srcWorldRanks, dstWorldRanks []int) (*Coupling, 
 	return c, nil
 }
 
+// Shrink returns the coupling restricted to survivors after a crash:
+// the union communicator excludes the given dead world ranks (with a
+// fresh context and collective sequence space, see mpsim.Comm.Exclude)
+// and each side's rank list is remapped to positions in the shrunken
+// union.  Every survivor calling Shrink with the same dead set derives
+// an identical coupling.  Losing every process of one side is an
+// error — there is no one left to hold that side's data.
+func (c *Coupling) Shrink(deadWorldRanks []int) (*Coupling, error) {
+	drop := make(map[int]bool, len(deadWorldRanks))
+	for _, wr := range deadWorldRanks {
+		drop[wr] = true
+	}
+	union := c.Union.Exclude(deadWorldRanks)
+	pos := make(map[int]int, union.Size())
+	for i := 0; i < union.Size(); i++ {
+		pos[union.WorldRank(i)] = i
+	}
+	out := &Coupling{Union: union}
+	for _, ur := range c.SrcRanks {
+		if wr := c.Union.WorldRank(ur); !drop[wr] {
+			out.SrcRanks = append(out.SrcRanks, pos[wr])
+		}
+	}
+	for _, ur := range c.DstRanks {
+		if wr := c.Union.WorldRank(ur); !drop[wr] {
+			out.DstRanks = append(out.DstRanks, pos[wr])
+		}
+	}
+	if len(out.SrcRanks) == 0 || len(out.DstRanks) == 0 {
+		return nil, fmt.Errorf("core: shrinking the coupling left one side empty (%d source, %d destination survivors)",
+			len(out.SrcRanks), len(out.DstRanks))
+	}
+	return out, nil
+}
+
 // CoupleByName builds the coupling between two named programs of the
 // simulated world, using the world's static program layout.
 func CoupleByName(p *mpsim.Proc, srcProgram, dstProgram string) (*Coupling, error) {

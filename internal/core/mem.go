@@ -183,6 +183,50 @@ func (m Mem) SetF(u int, v float64) {
 	}
 }
 
+// CopyFrom overwrites m's storage with src's, which must have the same
+// element type and unit count.  The copy is typed and exact — no
+// float64 round trip — so checkpoint restores preserve int64 values
+// beyond 2^53 bit-for-bit.
+func (m Mem) CopyFrom(src Mem) {
+	if m.et != src.et {
+		panic(fmt.Sprintf("core: CopyFrom between element types %v and %v", m.et, src.et))
+	}
+	if m.Units() != src.Units() {
+		panic(fmt.Sprintf("core: CopyFrom between storages of %d and %d units", m.Units(), src.Units()))
+	}
+	switch m.et.Kind {
+	case KindFloat64:
+		copy(m.f64, src.f64)
+	case KindFloat32:
+		copy(m.f32, src.f32)
+	case KindInt64:
+		copy(m.i64, src.i64)
+	case KindInt32:
+		copy(m.i32, src.i32)
+	case KindByte:
+		copy(m.by, src.by)
+	default:
+		panic(fmt.Sprintf("core: CopyFrom on unknown element kind %d", m.et.Kind))
+	}
+}
+
+// AppendTo appends the whole storage to buf in wire encoding
+// (little-endian scalars, the same encoding move lanes use), for
+// checkpoint serialization.
+func (m Mem) AppendTo(buf []byte) []byte {
+	return appendUnits(buf, m, 0, m.Units())
+}
+
+// SetFromWire overwrites the whole storage by decoding b, the inverse
+// of AppendTo; b must be exactly the storage's wire size.
+func (m Mem) SetFromWire(b []byte) {
+	want := m.Units() * m.et.Kind.Size()
+	if len(b) != want {
+		panic(fmt.Sprintf("core: SetFromWire payload is %d bytes, storage wants %d", len(b), want))
+	}
+	readUnits(m, 0, b, opCopy)
+}
+
 // AddF adds v into scalar unit u in the storage's native arithmetic.
 func (m Mem) AddF(u int, v float64) {
 	switch m.et.Kind {

@@ -232,6 +232,13 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 	if rel {
 		s.snapshotNet(sends, recvs, packObj != nil, unpackObj != nil)
 	}
+	// Crash-fault runs route every blocking lane through the guarded
+	// (abortable) paths so a peer dying mid-move surfaces as
+	// FailedPeers instead of unwinding the process.  crashAware is
+	// false on every fault-free run, keeping the hot path — including
+	// its zero-allocation property — byte-identical.
+	crashAware := p.CrashFaults()
+	guarded := rel || crashAware
 
 	// Post every receive before the first send so arriving messages
 	// match pending requests immediately.
@@ -270,7 +277,14 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 			sp = p.Span("move.ship")
 			// Isend is buffered (the payload is copied), so one pack
 			// buffer serves every lane and the next move.
-			s.union.Isend(pl.Peer, tag, buf)
+			if crashAware {
+				shipBuf := buf
+				if err := p.WithTimeout(0, func() { s.union.Isend(pl.Peer, tag, shipBuf) }); err != nil {
+					res.FailedPeers = append(res.FailedPeers, pl.Peer)
+				}
+			} else {
+				s.union.Isend(pl.Peer, tag, buf)
+			}
 			now = p.Clock()
 			sp.SetPeer(pl.Peer).SetBytes(len(buf)).End(now)
 			res.Phases.Ship += now - tMark
@@ -296,7 +310,7 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 		for {
 			spw := p.Span("move.wait")
 			var i int
-			if rel {
+			if guarded {
 				var werr error
 				i, werr = mpsim.WaitanyTimeout(reqs, s.timeout)
 				if werr != nil {
@@ -354,12 +368,16 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 }
 
 // cancelFailed converts a transport failure during the receive phase
-// into graceful degradation.  It returns true when only an unreachable
-// peer's lanes were cancelled (the caller keeps draining the others)
-// and false on a deadline expiry, which abandons every pending lane.
+// into graceful degradation.  It returns true when only a lost peer's
+// lanes were cancelled — the reliable transport abandoned it
+// (ErrPeerUnreachable) or the failure detector declared it dead
+// (ErrPeerDead) — so the caller keeps draining the others, and false
+// on a deadline expiry, which abandons every pending lane.
 func (s *Schedule) cancelFailed(res *MoveResult, reqs []*mpsim.Request, recvs []PeerList, werr error) bool {
 	var ne *mpsim.NetError
-	if errors.As(werr, &ne) && errors.Is(werr, mpsim.ErrPeerUnreachable) && ne.Peer >= 0 {
+	if errors.As(werr, &ne) &&
+		(errors.Is(werr, mpsim.ErrPeerUnreachable) || errors.Is(werr, mpsim.ErrPeerDead)) &&
+		ne.Peer >= 0 {
 		for j := range reqs {
 			if !reqs[j].Done() && s.union.WorldRank(recvs[j].Peer) == ne.Peer {
 				reqs[j].Cancel()

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"metachaos/internal/mpsim"
+)
+
+// recoverPlan schedules rank 3's permanent death for the recovery test.
+type recoverPlan struct{ at float64 }
+
+func (rp recoverPlan) Crashes(int) []mpsim.CrashEvent {
+	return []mpsim.CrashEvent{{Rank: 3, At: rp.at}}
+}
+
+// A move that loses a peer mid-exchange must recover end to end:
+// survivors agree the move failed, shrink the coupling, rewind and
+// rebuild via the hooks, recompute the schedule, and the retried move
+// delivers exactly the data the mapping asks for.
+func TestMoveWithRecovery(t *testing.T) {
+	const global, crashAt = 60, 0.03
+	// Source elements 10..49 include rank 3's block (45..59 of a
+	// 4-proc block distribution), so survivors' receive lanes from the
+	// dead rank fail; destinations 0..39 all land on survivors.
+	srcIdx := seqIdx(10, 40, 1)
+	dstIdx := seqIdx(0, 40, 1)
+
+	var firstFailed []int
+	recs := make([]*Recovered, 4)
+	var srcAll, dstAll []float64
+	st := mpsim.Run(mpsim.Config{
+		Machine: mpsim.SP2(),
+		Crash:   recoverPlan{at: crashAt},
+		Programs: []mpsim.ProgramSpec{{Name: "spmd", Procs: 4, Body: func(p *mpsim.Proc) {
+			ctx := NewCtx(p, p.Comm())
+			curSrc := newTestObj(global, 4, 1, p.Rank())
+			curDst := newTestObj(global, 4, 1, p.Rank())
+			curSrc.fillDistinct(1000)
+			coupling := SingleProgram(p.Comm())
+			spec := func(o *testObj, idx []int32, c *Ctx) *Spec {
+				return &Spec{Lib: testLib{}, Obj: o, Set: NewSetOfRegions(testRegion(idx)), Ctx: c}
+			}
+			sched, err := ComputeSchedule(coupling, spec(curSrc, srcIdx, ctx), spec(curDst, dstIdx, ctx), Cooperation)
+			if err != nil {
+				t.Errorf("ComputeSchedule: %v", err)
+				return
+			}
+			if p.Rank() == 3 {
+				// The doomed rank never starts its half of the move.
+				for {
+					p.Sleep(1e-3)
+				}
+			}
+			calls := 0
+			run := func(s *Schedule) MoveResult {
+				calls++
+				r := s.Move(curSrc, curDst)
+				// Only rank 2's destination block (30..44) takes
+				// elements from the dead rank's source block, so it is
+				// the one that sees the failed lane.
+				if calls == 1 && p.Rank() == 2 {
+					firstFailed = append([]int(nil), r.FailedPeers...)
+				}
+				return r
+			}
+			hooks := RecoveryHooks{
+				Rewind: func(g *Coupling) error {
+					// The checkpointed source content is a pure function
+					// of the global element index, so each survivor
+					// "restores" its block of the survivor-count
+					// distribution directly.
+					n, r := g.Union.Size(), g.Union.Rank()
+					curSrc = newTestObj(global, n, 1, r)
+					curSrc.fillDistinct(1000)
+					curDst = newTestObj(global, n, 1, r)
+					return nil
+				},
+				Rebuild: func(g *Coupling) (*Spec, *Spec, error) {
+					c2 := NewCtx(p, g.Union)
+					return spec(curSrc, srcIdx, c2), spec(curDst, dstIdx, c2), nil
+				},
+			}
+			rec, err := MoveWithRecovery(coupling, sched, Cooperation, run, hooks, RetryPolicy{Attempts: 3, Deadline: 0.1})
+			if err != nil {
+				t.Errorf("rank %d: MoveWithRecovery: %v", p.Rank(), err)
+				return
+			}
+			recs[p.WorldRank()] = rec
+			sa := gatherObj(rec.Coupling.Union, curSrc)
+			da := gatherObj(rec.Coupling.Union, curDst)
+			if rec.Coupling.Union.Rank() == 0 {
+				srcAll, dstAll = sa, da
+			}
+		}}},
+	})
+	if len(firstFailed) != 1 || firstFailed[0] != 3 {
+		t.Errorf("first attempt's failed peers = %v, want [3]", firstFailed)
+	}
+	for r := 0; r < 3; r++ {
+		rec := recs[r]
+		if rec == nil {
+			t.Fatalf("rank %d did not recover", r)
+		}
+		if rec.Retries != 1 || fmt.Sprint(rec.Dead) != "[3]" || !rec.Res.OK() {
+			t.Errorf("rank %d recovered = {Retries: %d, Dead: %v, OK: %v}, want one retry excluding rank 3",
+				r, rec.Retries, rec.Dead, rec.Res.OK())
+		}
+		if rec.Coupling.Union.Size() != 3 {
+			t.Errorf("rank %d final union size = %d, want 3", r, rec.Coupling.Union.Size())
+		}
+	}
+	if recs[3] != nil {
+		t.Error("dead rank reported a recovery")
+	}
+	checkCopy(t, srcAll, dstAll, 1, srcIdx, dstIdx)
+	if len(st.Crashes) != 1 || st.Crashes[0].Rank != 3 {
+		t.Errorf("Crashes = %+v, want rank 3's record", st.Crashes)
+	}
+}
+
+// Without a failure detector there is nothing to recover with: a move
+// that loses peers must surface an error instead of looping.
+func TestMoveWithRecoveryNeedsDetector(t *testing.T) {
+	mpsim.RunSPMD(mpsim.SP2(), 2, func(p *mpsim.Proc) {
+		ctx := NewCtx(p, p.Comm())
+		src := newTestObj(20, 2, 1, p.Rank())
+		dst := newTestObj(20, 2, 1, p.Rank())
+		src.fillDistinct(1)
+		coupling := SingleProgram(p.Comm())
+		idx := seqIdx(0, 10, 1)
+		sched, err := ComputeSchedule(coupling,
+			&Spec{Lib: testLib{}, Obj: src, Set: NewSetOfRegions(testRegion(idx)), Ctx: ctx},
+			&Spec{Lib: testLib{}, Obj: dst, Set: NewSetOfRegions(testRegion(idx)), Ctx: ctx},
+			Cooperation)
+		if err != nil {
+			t.Errorf("ComputeSchedule: %v", err)
+			return
+		}
+		// A clean fault-free move through the recovery wrapper is a
+		// plain move: no agreement round, no retries.
+		rec, err := MoveWithRecovery(coupling, sched, Cooperation,
+			func(s *Schedule) MoveResult { return s.Move(src, dst) },
+			RecoveryHooks{}, RetryPolicy{})
+		if err != nil || rec.Retries != 0 || !rec.Res.OK() {
+			t.Errorf("fault-free recovery wrapper = (%+v, %v), want clean pass-through", rec, err)
+		}
+		// A synthetic failure with no detector available must error.
+		_, err = MoveWithRecovery(coupling, sched, Cooperation,
+			func(s *Schedule) MoveResult { return MoveResult{FailedPeers: []int{1}} },
+			RecoveryHooks{}, RetryPolicy{})
+		if err == nil {
+			t.Error("recovery without a detector succeeded")
+		}
+	})
+}

@@ -399,10 +399,12 @@ func runChaosTyped(t *testing.T, srcKind, dstKind string, et core.ElemType, op s
 	return snap, st
 }
 
-// TestChaosDtypeSweep re-runs a slice of the chaos harness on
-// non-float64 element types: five pairings each for float32 and int64,
-// under the configured fault profile, asserting results bit-identical
-// to the fault-free run and that faults actually fired.
+// TestChaosDtypeSweep re-runs a slice of the chaos harness on every
+// element type: five pairings each for float64, float32, int64, int32
+// and byte, under the configured fault profile, asserting results
+// bit-identical to the fault-free run and that faults actually fired.
+// (Byte and int32 payloads stay within their ranges by construction,
+// so the clean and faulty runs truncate identically.)
 func TestChaosDtypeSweep(t *testing.T) {
 	seed := chaosSeed(t)
 	profName := chaosProfile()
@@ -418,9 +420,9 @@ func TestChaosDtypeSweep(t *testing.T) {
 	}
 	var drops, retransmits int64
 	ops := []string{"copy", "add", "reverse"}
-	for ei, et := range []core.ElemType{core.Float32, core.Int64} {
+	for ei, et := range []core.ElemType{core.Float64, core.Float32, core.Int64, core.Int32, core.Byte} {
 		for i, srcKind := range kinds {
-			dstKind := kinds[(i+1+ei)%len(kinds)]
+			dstKind := kinds[(i+1+ei%(len(kinds)-1))%len(kinds)]
 			op := ops[i%len(ops)]
 			method := core.Cooperation
 			if i%2 == 1 {

@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// chaosSeed returns the pinned seed, overridable via CHAOS_SEED so the
+// nightly sweep can drive the same test across many seeds.
+func chaosSeed(t *testing.T, def uint64) uint64 {
+	s := os.Getenv("CHAOS_SEED")
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		t.Fatalf("CHAOS_SEED=%q: %v", s, err)
+	}
+	return v
+}
+
+// TestChaosElasticRecovery is the tentpole's end-to-end assertion: a
+// server rank dies mid-run under a pinned seed; the crash is detected
+// through virtual-time heartbeats, the group shrinks, state restores
+// from the client's checkpoint, and the finished run's result is
+// bit-identical to the fault-free run — deterministically, across two
+// replays.
+func TestChaosElasticRecovery(t *testing.T) {
+	cfg := ElasticConfig{ServerProcs: 4, Iters: 5, Seed: chaosSeed(t, 7)}
+	faulty, clean := ElasticFigure10(cfg)
+
+	if clean.ResultHash == 0 {
+		t.Fatal("fault-free run produced a zero result hash")
+	}
+	if clean.Shrinks != 0 || clean.Restores != 0 || len(clean.Crashes) != 0 {
+		t.Errorf("fault-free run recovered: %+v", clean)
+	}
+	if len(faulty.Crashes) != 1 {
+		t.Fatalf("crashed run's crash history = %+v, want one record", faulty.Crashes)
+	}
+	rec := faulty.Crashes[0]
+	if rec.Rank < 1 || rec.Rank > cfg.ServerProcs {
+		t.Errorf("crash hit world rank %d, want a server rank in [1,%d]", rec.Rank, cfg.ServerProcs)
+	}
+	if rec.DetectedAt <= rec.At {
+		t.Errorf("detection at %g not after crash at %g", rec.DetectedAt, rec.At)
+	}
+	if faulty.Shrinks != 1 || faulty.Restores != 1 {
+		t.Errorf("crashed run recovered %d times with %d restores, want exactly 1 and 1",
+			faulty.Shrinks, faulty.Restores)
+	}
+	if faulty.Survivors != cfg.ServerProcs-1 {
+		t.Errorf("finished with %d server processes, want %d", faulty.Survivors, cfg.ServerProcs-1)
+	}
+	if faulty.ResultHash != clean.ResultHash {
+		t.Errorf("result hash %#x after recovery, want fault-free %#x (bit-identical)",
+			faulty.ResultHash, clean.ResultHash)
+	}
+	if faulty.Makespan <= clean.Makespan {
+		t.Errorf("crashed makespan %g not above fault-free %g (recovery costs a slot)",
+			faulty.Makespan, clean.Makespan)
+	}
+
+	// Same seed, fresh everything: identical outcome.
+	faulty2, _ := ElasticFigure10(cfg)
+	if faulty2.ResultHash != faulty.ResultHash || faulty2.Makespan != faulty.Makespan {
+		t.Errorf("nondeterministic replay: hash %#x vs %#x, makespan %g vs %g",
+			faulty2.ResultHash, faulty.ResultHash, faulty2.Makespan, faulty.Makespan)
+	}
+}
+
+// TestElasticCrashAlwaysHitsAServer pins the crash-site derivation: no
+// seed may kill the client (world rank 0), whose checkpoint store the
+// recovery depends on.
+func TestElasticCrashAlwaysHitsAServer(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		for _, sp := range []int{2, 4, 16} {
+			c := ElasticCrash(seed, sp)
+			if c.Rank < 1 || c.Rank > sp {
+				t.Fatalf("seed %d, %d servers: crash rank %d outside [1,%d]", seed, sp, c.Rank, sp)
+			}
+			if c.At <= elasticSetup || c.At >= elasticSetup+2*elasticSlot {
+				t.Fatalf("seed %d: crash time %g outside the first two slots", seed, c.At)
+			}
+		}
+	}
+}

@@ -63,10 +63,20 @@ func (pt *Partition) cuts(a, b int) bool {
 	return ina != inb
 }
 
+// Crash is one scheduled fail-stop fault: world rank Rank (reduced
+// modulo the world size at run time) dies at virtual time At; if
+// RestartAt > At the rank restarts there.
+type Crash struct {
+	Rank      int
+	At        float64
+	RestartAt float64
+}
+
 // Profile is a deterministic fault injector implementing
-// mpsim.FaultInjector.  The zero value injects nothing; populate Base,
-// PerLink and Partitions (or start from a preset) and pass it as
-// mpsim.Config.Fault.
+// mpsim.FaultInjector (message faults) and mpsim.CrashPlan (fail-stop
+// crash faults).  The zero value injects nothing; populate Base,
+// PerLink, Partitions and Crashes (or start from a preset) and pass it
+// as mpsim.Config.Fault and/or mpsim.Config.Crash.
 type Profile struct {
 	// Seed selects the pseudo-random fault pattern.
 	Seed uint64
@@ -77,6 +87,10 @@ type Profile struct {
 	// Partitions are transient cuts; a transmission crossing an active
 	// cut is dropped regardless of Rates.
 	Partitions []Partition
+	// Crashes are scheduled fail-stop faults.  They take effect only
+	// when the profile is passed as mpsim.Config.Crash — wiring the
+	// same profile as Config.Fault alone never kills a rank.
+	Crashes []Crash
 
 	// calls counts decisions per link, the deterministic per-link
 	// stream position (retransmissions advance it too, so a retry's
@@ -127,6 +141,56 @@ func (f *Profile) WithPartition(start, end float64, ranks ...int) *Profile {
 	return f
 }
 
+// WithCrash returns the profile with a permanent crash added: rank
+// dies at virtual time at.
+func (f *Profile) WithCrash(rank int, at float64) *Profile {
+	f.Crashes = append(f.Crashes, Crash{Rank: rank, At: at})
+	return f
+}
+
+// WithRestart returns the profile with a crash-and-restart added: rank
+// dies at virtual time at and restarts at restartAt.
+func (f *Profile) WithRestart(rank int, at, restartAt float64) *Profile {
+	f.Crashes = append(f.Crashes, Crash{Rank: rank, At: at, RestartAt: restartAt})
+	return f
+}
+
+// HasCrashes reports whether the profile schedules any crash faults,
+// so harnesses know to wire it as mpsim.Config.Crash.
+func (f *Profile) HasCrashes() bool { return f != nil && len(f.Crashes) > 0 }
+
+// plan materializes the crash schedule for a world: each scheduled
+// Crash's rank is reduced modulo the world size, making seeded plans
+// valid for any process count.
+func (f *Profile) plan(worldSize int) []mpsim.CrashEvent {
+	evs := make([]mpsim.CrashEvent, 0, len(f.Crashes))
+	for _, c := range f.Crashes {
+		r := c.Rank % worldSize
+		if r < 0 {
+			r += worldSize
+		}
+		evs = append(evs, mpsim.CrashEvent{Rank: r, At: c.At, RestartAt: c.RestartAt})
+	}
+	return evs
+}
+
+// CrashPlan returns the profile's crash schedule as an mpsim.CrashPlan,
+// or nil when the profile (or its crash list) is empty — nil is what
+// mpsim.Config.Crash expects for "no crash faults", so the result can
+// be assigned unconditionally.
+func (f *Profile) CrashPlan() mpsim.CrashPlan {
+	if !f.HasCrashes() {
+		return nil
+	}
+	return crashPlan{f}
+}
+
+// crashPlan adapts a Profile to mpsim.CrashPlan.  A separate type is
+// needed because Profile's Crashes *field* occupies the method name.
+type crashPlan struct{ f *Profile }
+
+func (cp crashPlan) Crashes(worldSize int) []mpsim.CrashEvent { return cp.f.plan(worldSize) }
+
 // Mild models an occasionally lossy shared link: about 1% drops with
 // light duplication, corruption and reordering.
 func Mild(seed uint64) *Profile {
@@ -155,8 +219,32 @@ func Random(seed uint64) *Profile {
 	}}
 }
 
-// ByName maps a profile name ("none", "mild", "lossy", "random") to
-// its constructor, the command-line and CI entry point.
+// Crashy is Mild's message faults plus one seed-derived permanent
+// crash: a rank (chosen modulo the world size at run time) dies at a
+// seed-derived virtual time early in the run.
+func Crashy(seed uint64) *Profile {
+	f := Mild(seed)
+	u := func(salt uint64) float64 { return unit(mix(seed, salt, 0xdead)) }
+	f.Crashes = append(f.Crashes, Crash{
+		Rank: int(mix(seed, 0xdead, 1) % 1024),
+		At:   0.002 + 0.006*u(2),
+	})
+	return f
+}
+
+// Flaky is Crashy with recovery: the crashed rank restarts a
+// seed-derived interval after dying.
+func Flaky(seed uint64) *Profile {
+	f := Crashy(seed)
+	u := func(salt uint64) float64 { return unit(mix(seed, salt, 0xdead)) }
+	c := &f.Crashes[len(f.Crashes)-1]
+	c.RestartAt = c.At + 0.004 + 0.008*u(3)
+	return f
+}
+
+// ByName maps a profile name ("none", "mild", "lossy", "random",
+// "crashy", "flaky") to its constructor, the command-line and CI entry
+// point.
 func ByName(name string, seed uint64) (*Profile, error) {
 	switch name {
 	case "", "none":
@@ -167,8 +255,12 @@ func ByName(name string, seed uint64) (*Profile, error) {
 		return Lossy(seed), nil
 	case "random":
 		return Random(seed), nil
+	case "crashy":
+		return Crashy(seed), nil
+	case "flaky":
+		return Flaky(seed), nil
 	}
-	return nil, fmt.Errorf("faultsim: unknown profile %q (want none, mild, lossy or random)", name)
+	return nil, fmt.Errorf("faultsim: unknown profile %q (want none, mild, lossy, random, crashy or flaky)", name)
 }
 
 // mix is a splitmix64-style avalanche of (seed, stream, position),

@@ -69,12 +69,18 @@ func (c *Comm) Sub(ranks []int) *Comm {
 		}
 		world[i] = c.ranks[r]
 	}
+	return newComm(c.p, world, subCtx(world))
+}
+
+// subCtx derives a derived communicator's context identifier from its
+// member list, so every member building the same group agrees on the
+// tag space without communicating.
+func subCtx(world []int) int {
 	h := fnv.New32a()
 	for _, wr := range world {
 		fmt.Fprintf(h, "%d,", wr)
 	}
-	ctx := 16 + int(h.Sum32()%493) // keep clear of the base contexts
-	return newComm(c.p, world, ctx)
+	return 16 + int(h.Sum32()%493) // keep clear of the base contexts
 }
 
 // Merged creates a communicator spanning the union of two communicators'
@@ -96,12 +102,7 @@ func Merged(a, b *Comm) *Comm {
 		}
 	}
 	sort.Ints(world)
-	h := fnv.New32a()
-	for _, wr := range world {
-		fmt.Fprintf(h, "%d,", wr)
-	}
-	ctx := 16 + int(h.Sum32()%493)
-	return newComm(a.p, world, ctx)
+	return newComm(a.p, world, subCtx(world))
 }
 
 func (c *Comm) userWire(tag int) int {

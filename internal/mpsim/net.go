@@ -45,7 +45,7 @@ type NetError struct {
 	// Peer is the world rank of the remote endpoint, or -1 when the
 	// operation was not bound to one peer (AnySource, collectives).
 	Peer int
-	// Err is ErrTimeout or ErrPeerUnreachable.
+	// Err is ErrTimeout, ErrPeerUnreachable or ErrPeerDead.
 	Err error
 }
 
@@ -110,6 +110,9 @@ const (
 	tRetransmit
 	tAck
 	tWake
+	tCrash   // kill a rank (crash plan)
+	tDetect  // failure detector declares a crashed rank dead
+	tRestart // relaunch a crashed rank
 )
 
 // timer is one pending virtual-time event, ordered by (at, seq).
@@ -163,6 +166,12 @@ func (w *World) fireTimer(tm *timer) {
 		w.net.fireRetransmit(tm)
 	case tAck:
 		w.net.fireAck(tm)
+	case tCrash:
+		w.fireCrash(tm)
+	case tDetect:
+		w.fireDetect(tm)
+	case tRestart:
+		w.fireRestart(tm)
 	}
 }
 
@@ -332,6 +341,12 @@ func (n *netLayer) transmit(pkt *packet, depart float64, attempt int) {
 func (n *netLayer) fireDeliver(tm *timer) {
 	pkt := tm.pkt
 	w := n.w
+	if w.crash != nil && w.crash.dead[pkt.to] {
+		// The destination host is down: the wire delivers into the void,
+		// with no ack — the sender's retransmission timer (if any) keeps
+		// trying until the rank restarts or the link is abandoned.
+		return
+	}
 	data := pkt.data
 	if tm.corruptBit >= 0 && len(data) > 0 {
 		c := append([]byte(nil), data...)
@@ -420,6 +435,12 @@ func (n *netLayer) fireRetransmit(tm *timer) {
 		return
 	}
 	w := n.w
+	if w.deadDetected(pkt.to, tm.at) {
+		// The failure detector already declared the destination dead;
+		// retrying is pointless, so the link is abandoned immediately.
+		n.abandon(pkt, tm.at)
+		return
+	}
 	if pkt.retries >= n.maxRetries {
 		n.abandon(pkt, tm.at)
 		return

@@ -23,6 +23,9 @@ type obsCounters struct {
 	acks        *obs.Counter
 	timeouts    *obs.Counter
 	peerFails   *obs.Counter
+	crashes     *obs.Counter
+	detects     *obs.Counter
+	restarts    *obs.Counter
 	msgBytes    *obs.Histogram
 }
 
@@ -39,6 +42,9 @@ func (c *obsCounters) resolve(m *obs.Metrics) {
 	c.acks = m.Counter("mpsim.acks")
 	c.timeouts = m.Counter("mpsim.timeouts")
 	c.peerFails = m.Counter("mpsim.peer_fails")
+	c.crashes = m.Counter("mpsim.crashes")
+	c.detects = m.Counter("mpsim.crash_detects")
+	c.restarts = m.Counter("mpsim.restarts")
 	c.msgBytes = m.Histogram("mpsim.msg_bytes", obs.DefBytesBuckets)
 }
 
@@ -77,6 +83,15 @@ func (w *World) obsEvent(e Event) {
 		w.obsInstant(e)
 	case EvPeerFail:
 		w.obsC.peerFails.Inc()
+		w.obsInstant(e)
+	case EvCrash:
+		w.obsC.crashes.Inc()
+		w.obsInstant(e)
+	case EvCrashDetect:
+		w.obsC.detects.Inc()
+		w.obsInstant(e)
+	case EvRestart:
+		w.obsC.restarts.Inc()
 		w.obsInstant(e)
 	}
 }

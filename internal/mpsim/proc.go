@@ -59,6 +59,14 @@ type Proc struct {
 	// before waking a blocked process; the blocking operation converts
 	// it into a netPanic for WithTimeout to recover.
 	wakeErr *NetError
+
+	// Crash-fault state (see crash.go).  killed marks a process claimed
+	// by a crash fault; it unwinds at its next scheduling point.
+	// restartAt defers a restart that fired before the kill unwound.
+	// incarnation counts restarts.
+	killed      bool
+	restartAt   float64
+	incarnation int
 }
 
 // recvWant is one (world-rank source, wire tag) matcher of a blocked
@@ -175,6 +183,15 @@ func (p *Proc) send(to, tag int, data []byte) {
 	if to < 0 || to >= len(p.world.procs) {
 		panic(fmt.Sprintf("mpsim: rank %d sends to invalid rank %d", p.worldRank, to))
 	}
+	if p.world.crash != nil {
+		p.checkKilled()
+		if p.world.deadDetected(to, p.clock) {
+			// Post-detection sends fail fast instead of vanishing.
+			p.world.stats.PerRank[p.worldRank].FailedSends++
+			p.world.record(Event{Time: p.clock, Rank: p.worldRank, Kind: EvPeerFail, Peer: to, Bytes: len(data)})
+			panic(netPanic{&NetError{Op: "send", Rank: p.worldRank, Peer: to, Err: ErrPeerDead}})
+		}
+	}
 	sp := p.beginSpan("send")
 	sp.SetPeer(to).SetBytes(len(data))
 	m := p.world.machine
@@ -247,6 +264,7 @@ func (p *Proc) Recv(from, tag int) ([]byte, int) {
 
 func (p *Proc) recv(from, tag int) ([]byte, int) {
 	for {
+		p.checkKilled()
 		for i, msg := range p.queue {
 			if !matches(msg, from, tag) {
 				continue
@@ -273,6 +291,7 @@ func (p *Proc) recv(from, tag int) ([]byte, int) {
 // on a fixed peer order.
 func (p *Proc) recvAny(wants []recvWant) (int, []byte, int) {
 	for {
+		p.checkKilled()
 		best, bestWant := -1, -1
 		for i, msg := range p.queue {
 			wi := -1
@@ -327,6 +346,17 @@ func (p *Proc) checkBeforeBlock(from int, wants []recvWant) {
 		w.stats.PerRank[p.worldRank].Timeouts++
 		w.record(Event{Time: p.clock, Rank: p.worldRank, Kind: EvTimeout, Peer: -1})
 		panic(netPanic{&NetError{Op: "wait", Rank: p.worldRank, Peer: -1, Err: ErrTimeout}})
+	}
+	if p.world.crash != nil {
+		// A receive bound entirely to detected-dead ranks can never
+		// complete; fail fast with ErrPeerDead.
+		if wants == nil {
+			if from != AnySource && p.world.deadDetected(from, p.clock) {
+				panic(netPanic{&NetError{Op: "recv", Rank: p.worldRank, Peer: from, Err: ErrPeerDead}})
+			}
+		} else if peer, hopeless := p.world.hopelessWants(wants, AnySource, p.clock); hopeless {
+			panic(netPanic{&NetError{Op: "recv", Rank: p.worldRank, Peer: peer, Err: ErrPeerDead}})
+		}
 	}
 	if p.world.net == nil {
 		return
@@ -444,6 +474,7 @@ func (p *Proc) yield() {
 	p.state = stateRunnable
 	p.world.toSched <- schedEvent{p: p}
 	<-p.resume
+	p.checkKilled()
 }
 
 func matches(m *message, src, tag int) bool {

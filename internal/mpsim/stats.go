@@ -53,6 +53,9 @@ type Stats struct {
 	// Trace holds the event record when Config.Trace was set; nil
 	// otherwise.
 	Trace *Trace
+	// Crashes is the run's crash-fault history (Config.Crash), ordered
+	// by crash time; empty without a crash plan.
+	Crashes []CrashRecord
 }
 
 // pair returns the counters for the ordered (from, to) link, creating

@@ -40,6 +40,14 @@ const (
 	// EvPeerFail is recorded when the reliable transport abandons a
 	// peer after exhausting its retransmission budget.
 	EvPeerFail
+	// EvCrash is recorded when a crash fault kills a rank.
+	EvCrash
+	// EvCrashDetect is recorded when the failure detector declares a
+	// crashed rank dead (Peer is the dead rank).
+	EvCrashDetect
+	// EvRestart is recorded when a crashed rank restarts with a fresh
+	// incarnation.
+	EvRestart
 )
 
 func (k EventKind) String() string {
@@ -62,6 +70,12 @@ func (k EventKind) String() string {
 		return "timeout"
 	case EvPeerFail:
 		return "peerfail"
+	case EvCrash:
+		return "crash"
+	case EvCrashDetect:
+		return "crashdetect"
+	case EvRestart:
+		return "restart"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }

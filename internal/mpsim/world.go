@@ -43,6 +43,13 @@ type Config struct {
 	// every messaging operation (and, through the layers above, every
 	// data-move phase).  nil keeps the hot paths allocation-free.
 	Obs *obs.Tracer
+	// Crash, when non-nil, supplies fail-stop crash faults: ranks die
+	// at scheduled virtual times (and may restart).  See crash.go for
+	// the failure model.  nil keeps every crash hook off the hot paths.
+	Crash CrashPlan
+	// Detect configures the failure detector used with Crash; nil with
+	// a crash plan installs DefaultDetector().
+	Detect *Detector
 }
 
 // World is the simulated machine state for one run.  It owns every
@@ -72,6 +79,12 @@ type World struct {
 	timers   timerHeap
 	timerSeq int
 	net      *netLayer
+
+	// Crash-fault state (nil when Config.Crash was nil).
+	crash *crashState
+	// live is the number of processes that have not finished (crashed
+	// processes leave it; restarts rejoin it).
+	live int
 
 	failure *runFailure
 }
@@ -118,6 +131,7 @@ func Run(cfg Config) *Stats {
 			w.failure.prog, w.failure.rank, w.failure.err))
 	}
 	w.stats.Trace = w.trace
+	w.stats.Crashes = w.crashRecords()
 	if w.obs != nil {
 		w.obs.MetricsRegistry().Gauge("mpsim.makespan_seconds").Set(w.stats.MakespanSeconds)
 	}
@@ -214,26 +228,13 @@ func newWorld(cfg Config) (*World, error) {
 		p.progComm = newComm(p, p.progRanks, 2+p.progIndex)
 	}
 	w.stats.PerRank = make([]RankStats, len(w.procs))
+	if cfg.Crash != nil {
+		w.initCrash(cfg.Crash, cfg.Detect, cfg.Programs)
+	}
 	// Launch every process goroutine; each immediately parks waiting for
 	// the scheduler to resume it.
-	bodies := cfg.Programs
 	for _, p := range w.procs {
-		p := p
-		body := bodies[p.progIndex].Body
-		go func() {
-			<-p.resume
-			defer func() {
-				if r := recover(); r != nil {
-					if w.failure == nil {
-						w.failure = &runFailure{rank: p.worldRank, prog: p.progName, err: r}
-					}
-				}
-				p.finalClock = p.clock
-				p.state = stateDone
-				w.toSched <- schedEvent{p: p}
-			}()
-			body(p)
-		}()
+		w.launchProc(p, cfg.Programs[p.progIndex].Body)
 	}
 	heap.Init(&w.runq)
 	for _, p := range w.procs {
@@ -242,13 +243,33 @@ func newWorld(cfg Config) (*World, error) {
 	return w, nil
 }
 
+// launchProc starts the goroutine executing body for p; it parks until
+// the scheduler first resumes it.  A crashPanic unwinding the body is a
+// clean fail-stop death, not a run failure.
+func (w *World) launchProc(p *Proc, body func(p *Proc)) {
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, crashed := r.(crashPanic); !crashed && w.failure == nil {
+					w.failure = &runFailure{rank: p.worldRank, prog: p.progName, err: r}
+				}
+			}
+			p.finalClock = p.clock
+			p.state = stateDone
+			w.toSched <- schedEvent{p: p}
+		}()
+		body(p)
+	}()
+}
+
 // schedule is the cooperative scheduler loop.  It always resumes the
 // runnable process with the smallest virtual clock (ties broken by world
 // rank), which makes runs deterministic and keeps link reservations in
 // near-causal order.
 func (w *World) schedule() {
-	live := len(w.procs)
-	for live > 0 {
+	w.live = len(w.procs)
+	for w.live > 0 {
 		if w.failure != nil {
 			// Abandon the run: remaining processes are simply not
 			// resumed again.  Their goroutines leak for the lifetime of
@@ -271,9 +292,14 @@ func (w *World) schedule() {
 		ev := <-w.toSched
 		switch ev.p.state {
 		case stateDone:
-			live--
+			w.live--
 			if ev.p.finalClock > w.stats.MakespanSeconds {
 				w.stats.MakespanSeconds = ev.p.finalClock
+			}
+			if w.crash != nil && ev.p.restartAt > 0 {
+				// A restart timer fired while the killed process had not
+				// unwound yet; relaunch now that its goroutine is gone.
+				w.restartProc(ev.p, ev.p.restartAt)
 			}
 		case stateRunnable:
 			heap.Push(&w.runq, ev.p)

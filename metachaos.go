@@ -117,6 +117,9 @@ var (
 	ErrTimeout = mpsim.ErrTimeout
 	// ErrPeerUnreachable reports retransmission give-up on a dead link.
 	ErrPeerUnreachable = mpsim.ErrPeerUnreachable
+	// ErrPeerDead reports an operation bound to a rank the failure
+	// detector has declared crashed.
+	ErrPeerDead = mpsim.ErrPeerDead
 )
 
 // Deterministic fault profiles.
@@ -127,8 +130,43 @@ var (
 	LossyFaults = faultsim.Lossy
 	// RandomFaults derives a reproducible regime from the seed.
 	RandomFaults = faultsim.Random
-	// FaultProfileByName maps "none"/"mild"/"lossy"/"random" to a profile.
+	// CrashyFaults is MildFaults plus one seed-derived fail-stop crash.
+	CrashyFaults = faultsim.Crashy
+	// FlakyFaults is CrashyFaults with a later seed-derived restart.
+	FlakyFaults = faultsim.Flaky
+	// FaultProfileByName maps "none"/"mild"/"lossy"/"random"/"crashy"/
+	// "flaky" to a profile.
 	FaultProfileByName = faultsim.ByName
+)
+
+// Fail-stop crash faults and recovery (see the failure-model section
+// of DESIGN.md).  Wire a plan through Config.Crash — e.g.
+// CrashyFaults(seed).CrashPlan() — and the virtual-time heartbeat
+// detector, group shrink and checkpoint/restart layers activate; with
+// Config.Crash nil the whole model is off.
+type (
+	// CrashEvent schedules one fail-stop fault (optionally restarting).
+	CrashEvent = mpsim.CrashEvent
+	// CrashPlan supplies a run's deterministic crash schedule.
+	CrashPlan = mpsim.CrashPlan
+	// CrashRecord is one crash's observable history in Stats.Crashes.
+	CrashRecord = mpsim.CrashRecord
+	// Detector configures the virtual-time heartbeat failure detector.
+	Detector = mpsim.Detector
+	// RecoveryHooks are the application halves of MoveWithRecovery.
+	RecoveryHooks = core.RecoveryHooks
+	// Recovered reports how a MoveWithRecovery call completed.
+	Recovered = core.Recovered
+)
+
+var (
+	// DefaultDetector is the detector used when a crash plan is set
+	// without an explicit Config.Detect.
+	DefaultDetector = mpsim.DefaultDetector
+	// MoveWithRecovery retries a move over the survivors of a crash:
+	// agreement, detector-settled shrink, rewind/rebuild hooks,
+	// schedule recompute, retry.
+	MoveWithRecovery = core.MoveWithRecovery
 )
 
 // Run executes a configured set of programs on the simulated machine.

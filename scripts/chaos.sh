@@ -1,12 +1,16 @@
 #!/bin/sh
 # Chaos harness: the cross-library sweep and the Figure 10 workload on
 # a deterministically faulty network with reliable transport, asserting
-# bit-identical results against fault-free runs.
+# bit-identical results against fault-free runs.  The crashy and flaky
+# profiles add fail-stop faults: the crash sweep and the elastic
+# recovery experiment assert detection, group shrink and deterministic
+# degraded replay on top.
 #
 # Usage:
 #   scripts/chaos.sh                     # default seed 1, lossy profile
 #   scripts/chaos.sh -seed 7 -profile mild
 #   scripts/chaos.sh -seed 3 -profile random -v
+#   scripts/chaos.sh -seed 7 -profile crashy
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -28,7 +32,7 @@ while [ $# -gt 0 ]; do
 		shift
 		;;
 	*)
-		echo "usage: scripts/chaos.sh [-seed N] [-profile mild|lossy|random] [-v]" >&2
+		echo "usage: scripts/chaos.sh [-seed N] [-profile mild|lossy|random|crashy|flaky] [-v]" >&2
 		exit 2
 		;;
 	esac
