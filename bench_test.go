@@ -10,6 +10,9 @@
 package metachaos_test
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"metachaos"
@@ -349,5 +352,43 @@ func BenchmarkExtensionMatrix(b *testing.B) {
 		// Headline: chaos-involving schedule vs pure-regular schedule.
 		b.ReportMetric(sched.Rows[2].Values[0], "chaos-to-mbparti-sched-vms")
 		b.ReportMetric(copyT.Rows[0].Values[1], "mbparti-to-hpf-copy-vms")
+	}
+}
+
+// figure10ParallelBase stashes the GOMAXPROCS=1 cost of the scaling
+// benchmark so later -cpu variants in the same process can report
+// their speedup (go test runs -cpu variants sequentially).
+var figure10ParallelBase struct {
+	mu      sync.Mutex
+	nsPerOp float64
+}
+
+// BenchmarkFigure10Parallel is the sharded-scheduler scaling
+// benchmark: a 1152-rank (128-client, 1024-server) Figure-10-style
+// coupled matvec.  Shard count follows GOMAXPROCS (the world is large
+// enough to auto-shard), so running with -cpu 1,2,4 measures the
+// parallel speedup of the simulator itself; each multi-core variant
+// reports it as a speedup@N metric against the 1-cpu run.
+func BenchmarkFigure10Parallel(b *testing.B) {
+	cfg := exp.Figure10ScaleConfig{
+		ClientProcs: 128, ServerProcs: 1024, Vectors: 8, Rows: 96, Band: 192,
+	}
+	var hash uint64
+	for i := 0; i < b.N; i++ {
+		r := exp.Figure10Scale(cfg)
+		hash = r.ResultHash
+		b.ReportMetric(r.Makespan*1e3, "makespan-vms@1024srv")
+	}
+	_ = hash
+	ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	n := runtime.GOMAXPROCS(0)
+	figure10ParallelBase.mu.Lock()
+	if n == 1 {
+		figure10ParallelBase.nsPerOp = ns
+	}
+	base := figure10ParallelBase.nsPerOp
+	figure10ParallelBase.mu.Unlock()
+	if base > 0 {
+		b.ReportMetric(base/ns, fmt.Sprintf("speedup@%d", n))
 	}
 }

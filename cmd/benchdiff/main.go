@@ -76,7 +76,13 @@ func main() {
 	if base.CPU != "" && cur.CPU != "" && base.CPU != cur.CPU {
 		fmt.Printf("note: baseline CPU %q != current CPU %q; ns/op comparison is cross-machine\n", base.CPU, cur.CPU)
 	}
-	fmt.Printf("baseline %s, gate: ns/op +%.0f%%, allocs/op +0\n", *baseline, *maxRegress*100)
+	if base.HostCPUs != 0 {
+		fmt.Printf("baseline host: %d cpus, mpsim shards %s\n", base.HostCPUs, orAuto(base.MpsimShards))
+	}
+	if cur.HostCPUs != 0 && (cur.HostCPUs != base.HostCPUs || cur.MpsimShards != base.MpsimShards) {
+		fmt.Printf("current host:  %d cpus, mpsim shards %s\n", cur.HostCPUs, orAuto(cur.MpsimShards))
+	}
+	fmt.Printf("baseline %s, gate: ns/op +%.0f%%, allocs/op +1ppm\n", *baseline, *maxRegress*100)
 	for _, c := range d.Compared {
 		fmt.Printf("  %-28s ns/op %12.0f -> %12.0f (%+6.1f%%)   allocs/op %8.0f -> %8.0f\n",
 			c.Name, c.BaseNs, c.NewNs, 100*(c.NewNs/c.BaseNs-1), c.BaseAllocs, c.NewAllocs)
@@ -95,6 +101,14 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("OK: no regressions")
+}
+
+// orAuto renders the MPSIM_SHARDS setting, "" meaning automatic.
+func orAuto(s string) string {
+	if s == "" {
+		return "auto"
+	}
+	return s
 }
 
 // readCurrent sniffs JSON (an mcbench snapshot) vs text (raw go test

@@ -12,6 +12,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"runtime"
 
 	"metachaos/internal/benchfmt"
 )
@@ -26,6 +27,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mcbench: no benchmark lines on stdin (pipe `go test -bench -benchmem` output in)")
 		os.Exit(1)
 	}
+	// Host-shape metadata: snapshots recorded on different machines
+	// (or with a pinned MPSIM_SHARDS) must say so.
+	rep.HostCPUs = runtime.NumCPU()
+	rep.MpsimShards = os.Getenv("MPSIM_SHARDS")
 	if err := rep.Write(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
 		os.Exit(1)

@@ -108,6 +108,29 @@ func TestDiffFlagsAnyAllocIncrease(t *testing.T) {
 	}
 }
 
+func TestDiffAllocSlackCoversRuntimeJitter(t *testing.T) {
+	// Benchmarks making ~1e8 allocations per op see a few tens of
+	// nondeterministic runtime-internal allocations between runs; the
+	// one-per-million slack absorbs that without letting a real leak
+	// (at least one alloc per op element, i.e. thousands) through.
+	mk := func(allocs float64) *Report {
+		r := parseSample(t)
+		for i := range r.Results {
+			if r.Results[i].Name == "BenchmarkTable5" {
+				r.Results[i].AllocsPerOp = allocs
+			}
+		}
+		return r
+	}
+	base := mk(91_020_248)
+	if d := Diff(base, mk(91_020_294), nil, 0.10); !d.OK() {
+		t.Errorf("+46 allocs on a 91M base flagged as regression: %v", d.Regressions)
+	}
+	if d := Diff(base, mk(91_021_000), nil, 0.10); d.OK() {
+		t.Error("+752 allocs on a 91M base (beyond slack) not flagged")
+	}
+}
+
 func TestDiffFlagsMissingBenchmark(t *testing.T) {
 	base := parseSample(t)
 	cur := parseSample(t)
@@ -151,5 +174,62 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 	if back.Results[0].Metrics["sched-vms@2"] != 12.3 {
 		t.Errorf("metrics lost in round trip")
+	}
+}
+
+func TestParseLineRecordsProcs(t *testing.T) {
+	r, ok := ParseLine("BenchmarkFigure10Parallel-4   3   916217565 ns/op   0.904 speedup@4")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkFigure10Parallel" || r.Procs != 4 {
+		t.Errorf("got name %q procs %d, want stripped name and procs 4", r.Name, r.Procs)
+	}
+	if r.Metrics["speedup@4"] != 0.904 {
+		t.Errorf("speedup metric lost: %v", r.Metrics)
+	}
+	r, _ = ParseLine("BenchmarkTable5   10   1000 ns/op")
+	if r.Procs != 1 {
+		t.Errorf("suffix-less line: procs %d, want 1", r.Procs)
+	}
+}
+
+func TestCPUSweepKeepsVariantsApart(t *testing.T) {
+	out := `BenchmarkFigure10Parallel     	3	900 ns/op	1.0 speedup@1
+BenchmarkFigure10Parallel-2   	3	600 ns/op	1.5 speedup@2
+BenchmarkFigure10Parallel-4   	3	300 ns/op	3.0 speedup@4
+BenchmarkTable5-4             	10	1000 ns/op
+`
+	rep, err := ParseGotest(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := rep.Best()
+	if len(best) != 4 {
+		t.Fatalf("sweep collapsed: %d distinct results, want 4: %v", len(best), best)
+	}
+	r, ok := best["BenchmarkFigure10Parallel/cpu=2"]
+	if !ok || r.Metrics["speedup@2"] != 1.5 {
+		t.Errorf("cpu=2 variant missing or wrong: %+v", best)
+	}
+	// A benchmark run at a single GOMAXPROCS keeps its plain name, so
+	// old snapshots stay diffable against new ones.
+	if _, ok := best["BenchmarkTable5"]; !ok {
+		t.Errorf("single-procs benchmark renamed: %v", best)
+	}
+}
+
+func TestHostMetadataRoundTrip(t *testing.T) {
+	rep := &Report{HostCPUs: 8, MpsimShards: "4", Results: []Result{{Name: "B", Iterations: 1, NsPerOp: 1}}}
+	var buf strings.Builder
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.HostCPUs != 8 || back.MpsimShards != "4" {
+		t.Errorf("host metadata lost: %+v", back)
 	}
 }

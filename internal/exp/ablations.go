@@ -43,8 +43,11 @@ func AblationAggregation() *Table {
 			if err != nil {
 				panic(err)
 			}
-			tAgg = timePhase(p, p.Comm(), func() { sched.Move(src, dst) })
-			tScalar = timePhase(p, p.Comm(), func() { unaggregatedMove(p, p.Comm(), sched, src, dst) })
+			at := timePhase(p, p.Comm(), func() { sched.Move(src, dst) })
+			sc := timePhase(p, p.Comm(), func() { unaggregatedMove(p, p.Comm(), sched, src, dst) })
+			if p.Rank() == 0 {
+				tAgg, tScalar = at, sc
+			}
 		})
 		agg[i] = ms(tAgg)
 		scalar[i] = ms(tScalar)
@@ -111,10 +114,13 @@ func AblationTTable() *Table {
 			for k := range req {
 				req[k] = int32((k*7 + p.Rank()) % points)
 			}
-			tPaged = timePhase(p, p.Comm(), func() { tt.Lookup(ctx, req) })
+			pt := timePhase(p, p.Comm(), func() { tt.Lookup(ctx, req) })
 			var rep *chaoslib.TTable
-			tBuild = timePhase(p, p.Comm(), func() { rep = tt.Replicate(ctx) })
-			tRepl = timePhase(p, p.Comm(), func() { rep.Lookup(ctx, req) })
+			bt := timePhase(p, p.Comm(), func() { rep = tt.Replicate(ctx) })
+			rt := timePhase(p, p.Comm(), func() { rep.Lookup(ctx, req) })
+			if p.Rank() == 0 {
+				tPaged, tBuild, tRepl = pt, bt, rt
+			}
 		})
 		pagedT[i] = ms(tPaged)
 		replT[i] = ms(tRepl)
@@ -165,11 +171,14 @@ func AblationReliability() *Table {
 				if err != nil {
 					panic(err)
 				}
-				tMove = timePhase(p, p.Comm(), func() {
+				mt := timePhase(p, p.Comm(), func() {
 					for it := 0; it < executorIters; it++ {
 						sched.Move(src, dst)
 					}
 				})
+				if p.Rank() == 0 {
+					tMove = mt
+				}
 			}}},
 		})
 		return tMove
@@ -231,11 +240,14 @@ func AblationDtype() *Table {
 			if err != nil {
 				panic(err)
 			}
-			tMove = timePhase(p, p.Comm(), func() {
+			mt := timePhase(p, p.Comm(), func() {
 				for it := 0; it < moves; it++ {
 					sched.Move(src, dst)
 				}
 			})
+			if p.Rank() == 0 {
+				tMove = mt
+			}
 		})
 		return tMove, st.TotalBytes()
 	}
@@ -305,17 +317,20 @@ func AblationScheduleReuse() *Table {
 				}
 				return s
 			}
-			tReuse = timePhase(p, p.Comm(), func() {
+			ru := timePhase(p, p.Comm(), func() {
 				s := build()
 				for it := 0; it < executorIters; it++ {
 					s.Move(a, x)
 				}
 			})
-			tRebuild = timePhase(p, p.Comm(), func() {
+			rb := timePhase(p, p.Comm(), func() {
 				for it := 0; it < executorIters; it++ {
 					build().Move(a, x)
 				}
 			})
+			if p.Rank() == 0 {
+				tReuse, tRebuild = ru, rb
+			}
 		})
 		reuse[i] = ms(tReuse)
 		rebuild[i] = ms(tRebuild)
@@ -351,7 +366,7 @@ func AblationRLE() *Table {
 		dist := distarray.MustBlock2D(t5N, t5N, 4)
 		src := mbparti.MustNewArray(dist, p.Rank(), 0)
 		dst := mbparti.MustNewArray(dist, p.Rank(), 0)
-		regT = timePhase(p, p.Comm(), func() {
+		rt := timePhase(p, p.Comm(), func() {
 			_, err := core.ComputeSchedule(core.SingleProgram(p.Comm()),
 				&core.Spec{Lib: mbparti.Library, Obj: src, Set: core.NewSetOfRegions(srcSec), Ctx: ctx},
 				&core.Spec{Lib: mbparti.Library, Obj: dst, Set: core.NewSetOfRegions(dstSec), Ctx: ctx},
@@ -360,6 +375,9 @@ func AblationRLE() *Table {
 				panic(err)
 			}
 		})
+		if p.Rank() == 0 {
+			regT = rt
+		}
 	})
 	regBytes = st.TotalBytes()
 
@@ -374,7 +392,7 @@ func AblationRLE() *Table {
 		if err != nil {
 			panic(err)
 		}
-		irrT = timePhase(p, p.Comm(), func() {
+		it := timePhase(p, p.Comm(), func() {
 			_, err := core.ComputeSchedule(core.SingleProgram(p.Comm()),
 				&core.Spec{Lib: mbparti.Library, Obj: a, Set: regSet, Ctx: ctx},
 				&core.Spec{Lib: chaoslib.Library, Obj: x, Set: irrSet, Ctx: ctx},
@@ -383,6 +401,9 @@ func AblationRLE() *Table {
 				panic(err)
 			}
 		})
+		if p.Rank() == 0 {
+			irrT = it
+		}
 	})
 	irrBytes = st.TotalBytes()
 

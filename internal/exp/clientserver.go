@@ -43,6 +43,9 @@ type CSConfig struct {
 	// Obs, when non-nil, records the run's spans and metrics on the
 	// virtual clock (see internal/obs); nil keeps observability off.
 	Obs *obs.Tracer
+	// Shards pins the simulator's scheduler shard count (see
+	// mpsim.Config.Shards); 0 keeps the default resolution.
+	Shards int
 }
 
 // CSBreakdown carries the stacked components of Figures 10-14, in
@@ -95,6 +98,7 @@ func runClientServer(cfg CSConfig) (CSBreakdown, *mpsim.Stats) {
 		Fault:    cfg.Fault,
 		Reliable: rel,
 		Obs:      cfg.Obs,
+		Shards:   cfg.Shards,
 		Programs: []mpsim.ProgramSpec{
 			{Name: "client", Procs: cfg.ClientProcs, ProcsPerNode: 1, Body: func(p *mpsim.Proc) {
 				ctx := core.NewCtx(p, p.Comm())

@@ -63,6 +63,9 @@ type ElasticConfig struct {
 	// Obs, when non-nil, records spans and metrics on the virtual
 	// clock.
 	Obs *obs.Tracer
+	// Shards pins the simulator's scheduler shard count (see
+	// mpsim.Config.Shards); 0 keeps the default resolution.
+	Shards int
 }
 
 // ElasticResult is one elastic run's outcome.
@@ -130,6 +133,7 @@ func runElastic(cfg ElasticConfig, plan mpsim.CrashPlan) ElasticResult {
 		Machine: mpsim.AlphaFarmATM(),
 		Crash:   plan,
 		Obs:     cfg.Obs,
+		Shards:  cfg.Shards,
 		Programs: []mpsim.ProgramSpec{
 			{Name: "client", Procs: 1, ProcsPerNode: 1, Body: func(p *mpsim.Proc) {
 				ctx := core.NewCtx(p, p.Comm())

@@ -17,6 +17,14 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files")
 // exporter iterates no maps, so any diff is a real behavior change —
 // in the workload, the instrumentation points, or the export format.
 func TestFigure10ChromeTraceGolden(t *testing.T) {
+	assertFigure10GoldenTrace(t)
+}
+
+// assertFigure10GoldenTrace profiles the small Figure-10 run and pins
+// its Chrome trace against testdata/figure10_trace.json byte for byte.
+// Shared with the sharding fallback regression test.
+func assertFigure10GoldenTrace(t *testing.T) {
+	t.Helper()
 	tr, b := ProfileFigure10(2, 1)
 	if b.Total() <= 0 {
 		t.Fatalf("profiled run reports non-positive total time %g", b.Total())

@@ -24,12 +24,18 @@ func Table1() *Table {
 		var tInsp, tExec float64
 		mpsim.RunSPMD(mpsim.SP2(), nprocs, func(p *mpsim.Proc) {
 			m := newCoupledMeshes(p, p.Comm(), perm, ia, ib)
-			tInsp = timePhase(p, p.Comm(), func() { m.inspector(p, p.Comm()) })
-			tExec = timePhase(p, p.Comm(), func() {
+			// Every rank measures the same barrier-to-barrier spans;
+			// rank 0 alone publishes them (concurrent ranks must not
+			// share a write under the sharded scheduler).
+			insp := timePhase(p, p.Comm(), func() { m.inspector(p, p.Comm()) })
+			exec := timePhase(p, p.Comm(), func() {
 				for it := 0; it < executorIters; it++ {
 					m.executor(p)
 				}
 			}) / executorIters
+			if p.Rank() == 0 {
+				tInsp, tExec = insp, exec
+			}
 		})
 		insp[i] = ms(tInsp)
 		exec[i] = ms(tExec)
@@ -87,25 +93,28 @@ func Table2() *Table {
 					regRep := regTT.Replicate(m.ctx)
 					linear := identity32(irrPoints)
 					var cs *chaoslib.CopySchedule
-					tSched = timePhase(p, p.Comm(), func() {
+					st := timePhase(p, p.Comm(), func() {
 						cs, err = chaoslib.BuildCopySchedule(m.ctx, regRep, m.x.Table(), linear, perm)
 						if err != nil {
 							panic(err)
 						}
 					})
-					tCopy = timePhase(p, p.Comm(), func() {
+					ct := timePhase(p, p.Comm(), func() {
 						for it := 0; it < executorIters; it++ {
 							cs.Execute(m.a.Local(), m.x.Local())
 							cs.ExecuteReverse(m.x.Local(), m.a.Local())
 						}
 					}) / executorIters
+					if p.Rank() == 0 {
+						tSched, tCopy = st, ct
+					}
 				default:
 					method := core.Cooperation
 					if kind == "duplication" {
 						method = core.Duplication
 					}
 					var s *core.Schedule
-					tSched = timePhase(p, p.Comm(), func() {
+					st := timePhase(p, p.Comm(), func() {
 						var err error
 						s, err = core.ComputeSchedule(core.SingleProgram(p.Comm()),
 							&core.Spec{Lib: mbparti.Library, Obj: m.a, Set: regSet, Ctx: m.ctx},
@@ -115,12 +124,15 @@ func Table2() *Table {
 							panic(err)
 						}
 					})
-					tCopy = timePhase(p, p.Comm(), func() {
+					ct := timePhase(p, p.Comm(), func() {
 						for it := 0; it < executorIters; it++ {
 							s.Move(m.a, m.x)
 							s.MoveReverse(m.a, m.x)
 						}
 					}) / executorIters
+					if p.Rank() == 0 {
+						tSched, tCopy = st, ct
+					}
 				}
 			})
 			i2 := i

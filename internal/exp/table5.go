@@ -43,18 +43,21 @@ func Table5() *Table {
 
 				if kind == "parti" {
 					var cs *mbparti.CopySchedule
-					tSched = timePhase(p, p.Comm(), func() {
+					st := timePhase(p, p.Comm(), func() {
 						var err error
 						cs, err = mbparti.BuildCopySchedule(p, p.Comm(), src, srcSec, dst, dstSec)
 						if err != nil {
 							panic(err)
 						}
 					})
-					tCopy = timePhase(p, p.Comm(), func() {
+					ct := timePhase(p, p.Comm(), func() {
 						for it := 0; it < executorIters; it++ {
 							cs.Execute(p, src, dst)
 						}
 					}) / executorIters
+					if p.Rank() == 0 {
+						tSched, tCopy = st, ct
+					}
 					return
 				}
 				method := core.Cooperation
@@ -62,7 +65,7 @@ func Table5() *Table {
 					method = core.Duplication
 				}
 				var s *core.Schedule
-				tSched = timePhase(p, p.Comm(), func() {
+				st := timePhase(p, p.Comm(), func() {
 					var err error
 					s, err = core.ComputeSchedule(core.SingleProgram(p.Comm()),
 						&core.Spec{Lib: mbparti.Library, Obj: src, Set: core.NewSetOfRegions(srcSec), Ctx: ctx},
@@ -72,11 +75,14 @@ func Table5() *Table {
 						panic(err)
 					}
 				})
-				tCopy = timePhase(p, p.Comm(), func() {
+				ct := timePhase(p, p.Comm(), func() {
 					for it := 0; it < executorIters; it++ {
 						s.Move(src, dst)
 					}
 				}) / executorIters
+				if p.Rank() == 0 {
+					tSched, tCopy = st, ct
+				}
 			})
 			sched[kind][i] = ms(tSched)
 			copyT[kind][i] = ms(tCopy)

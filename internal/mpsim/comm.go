@@ -15,9 +15,15 @@ const maxUserTag = 1 << 21
 // belongs to, mirroring MPI communicator handles.  Ranks used with a
 // Comm are indices into its group, not world ranks.
 type Comm struct {
-	p       *Proc
-	ranks   []int // world ranks; comm rank r is ranks[r]
+	p     *Proc
+	ranks []int // world ranks; comm rank r is ranks[r]
+	// inverse maps world rank -> comm rank; nil when ranks form a
+	// contiguous run starting at base (the world and program comms),
+	// where the translation is plain arithmetic.  Building the map
+	// only when needed keeps world construction O(procs), not
+	// O(procs^2), which matters for thousand-rank scaling worlds.
 	inverse map[int]int
+	base    int
 	myRank  int
 	ctx     int
 	seq     int
@@ -25,12 +31,28 @@ type Comm struct {
 
 func newComm(p *Proc, worldRanks []int, ctx int) *Comm {
 	c := &Comm{
-		p:       p,
-		ranks:   worldRanks,
-		inverse: make(map[int]int, len(worldRanks)),
-		myRank:  -1,
-		ctx:     ctx & 0x1ff,
+		p:      p,
+		ranks:  worldRanks,
+		myRank: -1,
+		ctx:    ctx & 0x1ff,
 	}
+	contiguous := true
+	for i, wr := range worldRanks {
+		if wr != worldRanks[0]+i {
+			contiguous = false
+			break
+		}
+	}
+	if contiguous {
+		if len(worldRanks) > 0 {
+			c.base = worldRanks[0]
+			if i := p.worldRank - c.base; i >= 0 && i < len(worldRanks) {
+				c.myRank = i
+			}
+		}
+		return c
+	}
+	c.inverse = make(map[int]int, len(worldRanks))
 	for i, wr := range worldRanks {
 		c.inverse[wr] = i
 		if wr == p.worldRank {
@@ -38,6 +60,18 @@ func newComm(p *Proc, worldRanks []int, ctx int) *Comm {
 		}
 	}
 	return c
+}
+
+// rankOf translates a world rank to this communicator's rank.
+func (c *Comm) rankOf(wr int) (int, bool) {
+	if c.inverse == nil {
+		if i := wr - c.base; i >= 0 && i < len(c.ranks) {
+			return i, true
+		}
+		return 0, false
+	}
+	i, ok := c.inverse[wr]
+	return i, ok
 }
 
 // Rank returns the calling process's rank within the communicator, or
@@ -139,7 +173,7 @@ func (c *Comm) Recv(from, tag int) ([]byte, int) {
 		panic("mpsim: Comm.Recv does not support AnyTag; use a specific tag")
 	}
 	data, src := c.p.recv(wsrc, c.userWire(tag))
-	crank, ok := c.inverse[src]
+	crank, ok := c.rankOf(src)
 	if !ok {
 		panic("mpsim: received message from outside the communicator group")
 	}

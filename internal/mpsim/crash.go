@@ -97,6 +97,11 @@ type crashState struct {
 	detect *Detector
 	// dead[r] is true while world rank r is crashed.
 	dead []bool
+	// restartPos[r] is the virtual time of rank r's latest restart.
+	// A message sent before it was addressed to a dead incarnation and
+	// is dropped at delivery — the restart wiped the queue it would
+	// have joined.
+	restartPos []float64
 	// crashedAt[r] is the live crash's time, -1 when alive.
 	crashedAt []float64
 	// detectedAt[r] is when the detector declared r dead, -1 before.
@@ -123,6 +128,7 @@ func (w *World) initCrash(plan CrashPlan, det *Detector, programs []ProgramSpec)
 	cs := &crashState{
 		detect:     det,
 		dead:       make([]bool, len(w.procs)),
+		restartPos: make([]float64, len(w.procs)),
 		crashedAt:  make([]float64, len(w.procs)),
 		detectedAt: make([]float64, len(w.procs)),
 		recIdx:     make([]int, len(w.procs)),
@@ -144,17 +150,21 @@ func (w *World) initCrash(plan CrashPlan, det *Detector, programs []ProgramSpec)
 		if at < 0 {
 			at = 0
 		}
-		w.addTimer(&timer{at: at, kind: tCrash, p: w.procs[rank]})
+		w.addTimer(&timer{at: at, rank: rank, kind: tCrash, p: w.procs[rank]})
 		if ev.RestartAt > at {
-			w.addTimer(&timer{at: ev.RestartAt, kind: tRestart, p: w.procs[rank]})
+			w.addTimer(&timer{at: ev.RestartAt, rank: rank, kind: tRestart, p: w.procs[rank]})
 		}
 	}
 }
 
 // fireCrash kills a rank at the timer's virtual time: the process is
 // marked dead immediately (messages stop being delivered to it), its
-// goroutine unwinds at its next scheduling point, and the failure
-// detector's suspicion timer is armed.
+// goroutine is unwound on the spot, and the failure detector's
+// suspicion timer is armed.  Reaping eagerly — rather than waiting for
+// the victim's next scheduling turn — keeps the death's side effects
+// (live count, queue wipe, restart eligibility) at one well-defined
+// virtual position, which the sharded engine needs for
+// serial-equivalence.
 func (w *World) fireCrash(tm *timer) {
 	cs := w.crash
 	p := tm.p
@@ -171,15 +181,31 @@ func (w *World) fireCrash(tm *timer) {
 	// Heartbeat model: the rank misses the first heartbeat after the
 	// crash; survivors suspect it SuspectAfter later.
 	beat := (float64(int(tm.at/cs.detect.Period)) + 1) * cs.detect.Period
-	w.addTimer(&timer{at: beat + cs.detect.SuspectAfter, kind: tDetect, p: p})
-	if p.state == stateBlocked {
-		// Wake it so the goroutine can unwind now; checkKilled panics
-		// before the blocked operation inspects anything else.
-		if p.clock < tm.at {
-			p.clock = tm.at
-		}
-		w.wake(p)
+	w.addTimer(&timer{at: beat + cs.detect.SuspectAfter, rank: r, kind: tDetect, p: p})
+	if p.clock < tm.at {
+		p.clock = tm.at
 	}
+	w.reap(p)
+}
+
+// reap resumes a killed process so its goroutine unwinds immediately
+// (checkKilled panics at the top of every scheduling point, before the
+// resumed operation inspects anything).  The unwind posts the process's
+// done event to its scheduler channel; we consume it here so the crash
+// is fully settled — live count decremented, state stateDone — before
+// the timer that fired it returns.
+func (w *World) reap(p *Proc) {
+	if p.heapIdx >= 0 {
+		// Runnable: pull it out of its run queue first.
+		w.removeFromRunq(p)
+	}
+	p.state = stateRunning
+	p.resume <- struct{}{}
+	ev := <-p.sched
+	if ev.p != p || p.state != stateDone {
+		panic("mpsim: internal error: reaped process did not unwind")
+	}
+	w.noteDone(p)
 }
 
 // fireDetect flips the global detection flag for a crashed rank and
@@ -232,10 +258,9 @@ func (w *World) hopelessWants(wantsAny []recvWant, wantSrc int, now float64) (in
 	return -1, false
 }
 
-// fireRestart relaunches a crashed rank with a fresh incarnation.  If
-// the old goroutine has not unwound yet (the kill fired but the
-// process was runnable and has not reached a scheduling point), the
-// restart is deferred to the moment its death event arrives.
+// fireRestart relaunches a crashed rank with a fresh incarnation.  The
+// crash that killed it reaped the old goroutine synchronously, so the
+// process is always stateDone here.
 func (w *World) fireRestart(tm *timer) {
 	cs := w.crash
 	p := tm.p
@@ -243,8 +268,7 @@ func (w *World) fireRestart(tm *timer) {
 		return
 	}
 	if p.state != stateDone {
-		p.restartAt = tm.at
-		return
+		panic("mpsim: internal error: restarting a process that never unwound")
 	}
 	w.restartProc(p, tm.at)
 }
@@ -262,6 +286,7 @@ func (w *World) restartProc(p *Proc, at float64) {
 		cs.recIdx[r] = -1
 	}
 	cs.incTimes = append(cs.incTimes, at)
+	cs.restartPos[r] = at
 	// Fresh transport state on every link touching the rank: the new
 	// incarnation starts its sequence spaces from zero, and abandoned
 	// links heal.
@@ -274,7 +299,6 @@ func (w *World) restartProc(p *Proc, at float64) {
 		}
 	}
 	p.killed = false
-	p.restartAt = 0
 	p.queue = nil
 	p.wantsAny = nil
 	p.wakeErr = nil
@@ -290,7 +314,11 @@ func (w *World) restartProc(p *Proc, at float64) {
 	p.progComm.seq = 0
 	w.record(Event{Time: at, Rank: r, Kind: EvRestart, Peer: -1})
 	w.launchProc(p, cs.bodies[r])
-	w.live++
+	if s := p.shard; s != nil {
+		s.live++
+	} else {
+		w.live++
+	}
 	w.wake(p)
 }
 

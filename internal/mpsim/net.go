@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Imperfect networks and the reliable transport.
@@ -110,22 +111,34 @@ const (
 	tRetransmit
 	tAck
 	tWake
+	tMsg     // perfect-network delivery: the message lands at its arrival time
 	tCrash   // kill a rank (crash plan)
 	tDetect  // failure detector declares a crashed rank dead
 	tRestart // relaunch a crashed rank
 )
 
-// timer is one pending virtual-time event, ordered by (at, seq).
+// timer is one pending virtual-time event.  Ties on the virtual time
+// break on (rank, seq): rank is the world rank that originated the
+// event and seq its per-rank registration counter, so the order is a
+// total order that does not depend on which scheduler (the serial loop
+// or a sharded one) registered the event — the invariant that makes
+// sharded runs bit-identical to serial ones.
 type timer struct {
 	at   float64
-	seq  int // push order; deterministic tiebreak
+	rank int // originating world rank; canonical tiebreak
+	seq  int // per-rank registration counter; canonical tiebreak
 	kind timerKind
 
 	pkt        *packet
 	corruptBit int
 
-	p   *Proc // tWake
+	msg *message // tMsg
+	dst int      // tMsg: destination world rank
+
+	p   *Proc // tWake, tCrash, tDetect, tRestart
 	gen int
+
+	free *timer // timerCache freelist link
 }
 
 type timerHeap []*timer
@@ -134,6 +147,9 @@ func (h timerHeap) Len() int { return len(h) }
 func (h timerHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].rank != h[j].rank {
+		return h[i].rank < h[j].rank
 	}
 	return h[i].seq < h[j].seq
 }
@@ -148,18 +164,55 @@ func (h *timerHeap) Pop() any {
 	return t
 }
 
-// addTimer registers a virtual-time event.
+// timerCache recycles timer structs so the per-message delivery events
+// of the perfect-network path add no steady-state allocations.  Each
+// scheduler (the serial world, each shard) owns one; recycling across
+// owners is harmless because timers are compared by value, never by
+// identity.
+type timerCache struct{ free *timer }
+
+func (c *timerCache) get() *timer {
+	tm := c.free
+	if tm == nil {
+		return &timer{}
+	}
+	c.free = tm.free
+	*tm = timer{}
+	return tm
+}
+
+func (c *timerCache) put(tm *timer) {
+	*tm = timer{free: c.free}
+	c.free = tm
+}
+
+// stampTimer assigns the canonical per-rank tie-break key.  tm.rank
+// must already name the originating world rank.
+func (w *World) stampTimer(tm *timer) {
+	w.tseq[tm.rank]++
+	tm.seq = w.tseq[tm.rank]
+}
+
+// addTimer registers a virtual-time event with the run's scheduler.
+// In a sharded run the event is routed to the heap that may fire it:
+// rank-local kinds (tWake, tMsg) go to the owning shard, everything
+// else to the coordinator's global heap.
 func (w *World) addTimer(tm *timer) {
-	w.timerSeq++
-	tm.seq = w.timerSeq
+	w.stampTimer(tm)
+	if w.sh != nil {
+		w.sh.route(tm)
+		return
+	}
 	heap.Push(&w.timers, tm)
 }
 
-// fireTimer dispatches one due event.
-func (w *World) fireTimer(tm *timer) {
+// fireTimer dispatches one due event and recycles the timer into c.
+func (w *World) fireTimer(tm *timer, c *timerCache) {
 	switch tm.kind {
 	case tWake:
 		w.fireWake(tm)
+	case tMsg:
+		w.fireMsg(tm)
 	case tDeliver:
 		w.net.fireDeliver(tm)
 	case tRetransmit:
@@ -172,6 +225,24 @@ func (w *World) fireTimer(tm *timer) {
 		w.fireDetect(tm)
 	case tRestart:
 		w.fireRestart(tm)
+	}
+	c.put(tm)
+}
+
+// fireMsg lands a perfect-network message in the destination process's
+// queue at its arrival time.  Messages addressed to a crashed rank — or
+// to an incarnation that was already replaced when they arrive — are
+// dropped, mirroring the restart wiping its predecessor's queue.
+func (w *World) fireMsg(tm *timer) {
+	dst := w.procs[tm.dst]
+	if cs := w.crash; cs != nil {
+		if cs.dead[tm.dst] || tm.msg.sentAt < cs.restartPos[tm.dst] {
+			return
+		}
+	}
+	dst.queue = append(dst.queue, tm.msg)
+	if dst.state == stateBlocked && dst.wantsMsg(tm.msg) {
+		w.wake(dst)
 	}
 }
 
@@ -238,6 +309,16 @@ type netLayer struct {
 	inj      FaultInjector
 	reliable bool
 
+	// mu serializes shard-side entry points (send, NetPairStats) in a
+	// sharded run: two shards sending on different links concurrently
+	// would otherwise race on the links map, the injector's internal
+	// state and the pair counters.  Per-link behavior stays
+	// deterministic because each directed link has a single sending
+	// rank, hence a single sending shard.  The coordinator's event
+	// handlers never take it: they only run while every shard is
+	// quiesced at a window barrier.  Serial runs never take it either.
+	mu sync.Mutex
+
 	rto        float64
 	backoff    float64
 	maxRetries int
@@ -268,6 +349,17 @@ func newNetLayer(w *World, inj FaultInjector, rel *Reliability) *netLayer {
 	return n
 }
 
+// pair returns the directed link's network-fault counters.  These
+// always live in the coordinator-owned Stats.Pairs map: shard-side
+// callers (send, transmit) hold n.mu, and the coordinator only touches
+// the map while every shard is quiesced at a window barrier, so the
+// counters a mid-run NetPairStats reader sees are exactly the serial
+// engine's values for the coordinator-fired kinds (retransmits,
+// duplicate discards).
+func (n *netLayer) pair(from, to int) *PairStats {
+	return n.w.stats.pair(from, to)
+}
+
 func (n *netLayer) link(k linkKey) *linkState {
 	ls := n.links[k]
 	if ls == nil {
@@ -292,6 +384,10 @@ func (n *netLayer) rtoFor(xmit float64) float64 {
 // link reservation, so the send-side cost model is identical to the
 // perfect-network path.
 func (n *netLayer) send(from, to, tag int, data []byte, xmit, depart float64) {
+	if n.w.sh != nil {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+	}
 	pkt := &packet{from: from, to: to, tag: tag, data: data, xmit: xmit}
 	key := linkKey{from, to}
 	if n.reliable {
@@ -322,18 +418,18 @@ func (n *netLayer) transmit(pkt *packet, depart float64, attempt int) {
 		d = n.inj.Decide(pkt.from, pkt.to, attempt, len(pkt.data), depart)
 	}
 	if n.reliable {
-		w.addTimer(&timer{at: depart + pkt.rto, kind: tRetransmit, pkt: pkt})
+		w.addTimer(&timer{at: depart + pkt.rto, rank: pkt.from, kind: tRetransmit, pkt: pkt})
 	}
 	if d.Drop {
 		w.stats.PerRank[pkt.from].Drops++
-		w.stats.pair(pkt.from, pkt.to).Drops++
+		n.pair(pkt.from, pkt.to).Drops++
 		w.record(Event{Time: depart, Rank: pkt.from, Kind: EvDrop, Peer: pkt.to, Bytes: len(pkt.data)})
 		return
 	}
 	arrival := depart + pkt.xmit + w.machine.Latency + d.ExtraDelay
-	w.addTimer(&timer{at: arrival, kind: tDeliver, pkt: pkt, corruptBit: d.CorruptBit})
+	w.addTimer(&timer{at: arrival, rank: pkt.from, kind: tDeliver, pkt: pkt, corruptBit: d.CorruptBit})
 	if d.Duplicate {
-		w.addTimer(&timer{at: arrival + w.machine.Latency + pkt.xmit, kind: tDeliver, pkt: pkt, corruptBit: -1})
+		w.addTimer(&timer{at: arrival + w.machine.Latency + pkt.xmit, rank: pkt.from, kind: tDeliver, pkt: pkt, corruptBit: -1})
 	}
 }
 
@@ -368,7 +464,7 @@ func (n *netLayer) fireDeliver(tm *timer) {
 	ls := n.link(linkKey{pkt.from, pkt.to})
 	if pkt.seq < ls.nextDeliver || ls.held[pkt.seq] != nil {
 		w.stats.PerRank[pkt.to].DupsDiscarded++
-		w.stats.pair(pkt.from, pkt.to).DupsDiscarded++
+		n.pair(pkt.from, pkt.to).DupsDiscarded++
 		w.record(Event{Time: tm.at, Rank: pkt.to, Kind: EvDupDiscard, Peer: pkt.from, Bytes: len(data)})
 		n.sendAck(pkt, tm.at) // the previous ack may have been lost; re-ack
 		return
@@ -412,7 +508,7 @@ func (n *netLayer) sendAck(pkt *packet, now float64) {
 		}
 		delay = d.ExtraDelay
 	}
-	n.w.addTimer(&timer{at: now + n.w.machine.Latency + delay, kind: tAck, pkt: pkt})
+	n.w.addTimer(&timer{at: now + n.w.machine.Latency + delay, rank: pkt.to, kind: tAck, pkt: pkt})
 }
 
 // fireAck completes a packet at the sender's transport.
@@ -448,7 +544,7 @@ func (n *netLayer) fireRetransmit(tm *timer) {
 	pkt.retries++
 	pkt.rto *= n.backoff
 	w.stats.PerRank[pkt.from].Retransmits++
-	w.stats.pair(pkt.from, pkt.to).Retransmits++
+	n.pair(pkt.from, pkt.to).Retransmits++
 	w.record(Event{Time: tm.at, Rank: pkt.from, Kind: EvRetransmit, Peer: pkt.to, Bytes: len(pkt.data)})
 	// The retransmission occupies the sender node's outbound link like
 	// any other transmission.

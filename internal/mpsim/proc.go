@@ -15,6 +15,7 @@ type message struct {
 	data    []byte
 	arrival float64 // virtual time the last byte clears the sender side + latency
 	xmit    float64 // wire occupancy, for receiver-side link reservation
+	sentAt  float64 // sender's clock at the send; restart-wipe boundary
 	local   bool    // self-send: skips link reservations
 }
 
@@ -38,7 +39,15 @@ type Proc struct {
 	finalClock float64
 
 	resume chan struct{}
-	state  procState
+	// sched is where the process reports scheduling events: the world's
+	// single channel in a serial run, the owning shard's channel in a
+	// sharded one.
+	sched chan schedEvent
+	state procState
+	// heapIdx is the process's position in its run queue, -1 while not
+	// queued; maintained by procHeap so the scheduler can remove a
+	// killed process without draining the heap.
+	heapIdx int
 
 	queue   []*message
 	wantSrc int
@@ -62,11 +71,13 @@ type Proc struct {
 
 	// Crash-fault state (see crash.go).  killed marks a process claimed
 	// by a crash fault; it unwinds at its next scheduling point.
-	// restartAt defers a restart that fired before the kill unwound.
 	// incarnation counts restarts.
 	killed      bool
-	restartAt   float64
 	incarnation int
+
+	// shard is the scheduler shard owning this process, nil in a serial
+	// run (see shard.go).
+	shard *shard
 }
 
 // recvWant is one (world-rank source, wire tag) matcher of a blocked
@@ -200,6 +211,7 @@ func (p *Proc) send(to, tag int, data []byte) {
 	msg := &message{src: p.worldRank, tag: tag, data: buf}
 
 	dst := p.world.procs[to]
+	remote := false
 	if to == p.worldRank {
 		p.clock += float64(len(data)) / m.LocalCopyBandwidth
 		msg.arrival = p.clock
@@ -218,11 +230,7 @@ func (p *Proc) send(to, tag int, data []byte) {
 				// Imperfect network: the send-side cost model above is
 				// unchanged, but delivery becomes a virtual-time event
 				// whose fate the fault injector decides.
-				st := &p.world.stats
-				st.PerRank[p.worldRank].MsgsSent++
-				st.PerRank[p.worldRank].BytesSent += int64(len(data))
-				st.recordPair(p.worldRank, to, len(data))
-				p.world.record(Event{Time: p.clock, Rank: p.worldRank, Kind: EvSend, Peer: to, Bytes: len(data)})
+				p.recordSend(to, len(data))
 				p.world.net.send(p.worldRank, to, tag, buf, xmit, start)
 				sp.End(p.clock)
 				p.yield()
@@ -230,6 +238,7 @@ func (p *Proc) send(to, tag int, data []byte) {
 			}
 			msg.arrival = start + xmit + m.Latency
 			msg.xmit = xmit
+			remote = p.shard != nil && dst.shard != p.shard
 		} else {
 			// Same node, different process: shared-memory transfer.
 			msg.arrival = start + float64(len(data))/m.LocalCopyBandwidth
@@ -237,18 +246,36 @@ func (p *Proc) send(to, tag int, data []byte) {
 		}
 	}
 
-	st := &p.world.stats
-	st.PerRank[p.worldRank].MsgsSent++
-	st.PerRank[p.worldRank].BytesSent += int64(len(data))
-	st.recordPair(p.worldRank, to, len(data))
-
-	p.world.record(Event{Time: p.clock, Rank: p.worldRank, Kind: EvSend, Peer: to, Bytes: len(data)})
+	p.recordSend(to, len(data))
 	sp.End(p.clock)
-	dst.queue = append(dst.queue, msg)
-	if dst.state == stateBlocked && dst.wantsMsg(msg) {
-		p.world.wake(dst)
+	if remote {
+		// Cross-shard delivery is a virtual-time event at the message's
+		// arrival: the destination shard observes it at a clock the
+		// LogGP latency floor bounds away from now, which is what lets
+		// shards run a lookahead window in parallel.  Every other path
+		// — all serial-run sends, and self, same-node, and intra-shard
+		// sends in a sharded run — bypasses the mailbox and enqueues
+		// immediately, exactly like the serial scheduler always has.
+		msg.sentAt = p.clock
+		tm := p.tcache().get()
+		tm.at, tm.rank, tm.kind, tm.msg, tm.dst = msg.arrival, p.worldRank, tMsg, msg, to
+		p.world.addTimer(tm)
+	} else {
+		dst.queue = append(dst.queue, msg)
+		if dst.state == stateBlocked && dst.wantsMsg(msg) {
+			p.world.wake(dst)
+		}
 	}
 	p.yield()
+}
+
+// recordSend charges the send to the sender's counters and trace.
+func (p *Proc) recordSend(to, bytes int) {
+	st := &p.world.stats
+	st.PerRank[p.worldRank].MsgsSent++
+	st.PerRank[p.worldRank].BytesSent += int64(bytes)
+	p.world.recordPairFor(p, to, bytes)
+	p.world.record(Event{Time: p.clock, Rank: p.worldRank, Kind: EvSend, Peer: to, Bytes: bytes})
 }
 
 // Recv blocks until a message matching (from, tag) is available and
@@ -276,7 +303,7 @@ func (p *Proc) recv(from, tag int) ([]byte, int) {
 		p.checkBeforeBlock(from, nil)
 		p.wantSrc, p.wantTag = from, tag
 		p.state = stateBlocked
-		p.world.toSched <- schedEvent{p: p}
+		p.sched <- schedEvent{p: p}
 		<-p.resume
 		p.checkWakeErr()
 	}
@@ -317,7 +344,7 @@ func (p *Proc) recvAny(wants []recvWant) (int, []byte, int) {
 		p.checkBeforeBlock(AnySource, wants)
 		p.wantsAny = wants
 		p.state = stateBlocked
-		p.world.toSched <- schedEvent{p: p}
+		p.sched <- schedEvent{p: p}
 		<-p.resume
 		p.wantsAny = nil
 		p.checkWakeErr()
@@ -412,7 +439,8 @@ func (p *Proc) WithTimeout(d float64, f func()) (err error) {
 		if prevAt > 0 && prevAt < at {
 			at = prevAt
 		}
-		tm := &timer{at: at, kind: tWake, p: p}
+		tm := p.tcache().get()
+		tm.at, tm.rank, tm.kind, tm.p = at, p.worldRank, tWake, p
 		p.world.addTimer(tm)
 		tm.gen = tm.seq // registration id: globally unique, never reused
 		p.deadlineAt, p.deadlineGen = at, tm.seq
@@ -432,7 +460,35 @@ func (p *Proc) ReliableTransport() bool {
 // counters accumulated so far, letting higher layers snapshot per-peer
 // retransmit and duplicate counts around a data move.
 func (p *Proc) NetPairStats(from, to int) PairStats {
-	if ps := p.world.stats.Pairs[PairKey{From: from, To: to}]; ps != nil {
+	w := p.world
+	if sr := w.sh; sr != nil {
+		var out PairStats
+		if n := w.net; n != nil {
+			// The transport counters live in the coordinator's map;
+			// shard-side writers (send-path drops) hold mu, coordinator
+			// writers only run while shards are quiesced, and the window
+			// bound never outruns a pending transport event — so a
+			// mid-run read sees exactly the serial values.
+			n.mu.Lock()
+			if ps := w.stats.Pairs[PairKey{From: from, To: to}]; ps != nil {
+				out = *ps
+			}
+			n.mu.Unlock()
+		}
+		// Payload Msgs/Bytes live in the sending rank's shard; only a
+		// same-shard read is race-free (and mid-window cross-shard
+		// values would not be serial-equivalent anyway).  Mid-run
+		// consumers (move recovery accounting) diff only the transport
+		// counters above; full pair totals are merged into Stats.Pairs
+		// when the run completes.
+		if s := sr.shardOf(from); s == p.shard {
+			if ps := s.pairs[PairKey{From: from, To: to}]; ps != nil {
+				out.Msgs, out.Bytes = ps.Msgs, ps.Bytes
+			}
+		}
+		return out
+	}
+	if ps := w.stats.Pairs[PairKey{From: from, To: to}]; ps != nil {
 		return *ps
 	}
 	return PairStats{}
@@ -472,9 +528,18 @@ func (p *Proc) deliver(msg *message) {
 // runnable, letting lower-clock processes run first.
 func (p *Proc) yield() {
 	p.state = stateRunnable
-	p.world.toSched <- schedEvent{p: p}
+	p.sched <- schedEvent{p: p}
 	<-p.resume
 	p.checkKilled()
+}
+
+// tcache returns the timer freelist of the scheduler that owns this
+// process: the world's in a serial run, the owning shard's otherwise.
+func (p *Proc) tcache() *timerCache {
+	if p.shard != nil {
+		return &p.shard.tc
+	}
+	return &p.world.tc
 }
 
 func matches(m *message, src, tag int) bool {

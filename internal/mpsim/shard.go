@@ -1,0 +1,492 @@
+package mpsim
+
+import (
+	"container/heap"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// Conservative parallel discrete-event scheduler.
+//
+// The world is partitioned into shards, each owning a contiguous,
+// node-aligned range of world ranks with its own run queue, timer heap
+// and timer freelist.  Shards advance together in lookahead windows:
+// the coordinator computes the globally earliest pending event M and a
+// window bound limit = min(M + lookahead, next global timer), and every
+// shard then executes — in parallel, using exactly the serial engine's
+// rules — all of its events that precede the bound in the run's total
+// event order.  The LogGP cost model makes this safe: any message a
+// shard sends while executing inside the window arrives no earlier
+// than its own position plus SendOverhead + Latency >= limit, so no
+// shard can be handed an event in its past.
+//
+// Determinism is an invariant, not best effort.  Every pending event
+// has a position in one total order — (virtual time, class, world
+// rank, per-rank sequence number), where class orders timers before
+// process resumptions at the same instant, exactly like the serial
+// loop's "fire due timers first" rule — and both engines execute
+// events in that order.  Cross-shard interactions are confined to
+// positions the window protocol has already synchronized on, so a
+// sharded run is bit-identical to the serial one: same virtual-time
+// results, same trace streams, same stats.
+//
+// Context discipline (what makes the -race run clean):
+//
+//   - Shard state (runq, local timers, proc queues/clocks, per-shard
+//     trace buffer and pair map) is touched only by the owning shard's
+//     worker, or by the coordinator while every worker is quiesced at
+//     a window barrier (the cmd/done channels give happens-before).
+//   - The coordinator's global heap and stats are touched by the
+//     coordinator, or by shards under netLayer.mu (the reliable
+//     transport's send path), which the coordinator never contends
+//     with because it only runs while shards are parked.
+//   - Cross-shard perfect-network messages are staged in the sending
+//     shard's outbox and moved into the destination shard's heap at
+//     the barrier.
+
+// autoShardWorlds is the world size at which a run with Config.Shards
+// == 0 and no MPSIM_SHARDS override starts sharding automatically.
+// Small worlds stay on the serial loop: the window barriers cost more
+// than the parallelism wins, and the gated perf benchmarks pin the
+// serial path's ns/op.
+const autoShardWorlds = 256
+
+// evKey is one event's position in the run's total order.  cls is 0
+// for timers and 1 for process resumptions (the serial loop fires all
+// due timers before resuming an equal-clock process); the window bound
+// uses cls -1 so that a bound at time t excludes every event at t.
+type evKey struct {
+	t    float64
+	cls  int
+	rank int
+	seq  int
+}
+
+func (a evKey) less(b evKey) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.cls != b.cls {
+		return a.cls < b.cls
+	}
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.seq < b.seq
+}
+
+func timerKey(tm *timer) evKey { return evKey{t: tm.at, cls: 0, rank: tm.rank, seq: tm.seq} }
+func procKey(p *Proc) evKey    { return evKey{t: p.clock, cls: 1, rank: p.worldRank} }
+
+var infKey = evKey{t: math.Inf(1)}
+
+// shard is one scheduler shard: a contiguous rank range with its own
+// run queue, timer heap, and freelist, advanced by one worker
+// goroutine.
+type shard struct {
+	id     int
+	w      *World
+	lo, hi int // world-rank range [lo, hi)
+
+	runq   procHeap
+	timers timerHeap
+	tc     timerCache
+
+	// sched receives scheduling events from this shard's processes
+	// (and, during a crash reaping, from the coordinator's handshake).
+	sched chan schedEvent
+
+	live     int
+	makespan float64
+
+	// events buffers this shard's ranks' trace events; merged after
+	// the run.
+	events []Event
+	// pairs buffers this shard's senders' payload pair counters;
+	// merged after the run.
+	pairs map[PairKey]*PairStats
+
+	// out stages cross-shard perfect-network deliveries created during
+	// a window; the coordinator moves them to their destination shards
+	// at the barrier.  Their arrival times are >= the window bound, so
+	// staging them never delays an executable event.
+	out []*timer
+
+	failure *runFailure
+
+	cmd chan evKey
+}
+
+func (s *shard) recordPair(from, to, bytes int) {
+	k := PairKey{From: from, To: to}
+	ps := s.pairs[k]
+	if ps == nil {
+		ps = &PairStats{}
+		s.pairs[k] = ps
+	}
+	ps.Msgs++
+	ps.Bytes += int64(bytes)
+}
+
+// nextKey is the position of the shard's earliest pending event.
+// Coordinator-only (quiesced).
+func (s *shard) nextKey() evKey {
+	k := infKey
+	if len(s.timers) > 0 {
+		k = timerKey(s.timers[0])
+	}
+	if s.runq.Len() > 0 {
+		if pk := procKey(s.runq[0]); pk.less(k) {
+			k = pk
+		}
+	}
+	return k
+}
+
+// worker runs windows as the coordinator hands them out.
+func (s *shard) worker(done chan<- struct{}) {
+	for limit := range s.cmd {
+		s.runWindow(limit)
+		done <- struct{}{}
+	}
+}
+
+// runWindow executes every shard event that precedes limit, using the
+// serial engine's exact rules: fire due timers (at <= next runnable
+// clock) first, then resume the earliest runnable process.
+func (s *shard) runWindow(limit evKey) {
+	w := s.w
+	for {
+		for len(s.timers) > 0 && timerKey(s.timers[0]).less(limit) &&
+			(s.runq.Len() == 0 || s.timers[0].at <= s.runq[0].clock) {
+			w.fireTimer(heap.Pop(&s.timers).(*timer), &s.tc)
+		}
+		if s.runq.Len() == 0 || !procKey(s.runq[0]).less(limit) {
+			return
+		}
+		p := heap.Pop(&s.runq).(*Proc)
+		p.state = stateRunning
+		p.resume <- struct{}{}
+		ev := <-s.sched
+		switch ev.p.state {
+		case stateDone:
+			w.noteDone(ev.p)
+			if s.failure != nil {
+				return
+			}
+		case stateRunnable:
+			heap.Push(&s.runq, ev.p)
+		case stateBlocked:
+			// Parked until a matching message arrives.
+		default:
+			panic("mpsim: internal error: yielded process in unexpected state")
+		}
+	}
+}
+
+// shardedRun is the parallel engine for one World.
+type shardedRun struct {
+	w         *World
+	shards    []*shard
+	byRank    []int // world rank -> shard index
+	lookahead float64
+	done      chan struct{}
+}
+
+func (sr *shardedRun) shardOf(rank int) *shard { return sr.shards[sr.byRank[rank]] }
+
+// route registers a freshly stamped timer with the heap that may fire
+// it.  tMsg fires at its destination's shard: pushed directly when the
+// sender owns it, staged in the sender's outbox otherwise.  tWake is
+// the target process's own registration.  Every other kind (transport
+// packets, crash plumbing) is global: shard-side creators hold
+// netLayer.mu, and the coordinator only touches the heap while shards
+// are quiesced.
+func (sr *shardedRun) route(tm *timer) {
+	switch tm.kind {
+	case tMsg:
+		src, dst := sr.byRank[tm.rank], sr.byRank[tm.dst]
+		if src == dst {
+			heap.Push(&sr.shards[dst].timers, tm)
+		} else {
+			s := sr.shards[src]
+			s.out = append(s.out, tm)
+		}
+	case tWake:
+		heap.Push(&tm.p.shard.timers, tm)
+	default:
+		heap.Push(&sr.w.timers, tm)
+	}
+}
+
+// shardBounds partitions world ranks into up to n contiguous ranges
+// aligned to node boundaries (a node's processes exchange zero-latency
+// shared-memory messages, so splitting one would void the lookahead).
+// Returns the range starts; len < 2 means sharding degenerated.
+func shardBounds(w *World, n int) []int {
+	bounds := []int{0}
+	size := len(w.procs)
+	for i := 1; i < n; i++ {
+		b := i * size / n
+		for b > 0 && b < size && w.procs[b].node == w.procs[b-1].node {
+			b++
+		}
+		if b > bounds[len(bounds)-1] && b < size {
+			bounds = append(bounds, b)
+		}
+	}
+	return bounds
+}
+
+// resolveShards picks the shard count for a run: Config.Shards, then
+// the MPSIM_SHARDS environment variable, then auto-sharding of large
+// worlds across min(GOMAXPROCS, nodes).  Returns 1 (serial) whenever
+// sharding cannot preserve behavior: an observability tracer is
+// attached (obs.Tracer is single-threaded by design), or the machine
+// has no latency floor to derive lookahead from.
+func (w *World) resolveShards(cfg Config) int {
+	if cfg.Obs != nil {
+		return 1
+	}
+	if w.safeLookahead() <= 0 {
+		return 1
+	}
+	s := cfg.Shards
+	if s == 0 {
+		if env := os.Getenv("MPSIM_SHARDS"); env != "" {
+			if v, err := strconv.Atoi(env); err == nil {
+				s = v
+			}
+		}
+	}
+	if s == 0 {
+		if len(w.procs) < autoShardWorlds {
+			return 1
+		}
+		s = runtime.GOMAXPROCS(0)
+	}
+	if s < 1 {
+		return 1
+	}
+	if s > len(w.nodes) {
+		s = len(w.nodes)
+	}
+	if s > len(w.procs) {
+		s = len(w.procs)
+	}
+	return s
+}
+
+// safeLookahead is the largest window the cost model guarantees: any
+// event a process schedules beyond its own shard while executing at
+// position t lands at or after t + SendOverhead + Latency (perfect
+// network and reliable-transport deliveries both pay the send overhead
+// and then the wire latency).  A reliable transport with an explicit
+// RTO shorter than the latency arms retransmit timers earlier than
+// deliveries, so the RTO becomes the binding floor.
+func (w *World) safeLookahead() float64 {
+	m := w.machine
+	la := m.Latency
+	if w.net != nil && w.net.rto > 0 && w.net.rto < la {
+		la = w.net.rto
+	}
+	return m.SendOverhead + la
+}
+
+// effectiveLookahead applies the Config.Lookahead override, clamped to
+// the safe bound (a larger window would let a shard outrun messages
+// still in another shard's future).
+func (w *World) effectiveLookahead(override float64) float64 {
+	la := w.safeLookahead()
+	if override > 0 && override < la {
+		la = override
+	}
+	return la
+}
+
+// newShardedRun partitions the world and rebinds every process to its
+// shard.  Returns nil when partitioning degenerates to a single shard
+// (the caller falls back to the serial loop).
+func newShardedRun(w *World, n int, lookahead float64) *shardedRun {
+	bounds := shardBounds(w, n)
+	if len(bounds) < 2 {
+		return nil
+	}
+	sr := &shardedRun{
+		w:         w,
+		byRank:    make([]int, len(w.procs)),
+		lookahead: lookahead,
+		done:      make(chan struct{}, len(bounds)),
+	}
+	for i, lo := range bounds {
+		hi := len(w.procs)
+		if i+1 < len(bounds) {
+			hi = bounds[i+1]
+		}
+		s := &shard{
+			id:    i,
+			w:     w,
+			lo:    lo,
+			hi:    hi,
+			sched: make(chan schedEvent),
+			pairs: make(map[PairKey]*PairStats),
+			cmd:   make(chan evKey),
+		}
+		for r := lo; r < hi; r++ {
+			p := w.procs[r]
+			p.shard = s
+			p.sched = s.sched
+			sr.byRank[r] = i
+		}
+		sr.shards = append(sr.shards, s)
+	}
+	// Move the serial run queue into the shard run queues.
+	for _, p := range w.procs {
+		p.heapIdx = -1
+	}
+	w.runq = w.runq[:0]
+	for _, s := range sr.shards {
+		for r := s.lo; r < s.hi; r++ {
+			heap.Push(&s.runq, w.procs[r])
+		}
+		s.live = s.hi - s.lo
+	}
+	return sr
+}
+
+// run is the coordinator loop: drain due global timers while shards
+// are quiesced, hand out one lookahead window, barrier, move staged
+// cross-shard deliveries, repeat.
+func (sr *shardedRun) run() {
+	w := sr.w
+	for _, s := range sr.shards {
+		go s.worker(sr.done)
+	}
+	defer func() {
+		for _, s := range sr.shards {
+			close(s.cmd)
+		}
+	}()
+	for {
+		if f := sr.collectFailure(); f != nil {
+			// Abandon the run; the panic in Run reports it.  Remaining
+			// process goroutines are simply never resumed again.
+			w.failure = f
+			return
+		}
+		live := 0
+		for _, s := range sr.shards {
+			live += s.live
+		}
+		if live == 0 {
+			break
+		}
+		minKey := infKey
+		for _, s := range sr.shards {
+			if k := s.nextKey(); k.less(minKey) {
+				minKey = k
+			}
+		}
+		// Fire global timers that precede every shard event.  Each fire
+		// may wake processes or create new timers, so recompute per
+		// iteration.
+		if len(w.timers) > 0 && timerKey(w.timers[0]).less(minKey) {
+			w.fireTimer(heap.Pop(&w.timers).(*timer), &w.tc)
+			continue
+		}
+		if math.IsInf(minKey.t, 1) {
+			w.panicDeadlock()
+		}
+		limit := evKey{t: minKey.t + sr.lookahead, cls: -1}
+		if len(w.timers) > 0 {
+			if gk := timerKey(w.timers[0]); gk.less(limit) {
+				limit = gk
+			}
+		}
+		launched := 0
+		for _, s := range sr.shards {
+			if s.nextKey().less(limit) {
+				s.cmd <- limit
+				launched++
+			}
+		}
+		for i := 0; i < launched; i++ {
+			<-sr.done
+		}
+		for _, s := range sr.shards {
+			for _, tm := range s.out {
+				heap.Push(&sr.shardOf(tm.dst).timers, tm)
+			}
+			s.out = s.out[:0]
+		}
+	}
+	sr.mergeStats()
+}
+
+// collectFailure returns the failure to report, preferring the one at
+// the earliest virtual position (then lowest rank) so the abort is
+// deterministic even if several shards failed in one window.
+func (sr *shardedRun) collectFailure() *runFailure {
+	f := sr.w.failure
+	fClock := math.Inf(1)
+	for _, s := range sr.shards {
+		if s.failure == nil {
+			continue
+		}
+		c := sr.w.procs[s.failure.rank].finalClock
+		if f == nil || c < fClock || (c == fClock && s.failure.rank < f.rank) {
+			f, fClock = s.failure, c
+		}
+	}
+	return f
+}
+
+// mergeStats folds per-shard results into the world's stats after all
+// workers have quiesced for the last time.
+func (sr *shardedRun) mergeStats() {
+	w := sr.w
+	for _, s := range sr.shards {
+		if s.makespan > w.stats.MakespanSeconds {
+			w.stats.MakespanSeconds = s.makespan
+		}
+		for k, ps := range s.pairs {
+			t := w.stats.pair(k.From, k.To)
+			t.Msgs += ps.Msgs
+			t.Bytes += ps.Bytes
+		}
+	}
+	if w.trace != nil {
+		total := len(w.trace.Events)
+		for _, s := range sr.shards {
+			total += len(s.events)
+		}
+		evs := make([]Event, 0, total)
+		evs = append(evs, w.trace.Events...)
+		for _, s := range sr.shards {
+			evs = append(evs, s.events...)
+		}
+		// Per-rank subsequences are already in execution order (every
+		// rank's events land in one shard buffer), so a stable sort on
+		// (time, rank) yields the canonical stream: identical Timeline
+		// and ByRank views to a serial run.
+		sort.SliceStable(evs, func(a, b int) bool {
+			if evs[a].Time != evs[b].Time {
+				return evs[a].Time < evs[b].Time
+			}
+			return evs[a].Rank < evs[b].Rank
+		})
+		w.trace.Events = evs
+	}
+}
+
+// Shards reports how many scheduler shards this run is using (1 for
+// the serial loop); harness code records it next to results.
+func (w *World) Shards() int {
+	if w.sh == nil {
+		return 1
+	}
+	return len(w.sh.shards)
+}

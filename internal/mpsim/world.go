@@ -50,6 +50,19 @@ type Config struct {
 	// Detect configures the failure detector used with Crash; nil with
 	// a crash plan installs DefaultDetector().
 	Detect *Detector
+	// Shards selects the scheduler: 1 (or negative) forces the serial
+	// loop, N > 1 requests N parallel scheduler shards, and 0 (the
+	// default) consults the MPSIM_SHARDS environment variable and then
+	// auto-shards worlds of >= 256 ranks across min(GOMAXPROCS,
+	// nodes).  Sharded runs are bit-identical to serial ones; see
+	// shard.go.
+	Shards int
+	// Lookahead caps a sharded run's conservative lookahead window in
+	// virtual seconds.  Zero derives the largest safe window from the
+	// machine's latency floor; smaller explicit values are honored
+	// (useful for stressing the window protocol), larger ones are
+	// clamped to the safe bound.
+	Lookahead float64
 }
 
 // World is the simulated machine state for one run.  It owns every
@@ -76,9 +89,18 @@ type World struct {
 
 	// Virtual-time events (deliveries, retransmissions, acks, receive
 	// deadlines), interleaved with process execution by the scheduler.
-	timers   timerHeap
-	timerSeq int
-	net      *netLayer
+	timers timerHeap
+	// tseq[r] is rank r's per-rank timer sequence counter: the third key
+	// of the event total order (time, rank, seq).  Each rank registers
+	// its timers in virtual-position order in both engines, so the
+	// numbering — and therefore every tie-break — is engine-invariant.
+	tseq []int
+	// tc is the serial engine's timer freelist; shards carry their own.
+	tc  timerCache
+	net *netLayer
+
+	// sh is the sharded parallel engine, nil for serial runs.
+	sh *shardedRun
 
 	// Crash-fault state (nil when Config.Crash was nil).
 	crash *crashState
@@ -125,7 +147,14 @@ func Run(cfg Config) *Stats {
 	if err != nil {
 		panic(err)
 	}
-	w.schedule()
+	if n := w.resolveShards(cfg); n > 1 {
+		w.sh = newShardedRun(w, n, w.effectiveLookahead(cfg.Lookahead))
+	}
+	if w.sh != nil {
+		w.sh.run()
+	} else {
+		w.schedule()
+	}
 	if w.failure != nil {
 		panic(fmt.Sprintf("mpsim: program %q rank %d panicked: %v",
 			w.failure.prog, w.failure.rank, w.failure.err))
@@ -199,7 +228,9 @@ func newWorld(cfg Config) (*World, error) {
 				progName:  spec.Name,
 				node:      w.nodes[nid],
 				resume:    make(chan struct{}),
+				sched:     w.toSched,
 				state:     stateRunnable,
+				heapIdx:   -1,
 			}
 			w.nodes[nid].procsOnOut++
 			w.procs = append(w.procs, p)
@@ -228,6 +259,7 @@ func newWorld(cfg Config) (*World, error) {
 		p.progComm = newComm(p, p.progRanks, 2+p.progIndex)
 	}
 	w.stats.PerRank = make([]RankStats, len(w.procs))
+	w.tseq = make([]int, len(w.procs))
 	if cfg.Crash != nil {
 		w.initCrash(cfg.Crash, cfg.Detect, cfg.Programs)
 	}
@@ -251,13 +283,20 @@ func (w *World) launchProc(p *Proc, body func(p *Proc)) {
 		<-p.resume
 		defer func() {
 			if r := recover(); r != nil {
-				if _, crashed := r.(crashPanic); !crashed && w.failure == nil {
-					w.failure = &runFailure{rank: p.worldRank, prog: p.progName, err: r}
+				if _, crashed := r.(crashPanic); !crashed {
+					f := &runFailure{rank: p.worldRank, prog: p.progName, err: r}
+					if s := p.shard; s != nil {
+						if s.failure == nil {
+							s.failure = f
+						}
+					} else if w.failure == nil {
+						w.failure = f
+					}
 				}
 			}
 			p.finalClock = p.clock
 			p.state = stateDone
-			w.toSched <- schedEvent{p: p}
+			p.sched <- schedEvent{p: p}
 		}()
 		body(p)
 	}()
@@ -281,7 +320,7 @@ func (w *World) schedule() {
 		// the next runnable process's clock, and all of them while no
 		// process is runnable (an event may wake one).
 		for len(w.timers) > 0 && (w.runq.Len() == 0 || w.timers[0].at <= w.runq[0].clock) {
-			w.fireTimer(heap.Pop(&w.timers).(*timer))
+			w.fireTimer(heap.Pop(&w.timers).(*timer), &w.tc)
 		}
 		if w.runq.Len() == 0 {
 			w.panicDeadlock()
@@ -292,15 +331,7 @@ func (w *World) schedule() {
 		ev := <-w.toSched
 		switch ev.p.state {
 		case stateDone:
-			w.live--
-			if ev.p.finalClock > w.stats.MakespanSeconds {
-				w.stats.MakespanSeconds = ev.p.finalClock
-			}
-			if w.crash != nil && ev.p.restartAt > 0 {
-				// A restart timer fired while the killed process had not
-				// unwound yet; relaunch now that its goroutine is gone.
-				w.restartProc(ev.p, ev.p.restartAt)
-			}
+			w.noteDone(ev.p)
 		case stateRunnable:
 			heap.Push(&w.runq, ev.p)
 		case stateBlocked:
@@ -342,13 +373,45 @@ func (w *World) panicDeadlock() {
 	panic(msg)
 }
 
-// wake moves a blocked process back to the run queue.
+// wake moves a blocked process back to its run queue.
 func (w *World) wake(p *Proc) {
 	p.state = stateRunnable
+	if s := p.shard; s != nil {
+		heap.Push(&s.runq, p)
+		return
+	}
 	heap.Push(&w.runq, p)
 }
 
-// procHeap orders runnable processes by (clock, worldRank).
+// removeFromRunq pulls a queued process out of its run queue (crash
+// reaping).
+func (w *World) removeFromRunq(p *Proc) {
+	if s := p.shard; s != nil {
+		heap.Remove(&s.runq, p.heapIdx)
+		return
+	}
+	heap.Remove(&w.runq, p.heapIdx)
+}
+
+// noteDone settles a finished (or crash-unwound) process: live count
+// and makespan, in whichever scheduler owns it.
+func (w *World) noteDone(p *Proc) {
+	if s := p.shard; s != nil {
+		s.live--
+		if p.finalClock > s.makespan {
+			s.makespan = p.finalClock
+		}
+		return
+	}
+	w.live--
+	if p.finalClock > w.stats.MakespanSeconds {
+		w.stats.MakespanSeconds = p.finalClock
+	}
+}
+
+// procHeap orders runnable processes by (clock, worldRank).  It keeps
+// each element's heapIdx current so the crash machinery can remove a
+// specific process (heap.Remove) without draining the queue.
 type procHeap []*Proc
 
 func (h procHeap) Len() int { return len(h) }
@@ -358,13 +421,22 @@ func (h procHeap) Less(i, j int) bool {
 	}
 	return h[i].worldRank < h[j].worldRank
 }
-func (h procHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *procHeap) Push(x any)   { *h = append(*h, x.(*Proc)) }
+func (h procHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *procHeap) Push(x any) {
+	p := x.(*Proc)
+	p.heapIdx = len(*h)
+	*h = append(*h, p)
+}
 func (h *procHeap) Pop() any {
 	old := *h
 	n := len(old)
 	p := old[n-1]
 	old[n-1] = nil
+	p.heapIdx = -1
 	*h = old[:n-1]
 	return p
 }

@@ -20,5 +20,15 @@ if [ -e "$out" ] && [ -z "$force" ]; then
 	echo "bench: $out already exists; pass -f to overwrite it" >&2
 	exit 1
 fi
-go test -run '^$' -bench . -benchmem "$@" . | tee /dev/stderr | go run ./cmd/mcbench > "$out"
+# The main suite runs serially; the sharded-scheduler scaling
+# benchmark then runs as a -cpu sweep (its shard count follows
+# GOMAXPROCS).  -benchtime 3x forces a real re-run per -cpu value: a
+# one-iteration run would be satisfied by the framework's calibration
+# pass, which executes before GOMAXPROCS is pinned and would mislabel
+# the first variant.  Both outputs land in one snapshot.
+{
+	go test -run '^$' -bench . -benchmem "$@" . &&
+	go test -run '^$' -bench '^BenchmarkFigure10Parallel$' -benchmem \
+		-benchtime 3x -cpu 1,2,4 .
+} | tee /dev/stderr | go run ./cmd/mcbench > "$out"
 echo "wrote $out" >&2
