@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 
 	"metachaos/internal/benchfmt"
 )
@@ -81,6 +82,20 @@ func main() {
 	}
 	if cur.HostCPUs != 0 && (cur.HostCPUs != base.HostCPUs || cur.MpsimShards != base.MpsimShards) {
 		fmt.Printf("current host:  %d cpus, mpsim shards %s\n", cur.HostCPUs, orAuto(cur.MpsimShards))
+	}
+	// Raw go-test text carries no host metadata, so fall back to the
+	// machine benchdiff itself is running on — the same machine that
+	// just ran the benchmarks in every CI and local workflow.
+	curCPUs := cur.HostCPUs
+	if curCPUs == 0 {
+		curCPUs = runtime.NumCPU()
+	}
+	if base.HostCPUs != 0 && base.HostCPUs != curCPUs {
+		fmt.Printf("WARNING: baseline %s was recorded on a %d-cpu host but this run is on %d cpus.\n",
+			*baseline, base.HostCPUs, curCPUs)
+		fmt.Printf("WARNING: virtual-time costs are host-independent, but wall-clock ns/op is not;\n")
+		fmt.Printf("WARNING: treat any ns/op delta below with suspicion and re-record the baseline\n")
+		fmt.Printf("WARNING: (scripts/bench.sh -f) before trusting this gate on the new host shape.\n")
 	}
 	fmt.Printf("baseline %s, gate: ns/op +%.0f%%, allocs/op +1ppm\n", *baseline, *maxRegress*100)
 	for _, c := range d.Compared {

@@ -1,0 +1,291 @@
+// Command mcload drives a live mcserved daemon: N tenant sessions ×
+// M couplings each, streaming Move/MoveAdd/MoveReverse traffic with a
+// steady or churning session profile.  Couplings are drawn from a
+// fixed catalog shared by every tenant, so the daemon's cross-tenant
+// schedule cache gets real reuse; with -check each tenant replays its
+// op sequences through serve.Standalone and demands bit-identical
+// result hashes — the multiplexed daemon must be indistinguishable
+// from running alone.
+//
+//	mcload -network unix -addr /tmp/mcserved.sock -tenants 4 -moves 32 -check
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"metachaos/internal/benchfmt"
+	"metachaos/internal/serve"
+)
+
+// pair is one catalog entry: a coupling both sides of which every
+// tenant declares identically (identical declarations are what make
+// schedules shareable).
+type pair struct {
+	name     string
+	src, dst serve.DistSpec
+}
+
+// catalog is the library/layout mix the load exercises: HPF-to-Parti
+// vectors, a 2-D redistribution, and a multi-word pC++ collection.
+var catalog = []pair{
+	{
+		name: "vec-hpf-parti",
+		src:  serve.DistSpec{Library: "hpfrt", Layout: "blockvec", Shape: []int{240}, Procs: 3},
+		dst:  serve.DistSpec{Library: "mbparti", Layout: "blockvec", Shape: []int{240}, Procs: 2},
+	},
+	{
+		name: "mat-parti-hpf",
+		src:  serve.DistSpec{Library: "mbparti", Layout: "block2d", Shape: []int{16, 16}, Procs: 3},
+		dst:  serve.DistSpec{Library: "hpfrt", Layout: "rowblock", Shape: []int{16, 16}, Procs: 2},
+	},
+	{
+		name: "coll-pcxx",
+		src:  serve.DistSpec{Library: "pcxxrt", Layout: "roundrobin", Shape: []int{120}, Procs: 3, ElemWords: 2},
+		dst:  serve.DistSpec{Library: "pcxxrt", Layout: "roundrobin", Shape: []int{120}, Procs: 2, ElemWords: 2},
+	},
+}
+
+// moveKinds is the op mix, cycled per move index.
+var moveKinds = []int{serve.OpMove, serve.OpMoveAdd, serve.OpMove, serve.OpMoveReverse}
+
+// instance is one open-to-close life of a coupling: the ops it ran and
+// the daemon's hash for each.  MoveAdd accumulates into the coupling's
+// objects, so verification replays per instance — a churned reopen
+// starts from fresh storage and therefore a fresh instance.
+type instance struct {
+	pair   int
+	ops    []serve.ScriptOp
+	hashes []uint64
+}
+
+type tenantResult struct {
+	moves     int64
+	retries   int64
+	err       error
+	instances []*instance
+}
+
+func main() {
+	var (
+		network   = flag.String("network", "unix", "daemon network: unix or tcp")
+		addr      = flag.String("addr", "/tmp/mcserved.sock", "daemon address")
+		tenants   = flag.Int("tenants", 4, "concurrent tenant sessions")
+		couplings = flag.Int("couplings", len(catalog), "couplings per tenant (capped at the catalog size)")
+		moves     = flag.Int("moves", 24, "moves per tenant")
+		seed      = flag.Int64("seed", 1, "base fill seed (pins the whole run)")
+		profile   = flag.String("profile", "steady", "session profile: steady (hold couplings) or churn (reopen per move)")
+		check     = flag.Bool("check", false, "replay every tenant's ops via serve.Standalone and compare hashes")
+		jsonOut   = flag.Bool("json", false, "print the summary as benchfmt.ServeSummary JSON")
+		snapshot  = flag.String("snapshot", "", "merge the summary into this BENCH_<date>.json snapshot")
+	)
+	flag.Parse()
+	if *profile != "steady" && *profile != "churn" {
+		fmt.Fprintf(os.Stderr, "mcload: unknown -profile %q\n", *profile)
+		os.Exit(2)
+	}
+	if *couplings < 1 || *couplings > len(catalog) {
+		*couplings = len(catalog)
+	}
+
+	start := time.Now()
+	results := make([]tenantResult, *tenants)
+	var wg sync.WaitGroup
+	for t := 0; t < *tenants; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			results[t] = runTenant(t, *network, *addr, *couplings, *moves, *seed, *profile)
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total, retries int64
+	for t := range results {
+		if err := results[t].err; err != nil {
+			fmt.Fprintf(os.Stderr, "mcload: tenant %d: %v\n", t, err)
+			os.Exit(1)
+		}
+		total += results[t].moves
+		retries += results[t].retries
+	}
+
+	// One extra session reads the daemon's stats.
+	hitRate, backpressure := fetchStats(*network, *addr)
+
+	verified := false
+	if *check {
+		if err := verify(results); err != nil {
+			fmt.Fprintf(os.Stderr, "mcload: VERIFY FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		verified = true
+	}
+
+	sum := benchfmt.ServeSummary{
+		Tenants:      *tenants,
+		Couplings:    *couplings,
+		Moves:        total,
+		MovesPerSec:  float64(total) / elapsed.Seconds(),
+		CacheHitRate: hitRate,
+		Backpressure: backpressure,
+		Verified:     verified,
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(&sum)
+	} else {
+		fmt.Printf("mcload: tenants=%d couplings=%d moves=%d moves/sec=%.1f cache_hit_rate=%.2f backpressure=%d verified=%v\n",
+			sum.Tenants, sum.Couplings, sum.Moves, sum.MovesPerSec, sum.CacheHitRate, sum.Backpressure, sum.Verified)
+	}
+	if *snapshot != "" {
+		if err := mergeSnapshot(*snapshot, &sum); err != nil {
+			fmt.Fprintf(os.Stderr, "mcload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mcload: recorded serve summary in %s\n", *snapshot)
+	}
+}
+
+// runTenant runs one session's whole life against the daemon.
+func runTenant(t int, network, addr string, couplings, moves int, seed int64, profile string) tenantResult {
+	var res tenantResult
+	c, err := serve.Dial(network, addr, fmt.Sprintf("tenant-%d", t))
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer c.Close()
+
+	// Register both sides of every catalog pair once: dist id 2k is
+	// pair k's source, 2k+1 its destination.
+	for k, p := range catalog {
+		if err := c.RegisterDist(2*k, p.src); err == nil {
+			err = c.RegisterDist(2*k+1, p.dst)
+		}
+		if err != nil {
+			res.err = fmt.Errorf("register %s: %w", p.name, err)
+			return res
+		}
+	}
+	live := make(map[int]*instance)
+	ensureOpen := func(k int) (*instance, error) {
+		if inst, ok := live[k]; ok {
+			return inst, nil
+		}
+		if _, _, err := c.OpenCoupling(k, 2*k, 2*k+1); err != nil {
+			return nil, err
+		}
+		inst := &instance{pair: k}
+		live[k] = inst
+		res.instances = append(res.instances, inst)
+		return inst, nil
+	}
+
+	for m := 0; m < moves; m++ {
+		k := (t + m) % couplings
+		inst, err := ensureOpen(k)
+		if err != nil {
+			res.err = fmt.Errorf("open %s: %w", catalog[k].name, err)
+			return res
+		}
+		kind := moveKinds[m%len(moveKinds)]
+		mseed := seed + int64(t)*1000 + int64(m)
+		var st serve.MoveStats
+		for {
+			st, err = c.Move(k, kind, mseed)
+			if err != nil && errors.Is(err, serve.ErrBackpressure) {
+				res.retries++
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			break
+		}
+		if err != nil {
+			res.err = fmt.Errorf("move on %s: %w", catalog[k].name, err)
+			return res
+		}
+		res.moves++
+		inst.ops = append(inst.ops, serve.ScriptOp{Kind: kind, Seed: mseed})
+		inst.hashes = append(inst.hashes, st.Hash)
+		if profile == "churn" {
+			if err := c.CloseCoupling(k); err != nil {
+				res.err = fmt.Errorf("close %s: %w", catalog[k].name, err)
+				return res
+			}
+			delete(live, k)
+		}
+	}
+	return res
+}
+
+// verify replays every coupling instance standalone and compares
+// hashes move by move.  Identical (pair, op-sequence) instances — the
+// common case when tenants run the same profile — replay once.
+func verify(results []tenantResult) error {
+	done := make(map[string][]uint64)
+	for t := range results {
+		for _, inst := range results[t].instances {
+			key := fmt.Sprintf("%d/%+v", inst.pair, inst.ops)
+			standalone, ok := done[key]
+			if !ok {
+				stats, err := serve.Standalone(catalog[inst.pair].src, catalog[inst.pair].dst, inst.ops)
+				if err != nil {
+					return fmt.Errorf("standalone replay of %s: %w", catalog[inst.pair].name, err)
+				}
+				standalone = make([]uint64, len(stats))
+				for i := range stats {
+					standalone[i] = stats[i].Hash
+				}
+				done[key] = standalone
+			}
+			if len(standalone) != len(inst.hashes) {
+				return fmt.Errorf("tenant %d %s: %d standalone hashes vs %d served",
+					t, catalog[inst.pair].name, len(standalone), len(inst.hashes))
+			}
+			for i := range inst.hashes {
+				if inst.hashes[i] != standalone[i] {
+					return fmt.Errorf("tenant %d %s move %d: served hash %016x != standalone %016x",
+						t, catalog[inst.pair].name, i, inst.hashes[i], standalone[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// fetchStats reads the daemon's cache hit rate and backpressure count.
+func fetchStats(network, addr string) (hitRate float64, backpressure int64) {
+	c, err := serve.Dial(network, addr, "mcload-stats")
+	if err != nil {
+		return 0, 0
+	}
+	defer c.Close()
+	stats, err := c.Stats()
+	if err != nil {
+		return 0, 0
+	}
+	return stats["serve_cache_hit_rate"], int64(stats["serve_backpressure_total"])
+}
+
+// mergeSnapshot attaches the summary to an existing benchfmt snapshot.
+func mergeSnapshot(path string, sum *benchfmt.ServeSummary) error {
+	rep, err := benchfmt.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rep.Serve = sum
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rep.Write(f)
+}

@@ -43,6 +43,33 @@ type Report struct {
 	HostCPUs    int      `json:"host_cpus,omitempty"`
 	MpsimShards string   `json:"mpsim_shards,omitempty"`
 	Results     []Result `json:"results"`
+	// Serve, when present, is the coupling-service load summary the
+	// snapshot was recorded with (cmd/mcload -snapshot).  It rides
+	// along as metadata: Diff ignores it.
+	Serve *ServeSummary `json:"serve,omitempty"`
+}
+
+// ServeSummary is one cmd/mcload run against a live mcserved daemon,
+// recorded alongside the micro-benchmarks so a snapshot also captures
+// the service's throughput shape on the host.
+type ServeSummary struct {
+	// Tenants is the number of concurrent client sessions.
+	Tenants int `json:"tenants"`
+	// Couplings is how many couplings each tenant cycled through.
+	Couplings int `json:"couplings"`
+	// Moves is the total moves executed across all tenants.
+	Moves int64 `json:"moves"`
+	// MovesPerSec is wall-clock throughput (real time, not virtual).
+	MovesPerSec float64 `json:"moves_per_sec"`
+	// CacheHitRate is the daemon's schedule-cache hit rate over
+	// coupling opens: warm opens / total opens.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Backpressure counts moves the daemon refused under admission
+	// control (mcload retries them).
+	Backpressure int64 `json:"backpressure"`
+	// Verified is true when every tenant's result hashes matched a
+	// standalone replay of its coupling scripts.
+	Verified bool `json:"verified"`
 }
 
 // ParseGotest reads `go test -bench -benchmem` text output.  Repeated

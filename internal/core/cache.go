@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // ScheduleCache memoizes communication schedules under caller-chosen
@@ -15,7 +16,17 @@ import (
 // that every process of the program hits or misses together; a cache
 // that diverges across processes would desynchronize the collective
 // schedule computation.  The zero value is ready to use.
+//
+// A cache is safe for concurrent use.  The coupling service
+// (internal/serve) keeps one cache per resident simulated rank and
+// shares it across every tenant session multiplexed onto that world,
+// so lookups, inserts and incarnation bumps may arrive from more than
+// one goroutine.  Get never holds the lock across the build callback:
+// schedule construction is collective over simulated processes, and a
+// lock held through a collective would deadlock the ranks against each
+// other.
 type ScheduleCache struct {
+	mu      sync.Mutex
 	entries map[string]*Schedule
 	hits    int
 	misses  int
@@ -37,16 +48,25 @@ func NewScheduleCache() *ScheduleCache {
 // served each other's schedule; Get also rejects a built schedule
 // whose element type disagrees with et, which would otherwise poison
 // the cache.
+//
+// build runs outside the cache lock (it is collective; see the type
+// comment).  If a concurrent Get for the same key finishes its build
+// first, the first inserted schedule wins and later builders get it;
+// if SetIncarnation invalidated the cache while build ran, the built
+// schedule is returned to the caller but not cached — it was computed
+// under a group generation the cache no longer trusts.
 func (c *ScheduleCache) Get(key string, et ElemType, build func() (*Schedule, error)) (*Schedule, error) {
-	if c.entries == nil {
-		c.entries = make(map[string]*Schedule)
-	}
 	full := key + "|" + et.String()
+	c.mu.Lock()
 	if s, ok := c.entries[full]; ok {
 		c.hits++
+		c.mu.Unlock()
 		return s, nil
 	}
 	c.misses++
+	gen := c.incarnation
+	c.mu.Unlock()
+
 	s, err := build()
 	if err != nil {
 		return nil, fmt.Errorf("core: building schedule for cache key %q: %w", key, err)
@@ -54,14 +74,53 @@ func (c *ScheduleCache) Get(key string, et ElemType, build func() (*Schedule, er
 	if s.elem != et {
 		return nil, fmt.Errorf("core: schedule built for cache key %q moves %v elements, caller declared %v", key, s.elem, et)
 	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.incarnation != gen {
+		// The group changed underneath the build; hand the schedule to
+		// this caller but do not let it outlive the membership it was
+		// computed for.
+		return s, nil
+	}
+	if prev, ok := c.entries[full]; ok {
+		// A concurrent builder won the insert race; converge on its
+		// schedule so every caller shares one executor scratch.
+		return prev, nil
+	}
+	if c.entries == nil {
+		c.entries = make(map[string]*Schedule)
+	}
 	c.entries[full] = s
 	return s, nil
+}
+
+// Put inserts an already-built schedule under key, the explicit-insert
+// counterpart of Get for callers that computed the schedule before
+// deciding to share it.  Inserting over an existing entry replaces it;
+// a schedule whose element type disagrees with et is rejected.
+func (c *ScheduleCache) Put(key string, et ElemType, s *Schedule) error {
+	if s == nil {
+		return fmt.Errorf("core: caching nil schedule under key %q", key)
+	}
+	if s.elem != et {
+		return fmt.Errorf("core: schedule cached under key %q moves %v elements, caller declared %v", key, s.elem, et)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[string]*Schedule)
+	}
+	c.entries[key+"|"+et.String()] = s
+	return nil
 }
 
 // Invalidate drops key's entries for every element type (after a
 // redistribution, for example).  Dropping a missing key is a no-op.
 func (c *ScheduleCache) Invalidate(key string) {
 	prefix := key + "|"
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for k := range c.entries {
 		if strings.HasPrefix(k, prefix) {
 			delete(c.entries, k)
@@ -71,6 +130,8 @@ func (c *ScheduleCache) Invalidate(key string) {
 
 // Clear drops every entry but keeps the hit/miss counters.
 func (c *ScheduleCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.entries = nil
 }
 
@@ -81,17 +142,31 @@ func (c *ScheduleCache) Clear() {
 // are now dead or renumbered.  Same-incarnation calls are free, so
 // recovery loops can call it before every cached lookup.
 func (c *ScheduleCache) SetIncarnation(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if n != c.incarnation {
 		c.incarnation = n
-		c.Clear()
+		c.entries = nil
 	}
 }
 
 // Incarnation returns the generation the cache is currently keyed on.
-func (c *ScheduleCache) Incarnation() int { return c.incarnation }
+func (c *ScheduleCache) Incarnation() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.incarnation
+}
 
 // Len returns the number of cached schedules.
-func (c *ScheduleCache) Len() int { return len(c.entries) }
+func (c *ScheduleCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
 
 // Counters returns the accumulated hit and miss counts.
-func (c *ScheduleCache) Counters() (hits, misses int) { return c.hits, c.misses }
+func (c *ScheduleCache) Counters() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"metachaos/internal/mpsim"
@@ -128,5 +129,95 @@ func TestScheduleCacheKeyedByElemType(t *testing.T) {
 	cache.Invalidate("loop-3")
 	if cache.Len() != 0 {
 		t.Errorf("Invalidate left %d entries", cache.Len())
+	}
+}
+
+// TestScheduleCachePut pins the explicit-insert path: a Put schedule
+// is served by Get without a build, and a Put whose schedule
+// contradicts the declared element type is rejected.
+func TestScheduleCachePut(t *testing.T) {
+	cache := NewScheduleCache()
+	s := &Schedule{elem: Float64}
+	if err := cache.Put("warm", Float64, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cache.Get("warm", Float64, func() (*Schedule, error) {
+		t.Error("Get rebuilt a schedule Put already inserted")
+		return nil, errors.New("unreachable")
+	})
+	if err != nil || got != s {
+		t.Fatalf("Get after Put: got %p err %v, want the Put schedule", got, err)
+	}
+	if err := cache.Put("bad", Float32, &Schedule{elem: Int64}); err == nil {
+		t.Error("Put accepted a schedule whose element type contradicts the key")
+	}
+	if err := cache.Put("nil", Float64, nil); err == nil {
+		t.Error("Put accepted a nil schedule")
+	}
+}
+
+// TestScheduleCacheConcurrent hammers one cache from many goroutines —
+// Get (hit and miss), Put, Invalidate, SetIncarnation, Clear and the
+// read-side accessors all interleave.  The coupling service shares a
+// cache across tenant sessions, so this must be provably clean under
+// the race detector before the service can stand on it.  The test
+// asserts no race, no lost schedule (every Get returns a schedule of
+// the declared element type), and a coherent final state.
+func TestScheduleCacheConcurrent(t *testing.T) {
+	cache := NewScheduleCache()
+	keys := []string{"pair-a", "pair-b", "pair-c", "pair-d"}
+	elems := []ElemType{Float64, Int64, Float32}
+	var wg sync.WaitGroup
+	const workers = 16
+	const iters = 400
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := keys[(g+i)%len(keys)]
+				et := elems[(g*7+i)%len(elems)]
+				switch i % 8 {
+				case 6:
+					if err := cache.Put(key, et, &Schedule{elem: et}); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				case 7:
+					switch g % 3 {
+					case 0:
+						cache.Invalidate(key)
+					case 1:
+						cache.SetIncarnation(i % 5)
+					default:
+						cache.Clear()
+					}
+				default:
+					s, err := cache.Get(key, et, func() (*Schedule, error) {
+						return &Schedule{elem: et}, nil
+					})
+					if err != nil {
+						t.Errorf("Get: %v", err)
+						return
+					}
+					if s.elem != et {
+						t.Errorf("Get(%q, %v) returned a %v schedule", key, et, s.elem)
+						return
+					}
+				}
+				cache.Len()
+				cache.Counters()
+				cache.Incarnation()
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses := cache.Counters()
+	if hits+misses == 0 {
+		t.Error("no lookups were counted")
+	}
+	if cache.Len() > len(keys)*len(elems) {
+		t.Errorf("cache holds %d entries, more than the %d possible keys",
+			cache.Len(), len(keys)*len(elems))
 	}
 }

@@ -2,6 +2,7 @@ package mpsim
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
 	"os"
 	"runtime"
@@ -248,6 +249,10 @@ func shardBounds(w *World, n int) []int {
 // attached (obs.Tracer is single-threaded by design), or the machine
 // has no latency floor to derive lookahead from.
 func (w *World) resolveShards(cfg Config) int {
+	// Validate the environment override before any early return: a
+	// typo'd MPSIM_SHARDS that was silently ignored would make every
+	// "why isn't it sharding" investigation start from a lie.
+	env, envSet := shardsFromEnv()
 	if cfg.Obs != nil {
 		return 1
 	}
@@ -255,12 +260,8 @@ func (w *World) resolveShards(cfg Config) int {
 		return 1
 	}
 	s := cfg.Shards
-	if s == 0 {
-		if env := os.Getenv("MPSIM_SHARDS"); env != "" {
-			if v, err := strconv.Atoi(env); err == nil {
-				s = v
-			}
-		}
+	if s == 0 && envSet {
+		s = env
 	}
 	if s == 0 {
 		if len(w.procs) < autoShardWorlds {
@@ -278,6 +279,26 @@ func (w *World) resolveShards(cfg Config) int {
 		s = len(w.procs)
 	}
 	return s
+}
+
+// shardsFromEnv reads and validates the MPSIM_SHARDS override.  An
+// unset or empty variable reports envSet false; "0" explicitly
+// requests automatic resolution.  Anything that is not a non-negative
+// integer panics with a clear error — silently ignoring a typo would
+// leave the run on a scheduler the operator did not ask for.
+func shardsFromEnv() (n int, envSet bool) {
+	env := os.Getenv("MPSIM_SHARDS")
+	if env == "" {
+		return 0, false
+	}
+	v, err := strconv.Atoi(env)
+	if err != nil {
+		panic(fmt.Sprintf("mpsim: invalid MPSIM_SHARDS=%q: not an integer (use a non-negative shard count; 0 = automatic)", env))
+	}
+	if v < 0 {
+		panic(fmt.Sprintf("mpsim: invalid MPSIM_SHARDS=%q: negative shard count (use a non-negative value; 0 = automatic)", env))
+	}
+	return v, true
 }
 
 // safeLookahead is the largest window the cost model guarantees: any

@@ -2,6 +2,7 @@ package mpsim
 
 import (
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -134,6 +135,38 @@ func TestResolveShards(t *testing.T) {
 	if got := w.resolveShards(Config{}); got != 1 {
 		t.Errorf("small world auto: got %d, want 1", got)
 	}
+	// "0" is the explicit spelling of automatic resolution.
+	t.Setenv("MPSIM_SHARDS", "0")
+	if got := w.resolveShards(Config{}); got != 1 {
+		t.Errorf("MPSIM_SHARDS=0 on a small world: got %d, want 1 (auto)", got)
+	}
+}
+
+// TestResolveShardsRejectsBadEnv pins the fail-fast contract: a
+// non-integer or negative MPSIM_SHARDS panics with a clear error
+// instead of being silently ignored, even on runs that would have
+// stayed serial anyway.
+func TestResolveShardsRejectsBadEnv(t *testing.T) {
+	w := &World{nodes: make([]*node, 16), procs: make([]*Proc, 16), machine: SP2()}
+	expectPanic := func(env, wantSub string) {
+		t.Helper()
+		t.Setenv("MPSIM_SHARDS", env)
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("MPSIM_SHARDS=%q: resolveShards did not panic", env)
+				return
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, wantSub) || !strings.Contains(msg, env) {
+				t.Errorf("MPSIM_SHARDS=%q: panic %v, want message containing %q and the value", env, r, wantSub)
+			}
+		}()
+		w.resolveShards(Config{})
+	}
+	expectPanic("four", "not an integer")
+	expectPanic("3.5", "not an integer")
+	expectPanic("-2", "negative shard count")
 }
 
 // TestSafeLookaheadFloor ensures the derived window is the LogGP

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"metachaos/internal/codec"
+)
+
+// Client is a tenant's connection to the coupling daemon.  Requests
+// are synchronous and serialized (one in flight per client); run
+// several clients for concurrency, as cmd/mcload does.
+type Client struct {
+	mu       sync.Mutex
+	conn     net.Conn
+	nextID   uint32
+	maxFrame int
+	tenant   string
+}
+
+// Dial connects to a daemon on network ("tcp" or "unix") and address,
+// introduces the tenant, and verifies protocol agreement.
+func Dial(network, addr, tenant string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, maxFrame: DefaultMaxFrame, tenant: tenant}
+	var w codec.Writer
+	w.PutString(tenant)
+	w.PutInt32(protoVersion)
+	payload, err := c.do(msgHello, w.Bytes(), msgWelcome)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	r := codec.NewReader(payload)
+	if v := r.Int32(); v != protoVersion {
+		conn.Close()
+		return nil, fmt.Errorf("%w: server speaks protocol %d, client %d", ErrProtocol, v, protoVersion)
+	}
+	return c, nil
+}
+
+// do sends one request and returns the matching response payload,
+// converting msgError responses into typed errors.
+func (c *Client) do(typ byte, payload []byte, want byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextID
+	c.nextID++
+	if err := writeFrame(c.conn, typ, id, payload); err != nil {
+		return nil, err
+	}
+	rtyp, rid, rpayload, err := readFrame(c.conn, c.maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	if rid != id {
+		return nil, fmt.Errorf("%w: response id %d for request %d", ErrProtocol, rid, id)
+	}
+	if rtyp == msgError {
+		return nil, decodeError(rpayload)
+	}
+	if rtyp != want {
+		return nil, fmt.Errorf("%w: response type %d, want %d", ErrProtocol, rtyp, want)
+	}
+	return rpayload, nil
+}
+
+// RegisterDist declares a distribution under a client-chosen id.
+func (c *Client) RegisterDist(id int, spec DistSpec) error {
+	var w codec.Writer
+	w.PutInt32(int32(id))
+	putSpec(&w, &spec)
+	_, err := c.do(msgRegisterDist, w.Bytes(), msgOK)
+	return err
+}
+
+// OpenCoupling couples two registered distributions under a
+// client-chosen coupling id.  warm reports that the daemon served the
+// schedule from its shared cache (another tenant, or an earlier
+// coupling of this one, already built it).
+func (c *Client) OpenCoupling(id, srcID, dstID int) (warm bool, elems int, err error) {
+	var w codec.Writer
+	w.PutInt32(int32(id))
+	w.PutInt32(int32(srcID))
+	w.PutInt32(int32(dstID))
+	payload, err := c.do(msgOpenCoupling, w.Bytes(), msgCouplingReady)
+	if err != nil {
+		return false, 0, err
+	}
+	r := codec.NewReader(payload)
+	return r.Int32() != 0, int(r.Int64()), nil
+}
+
+// Move executes one seed-filled move on an open coupling.
+func (c *Client) Move(id, kind int, seed int64) (MoveStats, error) {
+	return c.move(id, kind, seed, nil, false)
+}
+
+// MoveData is Move but also returns the landing side's global values.
+func (c *Client) MoveData(id, kind int, seed int64) (MoveStats, error) {
+	return c.move(id, kind, seed, nil, true)
+}
+
+// MovePayload executes a move whose sending side is filled from
+// explicit global values (length elems × words, position-major).
+func (c *Client) MovePayload(id, kind int, values []float64, wantData bool) (MoveStats, error) {
+	return c.move(id, kind, 0, values, wantData)
+}
+
+func (c *Client) move(id, kind int, seed int64, values []float64, wantData bool) (MoveStats, error) {
+	flags := 0
+	if wantData {
+		flags |= flagWantData
+	}
+	if values != nil {
+		flags |= flagHasPayload
+	}
+	var w codec.Writer
+	w.PutInt32(int32(id))
+	w.PutInt32(int32(kind))
+	w.PutInt64(seed)
+	w.PutInt32(int32(flags))
+	if values != nil {
+		w.PutFloat64s(values)
+	}
+	payload, err := c.do(msgMove, w.Bytes(), msgMoveDone)
+	if err != nil {
+		return MoveStats{}, err
+	}
+	r := codec.NewReader(payload)
+	st := MoveStats{
+		Hash:  uint64(r.Int64()),
+		Elems: int(r.Int64()),
+		Cost:  r.Float64(),
+	}
+	if data := r.Float64s(); len(data) > 0 {
+		st.Data = data
+	}
+	return st, nil
+}
+
+// CloseCoupling releases an open coupling (the daemon keeps its
+// schedule cached for future tenants).
+func (c *Client) CloseCoupling(id int) error {
+	var w codec.Writer
+	w.PutInt32(int32(id))
+	_, err := c.do(msgCloseCoupling, w.Bytes(), msgOK)
+	return err
+}
+
+// Stats fetches the daemon's counters and gauges.
+func (c *Client) Stats() (map[string]float64, error) {
+	payload, err := c.do(msgStats, nil, msgStatsReply)
+	if err != nil {
+		return nil, err
+	}
+	r := codec.NewReader(payload)
+	n := int(r.Int32())
+	out := make(map[string]float64, n)
+	for i := 0; i < n; i++ {
+		name := r.String()
+		out[name] = r.Float64()
+	}
+	return out, nil
+}
+
+// Close says goodbye and drops the connection.
+func (c *Client) Close() error {
+	_, err := c.do(msgBye, nil, msgOK)
+	c.conn.Close()
+	return err
+}

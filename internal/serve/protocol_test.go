@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"metachaos/internal/codec"
+)
+
+func TestDistSpecValidate(t *testing.T) {
+	good := []DistSpec{
+		{Library: "hpfrt", Layout: "blockvec", Shape: []int{64}, Procs: 4},
+		{Library: "hpfrt", Layout: "rowblock", Shape: []int{8, 8}, Procs: 2},
+		{Library: "mbparti", Layout: "blockvec", Shape: []int{64}, Procs: 4},
+		{Library: "mbparti", Layout: "block2d", Shape: []int{8, 8}, Procs: 4},
+		{Library: "pcxxrt", Layout: "roundrobin", Shape: []int{30}, Procs: 3, ElemWords: 4},
+	}
+	for _, d := range good {
+		if err := d.validate(8); err != nil {
+			t.Errorf("%s: %v", d.Key(), err)
+		}
+	}
+	bad := []struct {
+		spec DistSpec
+		want error
+	}{
+		{DistSpec{Library: "hpfrt", Layout: "blockvec", Shape: []int{64}, Procs: 0}, ErrBadSpec},
+		{DistSpec{Library: "hpfrt", Layout: "blockvec", Shape: []int{64}, Procs: 99}, ErrTooLarge},
+		{DistSpec{Library: "hpfrt", Layout: "blockvec", Shape: []int{0}, Procs: 1}, ErrBadSpec},
+		{DistSpec{Library: "hpfrt", Layout: "block2d", Shape: []int{8, 8}, Procs: 4}, ErrBadSpec},
+		{DistSpec{Library: "hpfrt", Layout: "rowblock", Shape: []int{8}, Procs: 2}, ErrBadSpec},
+		{DistSpec{Library: "mbparti", Layout: "rowblock", Shape: []int{8, 8}, Procs: 2}, ErrBadSpec},
+		{DistSpec{Library: "pcxxrt", Layout: "blockvec", Shape: []int{8}, Procs: 2}, ErrBadSpec},
+		{DistSpec{Library: "fortranrt", Layout: "blockvec", Shape: []int{8}, Procs: 2}, ErrBadSpec},
+		{DistSpec{Library: "hpfrt", Layout: "cyclic", Shape: []int{8}, Procs: 2}, ErrBadSpec},
+		{DistSpec{Library: "hpfrt", Layout: "blockvec", Shape: []int{8}, Procs: 2, ElemWords: 2}, ErrBadSpec},
+		{DistSpec{Library: "pcxxrt", Layout: "roundrobin", Shape: []int{8}, Procs: 2, ElemWords: 99}, ErrBadSpec},
+		{DistSpec{Library: "hpfrt", Layout: "blockvec", Shape: []int{2}, Procs: 4}, ErrBadSpec},
+	}
+	for _, c := range bad {
+		if err := c.spec.validate(8); !errors.Is(err, c.want) {
+			t.Errorf("%+v: %v, want %v", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestValidatePair(t *testing.T) {
+	vec := DistSpec{Library: "hpfrt", Layout: "blockvec", Shape: []int{64}, Procs: 4}
+	mat := DistSpec{Library: "mbparti", Layout: "block2d", Shape: []int{8, 8}, Procs: 2}
+	if err := validatePair(&vec, &mat); err != nil {
+		t.Errorf("64-elem vector to 8x8 matrix should couple: %v", err)
+	}
+	short := DistSpec{Library: "hpfrt", Layout: "blockvec", Shape: []int{32}, Procs: 4}
+	if err := validatePair(&vec, &short); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("element-count mismatch: %v, want ErrBadSpec", err)
+	}
+	wide := DistSpec{Library: "pcxxrt", Layout: "roundrobin", Shape: []int{64}, Procs: 4, ElemWords: 2}
+	if err := validatePair(&vec, &wide); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("element-type mismatch: %v, want ErrBadSpec", err)
+	}
+}
+
+func TestSpecWireRoundTrip(t *testing.T) {
+	in := DistSpec{Library: "pcxxrt", Layout: "roundrobin", Shape: []int{120}, Procs: 3, ElemWords: 2}
+	var w codec.Writer
+	putSpec(&w, &in)
+	out := readSpec(codec.NewReader(w.Bytes()))
+	if out.Key() != in.Key() {
+		t.Errorf("round trip changed the key: %s -> %s", in.Key(), out.Key())
+	}
+}
+
+// TestPairKeyCanonical pins the cache-key contract: identical
+// declarations produce identical keys, and any differing field (the
+// ones that change the schedule) produces a different key.
+func TestPairKeyCanonical(t *testing.T) {
+	a := DistSpec{Library: "hpfrt", Layout: "blockvec", Shape: []int{64}, Procs: 4}
+	b := DistSpec{Library: "mbparti", Layout: "blockvec", Shape: []int{64}, Procs: 2}
+	base := PairKey(&a, &b)
+	if base != PairKey(&a, &b) {
+		t.Fatal("identical pairs produced different keys")
+	}
+	variants := []DistSpec{
+		{Library: "mbparti", Layout: "blockvec", Shape: []int{64}, Procs: 4},
+		{Library: "hpfrt", Layout: "rowblock", Shape: []int{8, 8}, Procs: 4},
+		{Library: "hpfrt", Layout: "blockvec", Shape: []int{32}, Procs: 4},
+		{Library: "hpfrt", Layout: "blockvec", Shape: []int{64}, Procs: 2},
+	}
+	for _, v := range variants {
+		if PairKey(&v, &b) == base {
+			t.Errorf("variant %s collides with %s", v.Key(), a.Key())
+		}
+	}
+	if PairKey(&b, &a) == base {
+		t.Error("swapping source and destination kept the same key")
+	}
+}
+
+// TestErrorCodeRoundTrip pins the typed-error wire contract: every
+// sentinel survives encodeError/decodeError so clients can errors.Is.
+func TestErrorCodeRoundTrip(t *testing.T) {
+	sentinels := []error{
+		ErrBackpressure, ErrSessionLimit, ErrUnknownDist, ErrUnknownCoupling,
+		ErrBadSpec, ErrTooLarge, ErrShuttingDown, ErrWorldFailed, ErrLimit,
+	}
+	for _, s := range sentinels {
+		wrapped := decodeError(encodeError(s))
+		if !errors.Is(wrapped, s) {
+			t.Errorf("sentinel %v did not survive the wire: %v", s, wrapped)
+		}
+	}
+	// An unclassified error degrades to ErrBadSpec, never to silence.
+	if !errors.Is(decodeError(encodeError(errors.New("mystery"))), ErrBadSpec) {
+		t.Error("unclassified error lost its typed fallback")
+	}
+}

@@ -1,0 +1,311 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"metachaos/internal/obs"
+)
+
+// Limits on what one daemon will host, beyond which admission control
+// answers with typed errors instead of degrading.
+const (
+	defaultMaxSessions = 16
+	defaultMaxInflight = 64
+	defaultMaxBatch    = 16
+	defaultFlush       = 2 * time.Millisecond
+	defaultMaxProcs    = 8
+	defaultMaxDists    = 64
+	defaultMaxCpls     = 32
+	// maxElems bounds a single distribution's global element count so a
+	// tenant cannot make the resident world allocate unboundedly.
+	maxElems = 1 << 20
+)
+
+// Options configures a Server; zero values take the defaults above.
+type Options struct {
+	// MaxSessions caps concurrently connected tenants (ErrSessionLimit).
+	MaxSessions int
+	// MaxInflight caps moves executing or queued across every tenant;
+	// excess moves are refused with ErrBackpressure, never queued.
+	MaxInflight int
+	// MaxBatch caps tenant ops coalesced into one world broadcast.
+	MaxBatch int
+	// FlushWindow is how long the dispatcher holds a batch open for
+	// more ops.  Negative disables batching (every op ships alone);
+	// zero takes the default.
+	FlushWindow time.Duration
+	// MaxFrame bounds a request frame's payload bytes.
+	MaxFrame int
+	// MaxProcs caps the per-side process count of a registered
+	// distribution (and with it the size of resident worlds).
+	MaxProcs int
+	// MaxDists and MaxCouplings are per-session registration budgets.
+	MaxDists     int
+	MaxCouplings int
+	// Logf, when set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxSessions == 0 {
+		out.MaxSessions = defaultMaxSessions
+	}
+	if out.MaxInflight == 0 {
+		out.MaxInflight = defaultMaxInflight
+	}
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = defaultMaxBatch
+	}
+	if out.FlushWindow == 0 {
+		out.FlushWindow = defaultFlush
+	}
+	if out.FlushWindow < 0 {
+		out.FlushWindow = 0
+	}
+	if out.MaxFrame <= 0 {
+		out.MaxFrame = DefaultMaxFrame
+	}
+	if out.MaxProcs == 0 {
+		out.MaxProcs = defaultMaxProcs
+	}
+	if out.MaxDists == 0 {
+		out.MaxDists = defaultMaxDists
+	}
+	if out.MaxCouplings == 0 {
+		out.MaxCouplings = defaultMaxCpls
+	}
+	return out
+}
+
+// Server is the coupling daemon: an accept loop, a session handler per
+// connection, and a resident world per coupling shape.
+type Server struct {
+	opts Options
+
+	mu         sync.Mutex
+	ln         net.Listener
+	sessions   map[*session]struct{}
+	runners    map[worldKey]*runner
+	nextHandle int64
+	inflight   int
+	closed     bool
+	metrics    *obs.Metrics
+
+	wg sync.WaitGroup
+}
+
+// NewServer builds a server; call Serve or ListenAndServe to run it.
+func NewServer(opts Options) *Server {
+	return &Server{
+		opts:     opts.withDefaults(),
+		sessions: make(map[*session]struct{}),
+		runners:  make(map[worldKey]*runner),
+		metrics:  obs.NewMetrics(),
+	}
+}
+
+// ListenAndServe listens on network ("tcp" or "unix") and address and
+// runs the accept loop until Close.
+func (s *Server) ListenAndServe(network, addr string) error {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve runs the accept loop on ln until Close; it returns nil after a
+// clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrShuttingDown
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.logf("serve: listening on %s %s", ln.Addr().Network(), ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		sess, admit := s.admit(conn)
+		if !admit {
+			// Tell the refused client why before hanging up.
+			s.count("serve_session_refused_total", 1)
+			writeFrame(conn, msgError, 0, encodeError(fmt.Errorf("%w: %d sessions connected", ErrSessionLimit, s.opts.MaxSessions)))
+			conn.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sess.serve()
+		}()
+	}
+}
+
+// Addr returns the listener address once Serve is running.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// admit registers a new session unless the server is full or closing.
+func (s *Server) admit(conn net.Conn) (*session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.sessions) >= s.opts.MaxSessions {
+		return nil, false
+	}
+	sess := newSession(s, conn)
+	s.sessions[sess] = struct{}{}
+	s.metrics.Counter("serve_sessions_total").Inc()
+	s.metrics.Gauge("serve_sessions").Set(float64(len(s.sessions)))
+	return sess, true
+}
+
+// drop unregisters a finished session.
+func (s *Server) drop(sess *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, sess)
+	s.metrics.Gauge("serve_sessions").Set(float64(len(s.sessions)))
+}
+
+// Close stops the accept loop, closes every session connection, shuts
+// down the resident worlds and waits for everything to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	var conns []net.Conn
+	for sess := range s.sessions {
+		conns = append(conns, sess.conn)
+	}
+	var rs []*runner
+	for _, r := range s.runners {
+		rs = append(rs, r)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	for _, r := range rs {
+		r.stop()
+	}
+	s.logf("serve: shut down")
+	return nil
+}
+
+// runnerFor returns the resident world serving key, starting it (or
+// replacing a failed one) as needed.
+func (s *Server) runnerFor(key worldKey) (*runner, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrShuttingDown
+	}
+	if r, ok := s.runners[key]; ok && !r.failed() {
+		return r, nil
+	}
+	r := newRunner(key, s.opts.FlushWindow, s.opts.MaxBatch)
+	r.onBatch = func(ops int) {
+		s.mu.Lock()
+		s.metrics.Counter("serve_batches_total").Inc()
+		s.metrics.Counter("serve_batched_ops_total").Add(int64(ops))
+		s.mu.Unlock()
+	}
+	s.runners[key] = r
+	s.metrics.Counter("serve_worlds_total").Inc()
+	s.metrics.Gauge("serve_worlds").Set(float64(len(s.runners)))
+	s.logf("serve: resident world %dx%d started", key.srcProcs, key.dstProcs)
+	return r, nil
+}
+
+// handle allocates a globally unique coupling handle.
+func (s *Server) handle() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextHandle++
+	return s.nextHandle
+}
+
+// tryAcquire is move admission control: it claims one in-flight slot
+// or reports backpressure.
+func (s *Server) tryAcquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight >= s.opts.MaxInflight {
+		s.metrics.Counter("serve_backpressure_total").Inc()
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+// release returns an in-flight slot.
+func (s *Server) release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight--
+}
+
+// count bumps a named counter (obs instruments are not atomic, so all
+// access goes through the server mutex).
+func (s *Server) count(name string, n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics.Counter(name).Add(n)
+}
+
+// Stats snapshots the server's counters and gauges, plus the derived
+// schedule-cache hit rate over coupling opens.
+func (s *Server) Stats() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64)
+	for _, name := range s.metrics.CounterNames() {
+		out[name] = float64(s.metrics.Counter(name).Value())
+	}
+	for _, name := range s.metrics.GaugeNames() {
+		if v, ok := s.metrics.Gauge(name).Value(); ok {
+			out[name] = v
+		}
+	}
+	opens := out["serve_opens_total"]
+	if opens > 0 {
+		out["serve_cache_hit_rate"] = out["serve_open_warm_total"] / opens
+	}
+	return out
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}

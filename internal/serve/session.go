@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+
+	"metachaos/internal/codec"
+)
+
+// session is one connected tenant: a sequential request loop over the
+// connection.  Requests from one tenant execute in order; concurrency
+// comes from many sessions feeding the shared resident worlds, whose
+// dispatchers batch the cross-tenant traffic.
+type session struct {
+	srv    *Server
+	conn   net.Conn
+	tenant string
+	dists  map[int32]*DistSpec
+	cpls   map[int32]*liveCoupling
+}
+
+// liveCoupling is one open coupling of this session.
+type liveCoupling struct {
+	r      *runner
+	handle int64
+	elems  int
+	words  int
+}
+
+func newSession(s *Server, conn net.Conn) *session {
+	return &session{
+		srv:   s,
+		conn:  conn,
+		dists: make(map[int32]*DistSpec),
+		cpls:  make(map[int32]*liveCoupling),
+	}
+}
+
+// serve runs the session to completion.
+func (ss *session) serve() {
+	defer ss.srv.drop(ss)
+	defer ss.conn.Close()
+	defer ss.closeAll()
+	for {
+		typ, id, payload, err := readFrame(ss.conn, ss.srv.opts.MaxFrame)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				// Best-effort: a malformed frame gets one explanation
+				// before the connection drops.
+				writeFrame(ss.conn, msgError, 0, encodeError(err))
+			}
+			return
+		}
+		rtyp, rpayload, err := ss.handle(typ, payload)
+		if err != nil {
+			rtyp, rpayload = msgError, encodeError(err)
+		}
+		if werr := writeFrame(ss.conn, rtyp, id, rpayload); werr != nil {
+			return
+		}
+		if typ == msgBye {
+			ss.srv.logf("serve: tenant %q disconnected", ss.tenant)
+			return
+		}
+	}
+}
+
+// closeAll releases the session's open couplings in the resident
+// worlds (schedules stay cached for the next tenant).
+func (ss *session) closeAll() {
+	for id, lc := range ss.cpls {
+		lc.r.do(&op{cmd: cmdClose, handle: lc.handle})
+		delete(ss.cpls, id)
+	}
+}
+
+// handle dispatches one request and returns the response frame.
+func (ss *session) handle(typ byte, payload []byte) (rtyp byte, rpayload []byte, err error) {
+	defer func() {
+		// A torn payload (codec.Reader panics on truncation) is the
+		// client's fault, not grounds for killing the daemon.
+		if v := recover(); v != nil {
+			rtyp, rpayload = 0, nil
+			err = fmt.Errorf("%w: malformed request %d payload: %v", ErrProtocol, typ, v)
+		}
+	}()
+	switch typ {
+	case msgHello:
+		return ss.hello(payload)
+	case msgRegisterDist:
+		return ss.registerDist(payload)
+	case msgOpenCoupling:
+		return ss.openCoupling(payload)
+	case msgMove:
+		return ss.move(payload)
+	case msgCloseCoupling:
+		return ss.closeCoupling(payload)
+	case msgStats:
+		return ss.stats()
+	case msgBye:
+		return msgOK, nil, nil
+	}
+	return 0, nil, fmt.Errorf("%w: unknown request type %d", ErrProtocol, typ)
+}
+
+func (ss *session) hello(payload []byte) (byte, []byte, error) {
+	r := codec.NewReader(payload)
+	tenant := r.String()
+	version := r.Int32()
+	if version != protoVersion {
+		return 0, nil, fmt.Errorf("%w: client speaks protocol %d, server %d", ErrProtocol, version, protoVersion)
+	}
+	ss.tenant = tenant
+	ss.srv.logf("serve: tenant %q connected", tenant)
+	var w codec.Writer
+	w.PutInt32(protoVersion)
+	w.PutString("mcserved")
+	w.PutString("sp2")
+	return msgWelcome, w.Bytes(), nil
+}
+
+func (ss *session) registerDist(payload []byte) (byte, []byte, error) {
+	r := codec.NewReader(payload)
+	id := r.Int32()
+	spec := readSpec(r)
+	if err := spec.validate(ss.srv.opts.MaxProcs); err != nil {
+		return 0, nil, err
+	}
+	if spec.elems() > maxElems {
+		return 0, nil, fmt.Errorf("%w: %d elements exceeds the %d-element cap", ErrTooLarge, spec.elems(), maxElems)
+	}
+	if _, exists := ss.dists[id]; !exists && len(ss.dists) >= ss.srv.opts.MaxDists {
+		return 0, nil, fmt.Errorf("%w: %d distributions registered", ErrLimit, len(ss.dists))
+	}
+	ss.dists[id] = &spec
+	return msgOK, nil, nil
+}
+
+func (ss *session) openCoupling(payload []byte) (byte, []byte, error) {
+	r := codec.NewReader(payload)
+	id := r.Int32()
+	src, ok := ss.dists[r.Int32()]
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: source distribution not registered", ErrUnknownDist)
+	}
+	dst, ok := ss.dists[r.Int32()]
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: destination distribution not registered", ErrUnknownDist)
+	}
+	if err := validatePair(src, dst); err != nil {
+		return 0, nil, err
+	}
+	if _, exists := ss.cpls[id]; exists {
+		return 0, nil, fmt.Errorf("%w: coupling %d is already open", ErrBadSpec, id)
+	}
+	if len(ss.cpls) >= ss.srv.opts.MaxCouplings {
+		return 0, nil, fmt.Errorf("%w: %d couplings open", ErrLimit, len(ss.cpls))
+	}
+	run, err := ss.srv.runnerFor(worldKey{srcProcs: src.Procs, dstProcs: dst.Procs})
+	if err != nil {
+		return 0, nil, err
+	}
+	o := &op{cmd: cmdOpen, handle: ss.srv.handle(), src: *src, dst: *dst}
+	rep, err := run.do(o)
+	if err != nil {
+		return 0, nil, err
+	}
+	ss.cpls[id] = &liveCoupling{r: run, handle: o.handle, elems: rep.elems, words: src.words()}
+	ss.srv.count("serve_opens_total", 1)
+	if rep.warm {
+		ss.srv.count("serve_open_warm_total", 1)
+	}
+	var w codec.Writer
+	warm := int32(0)
+	if rep.warm {
+		warm = 1
+	}
+	w.PutInt32(warm)
+	w.PutInt64(int64(rep.elems))
+	return msgCouplingReady, w.Bytes(), nil
+}
+
+func (ss *session) move(payload []byte) (byte, []byte, error) {
+	r := codec.NewReader(payload)
+	id := r.Int32()
+	kind := int(r.Int32())
+	seed := r.Int64()
+	flags := int(r.Int32())
+	var values []float64
+	if flags&flagHasPayload != 0 {
+		values = r.Float64s()
+	}
+	lc, ok := ss.cpls[id]
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: coupling %d is not open", ErrUnknownCoupling, id)
+	}
+	if kind != OpMove && kind != OpMoveAdd && kind != OpMoveReverse {
+		return 0, nil, fmt.Errorf("%w: move kind %d", ErrBadSpec, kind)
+	}
+	if values != nil && len(values) != lc.elems*lc.words {
+		return 0, nil, fmt.Errorf("%w: payload has %d values, coupling moves %d",
+			ErrBadSpec, len(values), lc.elems*lc.words)
+	}
+	if !ss.srv.tryAcquire() {
+		return 0, nil, fmt.Errorf("%w: %d moves in flight", ErrBackpressure, ss.srv.opts.MaxInflight)
+	}
+	defer ss.srv.release()
+	rep, err := lc.r.do(&op{
+		cmd: cmdMove, handle: lc.handle,
+		moveKind: kind, seed: seed, flags: flags, payload: values,
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	ss.srv.count("serve_moves_total", 1)
+	var w codec.Writer
+	w.PutInt64(int64(rep.hash))
+	w.PutInt64(int64(rep.elems))
+	w.PutFloat64(rep.cost)
+	w.PutFloat64s(rep.data)
+	return msgMoveDone, w.Bytes(), nil
+}
+
+func (ss *session) closeCoupling(payload []byte) (byte, []byte, error) {
+	id := codec.NewReader(payload).Int32()
+	lc, ok := ss.cpls[id]
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: coupling %d is not open", ErrUnknownCoupling, id)
+	}
+	delete(ss.cpls, id)
+	if _, err := lc.r.do(&op{cmd: cmdClose, handle: lc.handle}); err != nil {
+		return 0, nil, err
+	}
+	return msgOK, nil, nil
+}
+
+func (ss *session) stats() (byte, []byte, error) {
+	stats := ss.srv.Stats()
+	var w codec.Writer
+	w.PutInt32(int32(len(stats)))
+	for _, name := range sortedKeys(stats) {
+		w.PutString(name)
+		w.PutFloat64(stats[name])
+	}
+	return msgStatsReply, w.Bytes(), nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,64 @@
+package serve
+
+import "fmt"
+
+// ScriptOp is one move in a coupling's replayable op sequence.
+type ScriptOp struct {
+	// Kind is OpMove, OpMoveAdd or OpMoveReverse.
+	Kind int
+	// Seed drives the deterministic fill of the sending side (ignored
+	// when Payload is set).
+	Seed int64
+	// Payload, when non-nil, fills the sending side with explicit
+	// global values (length elems × words, position-major).
+	Payload []float64
+	// WantData returns the landing side's global values in the result.
+	WantData bool
+}
+
+// Standalone executes one tenant's coupling script on a private,
+// freshly built world — the same resident-world machinery with no
+// server, no other tenants and no batching — and returns one MoveStats
+// per op.  Because daemon execution broadcasts the identical command
+// stream into an identically shaped world, the hashes here are the
+// bit-identical reference for what a tenant must observe through
+// mcserved, whatever multiplexing happened around it.
+func Standalone(src, dst DistSpec, ops []ScriptOp) ([]MoveStats, error) {
+	if err := src.validate(0); err != nil {
+		return nil, fmt.Errorf("source: %w", err)
+	}
+	if err := dst.validate(0); err != nil {
+		return nil, fmt.Errorf("destination: %w", err)
+	}
+	if err := validatePair(&src, &dst); err != nil {
+		return nil, err
+	}
+	r := newRunner(worldKey{srcProcs: src.Procs, dstProcs: dst.Procs}, 0, 1)
+	defer r.stop()
+	const handle = 1
+	if _, err := r.do(&op{cmd: cmdOpen, handle: handle, src: src, dst: dst}); err != nil {
+		return nil, err
+	}
+	out := make([]MoveStats, 0, len(ops))
+	for _, so := range ops {
+		flags := 0
+		if so.WantData {
+			flags |= flagWantData
+		}
+		if so.Payload != nil {
+			flags |= flagHasPayload
+		}
+		rep, err := r.do(&op{
+			cmd: cmdMove, handle: handle,
+			moveKind: so.Kind, seed: so.Seed, flags: flags, payload: so.Payload,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MoveStats{Hash: rep.hash, Elems: rep.elems, Cost: rep.cost, Data: rep.data})
+	}
+	if _, err := r.do(&op{cmd: cmdClose, handle: handle}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

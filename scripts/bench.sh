@@ -32,3 +32,18 @@ fi
 		-benchtime 3x -cpu 1,2,4 .
 } | tee /dev/stderr | go run ./cmd/mcbench > "$out"
 echo "wrote $out" >&2
+
+# Attach a coupling-service load summary to the snapshot: run mcserved
+# on a throwaway unix socket, drive it with a pinned-seed verified
+# mcload pass, and merge the summary into the JSON just written.
+sock="$(mktemp -u /tmp/mcserved.bench.XXXXXX.sock)"
+go build -o /tmp/mcserved.bench ./cmd/mcserved
+go build -o /tmp/mcload.bench ./cmd/mcload
+/tmp/mcserved.bench -addr "$sock" -quiet &
+served=$!
+trap 'kill "$served" 2>/dev/null || true; rm -f "$sock"' EXIT
+for _ in $(seq 50); do [ -S "$sock" ] && break; sleep 0.1; done
+/tmp/mcload.bench -addr "$sock" -tenants 4 -moves 48 -seed 1 -check \
+	-snapshot "$out" >&2
+kill "$served" 2>/dev/null
+wait "$served" 2>/dev/null || true

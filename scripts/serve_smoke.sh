@@ -1,0 +1,48 @@
+#!/bin/sh
+# Coupling-service smoke test: boot mcserved on a throwaway unix
+# socket, drive it with a pinned-seed mcload run that replays every
+# tenant's op sequence through serve.Standalone (bit-identical hashes
+# required), and assert the cross-tenant schedule cache actually got
+# hits.  Everything is pinned, so a failure reproduces locally with
+# exactly this script.
+#
+# Usage: scripts/serve_smoke.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+sock="$(mktemp -u /tmp/mcserved.smoke.XXXXXX.sock)"
+summary="$(mktemp /tmp/mcload.smoke.XXXXXX.json)"
+
+go build -o /tmp/mcserved.smoke ./cmd/mcserved
+go build -o /tmp/mcload.smoke ./cmd/mcload
+
+/tmp/mcserved.smoke -network unix -addr "$sock" &
+served=$!
+trap 'kill "$served" 2>/dev/null || true; rm -f "$sock" "$summary"' EXIT
+for _ in $(seq 50); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "serve_smoke: daemon never came up" >&2; exit 1; }
+
+# Steady profile: tenants hold couplings open and stream moves.
+/tmp/mcload.smoke -network unix -addr "$sock" \
+	-tenants 4 -moves 32 -seed 20260809 -profile steady -check \
+	-json > "$summary"
+cat "$summary" >&2
+
+# Churn profile: couplings close and reopen per move, exercising warm
+# reopens and fresh-object semantics under the same verification.
+/tmp/mcload.smoke -network unix -addr "$sock" \
+	-tenants 3 -moves 18 -seed 20260809 -profile churn -check >&2
+
+# The steady run's summary must show verified hashes and real schedule
+# reuse: with 4 tenants declaring the same 3 catalog pairs, most opens
+# must come out of the shared cache.
+grep -q '"verified": true' "$summary" || {
+	echo "serve_smoke: summary does not say verified" >&2; exit 1; }
+hit=$(sed -n 's/.*"cache_hit_rate": \([0-9.]*\).*/\1/p' "$summary")
+case "$hit" in
+""|0|0.0) echo "serve_smoke: cache hit rate is $hit, want > 0" >&2; exit 1 ;;
+esac
+
+kill "$served" 2>/dev/null
+wait "$served" 2>/dev/null || true
+echo "serve_smoke: OK (cache hit rate $hit, hashes verified)" >&2
