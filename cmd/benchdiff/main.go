@@ -29,6 +29,8 @@ func main() {
 	baseline := flag.String("baseline", "", "committed baseline snapshot (required)")
 	filter := flag.String("filter", "Table5|MovePack|MoveOverlap", "regexp naming the gated benchmarks")
 	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional ns/op growth before failing")
+	zeroAlloc := flag.String("zero-alloc", "MovePack$|MoveOverlap$",
+		"regexp naming benchmarks whose allocs/op must be exactly 0 (the pooled data plane's hard gate); empty disables")
 	flag.Parse()
 
 	if *baseline == "" {
@@ -39,6 +41,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: bad -filter: %v\n", err)
 		os.Exit(2)
+	}
+	var zeroMatch *regexp.Regexp
+	if *zeroAlloc != "" {
+		if zeroMatch, err = regexp.Compile(*zeroAlloc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: bad -zero-alloc: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	base, err := benchfmt.ReadFile(*baseline)
 	if err != nil {
@@ -105,13 +114,39 @@ func main() {
 	for _, name := range d.Missing {
 		fmt.Printf("  %-28s MISSING from current run\n", name)
 	}
-	if !d.OK() {
+	// The pooled-move benchmarks carry a hard absolute gate on top of
+	// the baseline diff: steady-state moves must allocate NOTHING.  A
+	// baseline recorded with a leak must not grandfather it in.
+	var zeroViolations []string
+	if zeroMatch != nil {
+		matched := false
+		for name, r := range cur.Best() {
+			if !zeroMatch.MatchString(name) {
+				continue
+			}
+			matched = true
+			if r.AllocsPerOp != 0 {
+				zeroViolations = append(zeroViolations,
+					fmt.Sprintf("%s: allocs/op = %v, want exactly 0 (zero-alloc gate)", name, r.AllocsPerOp))
+			} else {
+				fmt.Printf("  %-28s allocs/op 0 (zero-alloc gate ok)\n", name)
+			}
+		}
+		if !matched {
+			zeroViolations = append(zeroViolations,
+				fmt.Sprintf("no current benchmark matches -zero-alloc %q — an empty gate gates nothing", *zeroAlloc))
+		}
+	}
+	if !d.OK() || len(zeroViolations) > 0 {
 		fmt.Println("FAIL: performance regressions:")
 		for _, g := range d.Regressions {
 			fmt.Printf("  %s\n", g)
 		}
 		for _, name := range d.Missing {
 			fmt.Printf("  %s: gated benchmark missing from current run\n", name)
+		}
+		for _, v := range zeroViolations {
+			fmt.Printf("  %s\n", v)
 		}
 		os.Exit(1)
 	}

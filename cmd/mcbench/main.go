@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"metachaos/internal/benchfmt"
 )
@@ -31,6 +32,24 @@ func main() {
 	// (or with a pinned MPSIM_SHARDS) must say so.
 	rep.HostCPUs = runtime.NumCPU()
 	rep.MpsimShards = os.Getenv("MPSIM_SHARDS")
+	// On a single-CPU host a -cpu sweep oversubscribes one core, so any
+	// speedup@N ratio is scheduler noise, not parallel speedup: drop the
+	// metric and record why instead of recording a misleading number.
+	if rep.HostCPUs == 1 {
+		dropped := false
+		for _, r := range rep.Results {
+			for unit := range r.Metrics {
+				if strings.HasPrefix(unit, "speedup@") {
+					delete(r.Metrics, unit)
+					dropped = true
+				}
+			}
+		}
+		if dropped {
+			rep.Notes = append(rep.Notes,
+				"single-cpu host: speedup@N metrics omitted (a -cpu sweep on one core measures oversubscription, not parallel speedup)")
+		}
+	}
 	if err := rep.Write(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
 		os.Exit(1)

@@ -15,7 +15,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -69,6 +71,9 @@ type tenantResult struct {
 	retries   int64
 	err       error
 	instances []*instance
+	// costs is the daemon leader's virtual-time cost of each move, in
+	// execution order; the summary folds them into percentiles.
+	costs []float64
 }
 
 func main() {
@@ -137,6 +142,9 @@ func main() {
 		Backpressure: backpressure,
 		Verified:     verified,
 	}
+	for t := range results {
+		sum.MoveLatency = append(sum.MoveLatency, tenantLatency(t, results[t].costs))
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -144,6 +152,10 @@ func main() {
 	} else {
 		fmt.Printf("mcload: tenants=%d couplings=%d moves=%d moves/sec=%.1f cache_hit_rate=%.2f backpressure=%d verified=%v\n",
 			sum.Tenants, sum.Couplings, sum.Moves, sum.MovesPerSec, sum.CacheHitRate, sum.Backpressure, sum.Verified)
+		for _, tl := range sum.MoveLatency {
+			fmt.Printf("mcload: tenant %d move latency (vsec): p50=%.6f p95=%.6f p99=%.6f over %d moves\n",
+				tl.Tenant, tl.P50, tl.P95, tl.P99, tl.Moves)
+		}
 	}
 	if *snapshot != "" {
 		if err := mergeSnapshot(*snapshot, &sum); err != nil {
@@ -213,6 +225,7 @@ func runTenant(t int, network, addr string, couplings, moves int, seed int64, pr
 			return res
 		}
 		res.moves++
+		res.costs = append(res.costs, st.Cost)
 		inst.ops = append(inst.ops, serve.ScriptOp{Kind: kind, Seed: mseed})
 		inst.hashes = append(inst.hashes, st.Hash)
 		if profile == "churn" {
@@ -259,6 +272,26 @@ func verify(results []tenantResult) error {
 		}
 	}
 	return nil
+}
+
+// tenantLatency folds one tenant's per-move virtual-time costs into
+// nearest-rank percentiles.
+func tenantLatency(t int, costs []float64) benchfmt.TenantMoveLatency {
+	tl := benchfmt.TenantMoveLatency{Tenant: t, Moves: int64(len(costs))}
+	if len(costs) == 0 {
+		return tl
+	}
+	sorted := append([]float64(nil), costs...)
+	sort.Float64s(sorted)
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	tl.P50, tl.P95, tl.P99 = rank(0.50), rank(0.95), rank(0.99)
+	return tl
 }
 
 // fetchStats reads the daemon's cache hit rate and backpressure count.

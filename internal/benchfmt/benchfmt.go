@@ -40,9 +40,13 @@ type Report struct {
 	// MPSIM_SHARDS setting in effect ("" = automatic resolution).
 	// cmd/benchdiff prints them so snapshots from different hosts are
 	// comparable at a glance.
-	HostCPUs    int      `json:"host_cpus,omitempty"`
-	MpsimShards string   `json:"mpsim_shards,omitempty"`
-	Results     []Result `json:"results"`
+	HostCPUs    int    `json:"host_cpus,omitempty"`
+	MpsimShards string `json:"mpsim_shards,omitempty"`
+	// Notes are free-form annotations about how the snapshot was
+	// recorded (e.g. "single-cpu host: parallel speedup not measured").
+	// Diff ignores them.
+	Notes   []string `json:"notes,omitempty"`
+	Results []Result `json:"results"`
 	// Serve, when present, is the coupling-service load summary the
 	// snapshot was recorded with (cmd/mcload -snapshot).  It rides
 	// along as metadata: Diff ignores it.
@@ -70,6 +74,23 @@ type ServeSummary struct {
 	// Verified is true when every tenant's result hashes matched a
 	// standalone replay of its coupling scripts.
 	Verified bool `json:"verified"`
+	// MoveLatency is each tenant's virtual-time move-latency profile
+	// (the daemon leader's per-op cost, serve.MoveStats.Cost), one
+	// entry per tenant in tenant order.
+	MoveLatency []TenantMoveLatency `json:"move_latency,omitempty"`
+}
+
+// TenantMoveLatency summarizes one tenant's move latencies in virtual
+// seconds: nearest-rank percentiles over the daemon-reported cost of
+// every move the tenant executed.  Virtual time makes the numbers
+// host-independent — two snapshots disagree here only if scheduling or
+// batching actually changed.
+type TenantMoveLatency struct {
+	Tenant int     `json:"tenant"`
+	Moves  int64   `json:"moves"`
+	P50    float64 `json:"p50_vsec"`
+	P95    float64 `json:"p95_vsec"`
+	P99    float64 `json:"p99_vsec"`
 }
 
 // ParseGotest reads `go test -bench -benchmem` text output.  Repeated

@@ -1,0 +1,319 @@
+// Package bufpool is the zero-copy data plane's memory discipline: a
+// fixed-size-class buffer pool handing out refcounted segments, and a
+// scatter-gather Payload that mixes pooled segments with borrowed
+// views, so a message can reference source storage directly instead of
+// being packed into a flat buffer.  The design follows the DPDK
+// mempool + mbuf-chain idiom: fixed classes make recycling O(1), and
+// reference counts let a retransmitting transport, a receive queue,
+// and the original sender share one set of bytes without copying.
+//
+// Ownership rules (see DESIGN.md, "Zero-copy data plane"):
+//
+//   - A Segment or Payload starts with one reference, owned by the
+//     caller of GetSegment/GetPayload.  Retain adds a reference,
+//     Release drops one; the last Release returns the object to the
+//     pool for reuse.  Releasing below zero panics.
+//   - Bytes added with AddView are borrowed: whoever adds the view
+//     guarantees they stay valid and immutable until the payload's
+//     last reference is released or the payload is materialized.
+//   - Materialize severs every borrow by collapsing the payload into
+//     one pooled segment holding a copy of the bytes; callers use it
+//     before mutating borrowed storage, or before handing a payload to
+//     a reader on another scheduler shard.
+//
+// A Pool is safe for concurrent use.  A Payload's reference count is
+// atomic, but its segment list must not be mutated (AddView,
+// Materialize, Release-to-zero) concurrently with readers; the data
+// plane guarantees that through the simulator's scheduling barriers.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// minClassBits..maxClassBits are the power-of-two size classes
+	// (64 B .. 4 MiB).  Larger requests get exact-size one-shot
+	// segments that are not recycled.
+	minClassBits = 6
+	maxClassBits = 22
+	numClasses   = maxClassBits - minClassBits + 1
+
+	// Freelist caps keep an idle pool's footprint bounded.
+	maxFreeSegsPerClass = 128
+	maxFreePayloads     = 1024
+)
+
+// classFor maps a byte count to its size class, or -1 for oversize.
+func classFor(n int) int {
+	if n <= 1<<minClassBits {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - minClassBits
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// Pool hands out refcounted Segments and Payloads and recycles them
+// when their last reference drops.  The live counters track objects
+// handed out and not yet returned, which is what the leak-check tests
+// assert back to zero.
+type Pool struct {
+	mu       sync.Mutex
+	segs     [numClasses][]*Segment
+	pays     []*Payload
+	liveSegs atomic.Int64
+	livePays atomic.Int64
+}
+
+// New returns an empty pool.
+func New() *Pool { return &Pool{} }
+
+// LiveSegments returns the number of segments handed out and not yet
+// fully released.
+func (p *Pool) LiveSegments() int64 { return p.liveSegs.Load() }
+
+// LivePayloads returns the number of payloads handed out and not yet
+// fully released.
+func (p *Pool) LivePayloads() int64 { return p.livePays.Load() }
+
+// Segment is one refcounted pooled buffer.  Its backing array is fixed
+// at the size class's capacity; callers slice Bytes() as needed.
+type Segment struct {
+	refs  atomic.Int32
+	buf   []byte
+	pool  *Pool
+	class int
+}
+
+// GetSegment returns a segment with at least n bytes of capacity and
+// one reference owned by the caller.
+func (p *Pool) GetSegment(n int) *Segment {
+	p.liveSegs.Add(1)
+	c := classFor(n)
+	if c >= 0 {
+		p.mu.Lock()
+		if l := p.segs[c]; len(l) > 0 {
+			s := l[len(l)-1]
+			p.segs[c] = l[:len(l)-1]
+			p.mu.Unlock()
+			s.refs.Store(1)
+			return s
+		}
+		p.mu.Unlock()
+		s := &Segment{pool: p, class: c, buf: make([]byte, 1<<(uint(c)+minClassBits))}
+		s.refs.Store(1)
+		return s
+	}
+	s := &Segment{pool: p, class: -1, buf: make([]byte, n)}
+	s.refs.Store(1)
+	return s
+}
+
+// Bytes returns the segment's full backing array.
+func (s *Segment) Bytes() []byte { return s.buf }
+
+// Retain adds a reference.
+func (s *Segment) Retain() { s.refs.Add(1) }
+
+// Release drops a reference; the last one returns the segment to its
+// pool.
+func (s *Segment) Release() {
+	n := s.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("bufpool: segment released below zero references")
+	}
+	p := s.pool
+	p.liveSegs.Add(-1)
+	if s.class < 0 {
+		return // oversize one-shot: let the GC take it
+	}
+	p.mu.Lock()
+	if len(p.segs[s.class]) < maxFreeSegsPerClass {
+		p.segs[s.class] = append(p.segs[s.class], s)
+	}
+	p.mu.Unlock()
+}
+
+// refs exposes the current count to the lease's idle check.
+func (s *Segment) refCount() int32 { return s.refs.Load() }
+
+// Payload is a refcounted scatter-gather byte sequence: an ordered
+// list of segments, each either a borrowed view of caller storage or a
+// slice of a pooled segment the payload holds a reference on.  It is
+// the wire representation of a message in the zero-copy data plane.
+type Payload struct {
+	refs atomic.Int32
+	pool *Pool
+	segs [][]byte
+	own  []*Segment
+	n    int
+	// materialized marks a payload whose bytes have been collapsed
+	// into pooled storage, so no borrowed views remain.
+	materialized bool
+}
+
+// GetPayload returns an empty payload with one reference owned by the
+// caller.
+func (p *Pool) GetPayload() *Payload {
+	p.livePays.Add(1)
+	p.mu.Lock()
+	if l := p.pays; len(l) > 0 {
+		pl := l[len(l)-1]
+		p.pays = l[:len(l)-1]
+		p.mu.Unlock()
+		pl.refs.Store(1)
+		return pl
+	}
+	p.mu.Unlock()
+	pl := &Payload{pool: p}
+	pl.refs.Store(1)
+	return pl
+}
+
+// Len returns the payload's total byte length.
+func (pl *Payload) Len() int { return pl.n }
+
+// Segments returns the payload's segment list, valid until the payload
+// is mutated or released.  Callers must not modify it.
+func (pl *Payload) Segments() [][]byte { return pl.segs }
+
+// Refs returns the current reference count.
+func (pl *Payload) Refs() int { return int(pl.refs.Load()) }
+
+// Materialized reports whether Materialize has run, i.e. no borrowed
+// views remain.
+func (pl *Payload) Materialized() bool { return pl.materialized }
+
+// AddView appends borrowed bytes to the payload.  The caller
+// guarantees b stays valid and immutable for the payload's lifetime.
+func (pl *Payload) AddView(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	pl.segs = append(pl.segs, b)
+	pl.n += len(b)
+}
+
+// AttachSegment transfers the caller's reference on s to the payload;
+// it adds no bytes (use AddView for the ranges of s actually used).
+func (pl *Payload) AttachSegment(s *Segment) {
+	pl.own = append(pl.own, s)
+}
+
+// Retain adds a reference.
+func (pl *Payload) Retain() { pl.refs.Add(1) }
+
+// Release drops a reference; the last one releases the payload's
+// segment references and returns it to the pool.
+func (pl *Payload) Release() {
+	n := pl.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("bufpool: payload released below zero references")
+	}
+	for _, s := range pl.own {
+		s.Release()
+	}
+	pl.own = pl.own[:0]
+	pl.segs = pl.segs[:0]
+	pl.n = 0
+	pl.materialized = false
+	p := pl.pool
+	p.livePays.Add(-1)
+	p.mu.Lock()
+	if len(p.pays) < maxFreePayloads {
+		p.pays = append(p.pays, pl)
+	}
+	p.mu.Unlock()
+}
+
+// AppendTo appends the payload's bytes to dst and returns it.
+func (pl *Payload) AppendTo(dst []byte) []byte {
+	for _, s := range pl.segs {
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// Flatten returns a fresh flat copy of the payload's bytes.
+func (pl *Payload) Flatten() []byte {
+	return pl.AppendTo(make([]byte, 0, pl.n))
+}
+
+// Materialize collapses the payload into one pooled segment holding a
+// copy of its bytes, severing every borrowed view, and returns the
+// number of bytes copied (0 when already materialized or empty).  The
+// byte sequence is unchanged, so checksums computed before still
+// match.  Only the payload's owner may call it, and not concurrently
+// with readers of the segment list.
+func (pl *Payload) Materialize() int {
+	if pl.materialized || pl.n == 0 {
+		pl.materialized = true
+		return 0
+	}
+	seg := pl.pool.GetSegment(pl.n)
+	buf := seg.Bytes()[:0]
+	for _, s := range pl.segs {
+		buf = append(buf, s...)
+	}
+	for _, s := range pl.own {
+		s.Release()
+	}
+	pl.own = append(pl.own[:0], seg)
+	pl.segs = append(pl.segs[:0], buf)
+	pl.materialized = true
+	return pl.n
+}
+
+// Lease is a per-owner cache of pooled segments for staging buffers
+// that are refilled on every use (a schedule's strided-run pack
+// staging and checksum trailers).  Acquire prefers a cached idle
+// segment — one only the lease still references — so steady-state
+// staging allocates nothing and takes no pool lock.  A lease belongs
+// to one goroutine (one simulated rank); it is not safe for concurrent
+// use.
+type Lease struct {
+	pool *Pool
+	segs []*Segment
+}
+
+// NewLease returns an empty lease on the pool.
+func (p *Pool) NewLease() *Lease { return &Lease{pool: p} }
+
+// Acquire returns a segment with at least n bytes of capacity and one
+// new reference owned by the caller (typically handed to a payload
+// with AttachSegment).  The lease keeps its own reference so the
+// segment is reused once the caller's side releases.
+func (l *Lease) Acquire(n int) *Segment {
+	for _, s := range l.segs {
+		if s.refCount() == 1 && cap(s.buf) >= n {
+			s.Retain()
+			return s
+		}
+	}
+	s := l.pool.GetSegment(n) // the lease's reference
+	s.Retain()                // the caller's reference
+	l.segs = append(l.segs, s)
+	return s
+}
+
+// Close drops the lease's cached references.  Segments still
+// referenced by in-flight payloads return to the pool when those
+// payloads release them; the lease stays usable and refills on the
+// next Acquire.
+func (l *Lease) Close() {
+	for _, s := range l.segs {
+		s.Release()
+	}
+	l.segs = l.segs[:0]
+}

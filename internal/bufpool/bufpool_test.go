@@ -1,0 +1,183 @@
+package bufpool
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// checkNoLeaks asserts every handed-out object was released.
+func checkNoLeaks(t *testing.T, p *Pool) {
+	t.Helper()
+	if n := p.LiveSegments(); n != 0 {
+		t.Fatalf("leak check: %d segments still live", n)
+	}
+	if n := p.LivePayloads(); n != 0 {
+		t.Fatalf("leak check: %d payloads still live", n)
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 0}, {1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{1 << 22, numClasses - 1}, {1<<22 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestSegmentRecycle(t *testing.T) {
+	p := New()
+	s := p.GetSegment(100)
+	if cap(s.Bytes()) < 100 {
+		t.Fatalf("segment capacity %d < requested 100", cap(s.Bytes()))
+	}
+	s.Retain()
+	s.Release()
+	if n := p.LiveSegments(); n != 1 {
+		t.Fatalf("live segments = %d before final release, want 1", n)
+	}
+	s.Release()
+	s2 := p.GetSegment(100)
+	if s2 != s {
+		t.Error("same-class segment was not recycled")
+	}
+	s2.Release()
+
+	// Oversize segments are one-shot: handed out exact-size, never
+	// recycled.
+	big := p.GetSegment(1<<22 + 1)
+	if len(big.Bytes()) != 1<<22+1 {
+		t.Fatalf("oversize segment length %d", len(big.Bytes()))
+	}
+	big.Release()
+	checkNoLeaks(t, p)
+}
+
+func TestPayloadViewsAndStaging(t *testing.T) {
+	p := New()
+	src := []byte("hello, scatter-gather world")
+	pl := p.GetPayload()
+	pl.AddView(src[:5])
+	seg := p.GetSegment(16)
+	staged := append(seg.Bytes()[:0], src[5:12]...)
+	pl.AttachSegment(seg)
+	pl.AddView(staged)
+	pl.AddView(src[12:])
+	pl.AddView(nil) // empty views are dropped
+
+	if pl.Len() != len(src) {
+		t.Fatalf("payload length %d, want %d", pl.Len(), len(src))
+	}
+	if got := pl.Flatten(); !bytes.Equal(got, src) {
+		t.Fatalf("flatten = %q, want %q", got, src)
+	}
+	if len(pl.Segments()) != 3 {
+		t.Fatalf("segment count %d, want 3", len(pl.Segments()))
+	}
+	pl.Release()
+	checkNoLeaks(t, p)
+}
+
+func TestMaterializeSeversViews(t *testing.T) {
+	p := New()
+	src := []byte("0123456789")
+	pl := p.GetPayload()
+	pl.AddView(src)
+	pl.Retain() // a simulated transport reference
+
+	if copied := pl.Materialize(); copied != len(src) {
+		t.Fatalf("materialize copied %d bytes, want %d", copied, len(src))
+	}
+	if !pl.Materialized() {
+		t.Fatal("payload not marked materialized")
+	}
+	if copied := pl.Materialize(); copied != 0 {
+		t.Fatalf("second materialize copied %d bytes, want 0", copied)
+	}
+	// Mutating the borrowed source must not change the payload now.
+	src[0] = 'X'
+	if got := pl.Flatten(); !bytes.Equal(got, []byte("0123456789")) {
+		t.Fatalf("materialized payload changed with its source: %q", got)
+	}
+	pl.Release()
+	pl.Release()
+	checkNoLeaks(t, p)
+}
+
+func TestLeaseReuse(t *testing.T) {
+	p := New()
+	l := p.NewLease()
+
+	s1 := l.Acquire(100)
+	s1.Release() // caller done; lease still holds it
+	s2 := l.Acquire(50)
+	if s2 != s1 {
+		t.Error("idle leased segment was not reused")
+	}
+	// While s2 is busy (caller holds a reference), Acquire must hand
+	// out a different segment.
+	s3 := l.Acquire(50)
+	if s3 == s2 {
+		t.Error("busy leased segment was handed out twice")
+	}
+	s2.Release()
+	s3.Release()
+
+	// Close drops the lease's references; a segment still held by a
+	// payload survives until that payload releases.
+	pl := p.GetPayload()
+	s4 := l.Acquire(10)
+	pl.AttachSegment(s4)
+	l.Close()
+	if p.LiveSegments() != 1 {
+		t.Fatalf("live segments after Close = %d, want 1 (payload-held)", p.LiveSegments())
+	}
+	pl.Release()
+	checkNoLeaks(t, p)
+}
+
+func TestOverReleasePanics(t *testing.T) {
+	p := New()
+	pl := p.GetPayload()
+	pl.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	pl.Release()
+}
+
+// TestConcurrentRefs exercises the pool and refcounts from many
+// goroutines; it exists to run under -race in CI's shard-race job.
+func TestConcurrentRefs(t *testing.T) {
+	p := New()
+	const workers = 8
+	var wg sync.WaitGroup
+	shared := p.GetPayload()
+	shared.AddView([]byte("shared bytes"))
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		shared.Retain()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				s := p.GetSegment(64 + j%512)
+				s.Retain()
+				pl := p.GetPayload()
+				pl.AttachSegment(s) // takes over one reference
+				pl.AddView(s.Bytes()[:1])
+				pl.Release()
+				s.Release()
+			}
+			shared.Release()
+		}()
+	}
+	wg.Wait()
+	shared.Release()
+	checkNoLeaks(t, p)
+}

@@ -1,0 +1,112 @@
+package codec
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The zero-copy data plane decodes payload segments that can be views
+// of element storage; the one aliasing case the executor permits to
+// reach the kernels is in-place decode, where the payload bytes ARE the
+// destination's backing bytes.  These tests pin the kernels' behavior
+// under exact aliasing (identity for *Into, element doubling for Add*)
+// and forward overlap (memmove-down semantics: each element is read
+// before any write can clobber it, because the kernels iterate
+// ascending and the source sits ahead of the destination).
+//
+// The views only equal the wire encoding on a little-endian host, like
+// the executor's own view path; big-endian hosts skip.
+
+func hostLittleEndian() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+func requireLE(t *testing.T) {
+	t.Helper()
+	if !hostLittleEndian() {
+		t.Skip("in-place views equal the wire encoding only on little-endian hosts")
+	}
+}
+
+func f64bytes(vs []float64) []byte { return unsafe.Slice((*byte)(unsafe.Pointer(&vs[0])), 8*len(vs)) }
+func f32bytes(vs []float32) []byte { return unsafe.Slice((*byte)(unsafe.Pointer(&vs[0])), 4*len(vs)) }
+func i64bytes(vs []int64) []byte   { return unsafe.Slice((*byte)(unsafe.Pointer(&vs[0])), 8*len(vs)) }
+func i32bytes(vs []int32) []byte   { return unsafe.Slice((*byte)(unsafe.Pointer(&vs[0])), 4*len(vs)) }
+
+func TestIntoKernelsAliasedIdentity(t *testing.T) {
+	requireLE(t)
+	f64 := []float64{1.5, -2.25, 3.75, 0, 5e300}
+	if n := Float64sInto(f64, f64bytes(f64)); n != 5 {
+		t.Errorf("Float64sInto decoded %d values, want 5", n)
+	}
+	if f64[0] != 1.5 || f64[4] != 5e300 {
+		t.Errorf("aliased Float64sInto mutated its own source: %v", f64)
+	}
+	f32 := []float32{1.5, -2.25, 3.75, 0}
+	Float32sInto(f32, f32bytes(f32))
+	if f32[0] != 1.5 || f32[2] != 3.75 {
+		t.Errorf("aliased Float32sInto mutated its own source: %v", f32)
+	}
+	i64 := []int64{1, -2, 1 << 40, 0}
+	Int64sInto(i64, i64bytes(i64))
+	if i64[1] != -2 || i64[2] != 1<<40 {
+		t.Errorf("aliased Int64sInto mutated its own source: %v", i64)
+	}
+	i32 := []int32{1, -2, 1 << 20, 0}
+	Int32sInto(i32, i32bytes(i32))
+	if i32[1] != -2 || i32[2] != 1<<20 {
+		t.Errorf("aliased Int32sInto mutated its own source: %v", i32)
+	}
+}
+
+func TestAddKernelsAliasedDouble(t *testing.T) {
+	requireLE(t)
+	f64 := []float64{1.5, -2.25, 0, 100}
+	AddFloat64s(f64, f64bytes(f64))
+	for i, want := range []float64{3, -4.5, 0, 200} {
+		if f64[i] != want {
+			t.Errorf("aliased AddFloat64s[%d] = %v, want %v", i, f64[i], want)
+		}
+	}
+	f32 := []float32{1.5, -2.25, 0}
+	AddFloat32s(f32, f32bytes(f32))
+	if f32[0] != 3 || f32[1] != -4.5 {
+		t.Errorf("aliased AddFloat32s = %v, want doubled", f32)
+	}
+	i64 := []int64{7, -3, 1 << 40}
+	AddInt64s(i64, i64bytes(i64))
+	if i64[0] != 14 || i64[2] != 1<<41 {
+		t.Errorf("aliased AddInt64s = %v, want doubled", i64)
+	}
+	i32 := []int32{7, -3, 1 << 20}
+	AddInt32s(i32, i32bytes(i32))
+	if i32[0] != 14 || i32[2] != 1<<21 {
+		t.Errorf("aliased AddInt32s = %v, want doubled", i32)
+	}
+	by := []byte{1, 200, 0}
+	AddBytes(by, by)
+	if by[0] != 2 || by[1] != 144 /* 400 mod 256 */ || by[2] != 0 {
+		t.Errorf("aliased AddBytes = %v, want mod-256 doubled", by)
+	}
+}
+
+func TestIntoKernelsForwardOverlapShift(t *testing.T) {
+	requireLE(t)
+	// Decode the bytes of vs[1:] into vs[:n-1]: the source stays ahead
+	// of the writes, so the result is a clean shift-down, like memmove.
+	f64 := []float64{10, 20, 30, 40}
+	Float64sInto(f64[:3], f64bytes(f64[1:]))
+	for i, want := range []float64{20, 30, 40, 40} {
+		if f64[i] != want {
+			t.Errorf("forward-overlap Float64sInto[%d] = %v, want %v", i, f64[i], want)
+		}
+	}
+	i32 := []int32{10, 20, 30, 40, 50}
+	Int32sInto(i32[:4], i32bytes(i32[1:]))
+	for i, want := range []int32{20, 30, 40, 50, 50} {
+		if i32[i] != want {
+			t.Errorf("forward-overlap Int32sInto[%d] = %v, want %v", i, i32[i], want)
+		}
+	}
+}

@@ -117,21 +117,27 @@ func (c *ScheduleCache) Put(key string, et ElemType, s *Schedule) error {
 
 // Invalidate drops key's entries for every element type (after a
 // redistribution, for example).  Dropping a missing key is a no-op.
+// Evicted schedules return their pooled staging segments.
 func (c *ScheduleCache) Invalidate(key string) {
 	prefix := key + "|"
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for k := range c.entries {
+	for k, s := range c.entries {
 		if strings.HasPrefix(k, prefix) {
+			s.releaseScratch()
 			delete(c.entries, k)
 		}
 	}
 }
 
-// Clear drops every entry but keeps the hit/miss counters.
+// Clear drops every entry but keeps the hit/miss counters.  Evicted
+// schedules return their pooled staging segments.
 func (c *ScheduleCache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for _, s := range c.entries {
+		s.releaseScratch()
+	}
 	c.entries = nil
 }
 
@@ -146,6 +152,9 @@ func (c *ScheduleCache) SetIncarnation(n int) {
 	defer c.mu.Unlock()
 	if n != c.incarnation {
 		c.incarnation = n
+		for _, s := range c.entries {
+			s.releaseScratch()
+		}
 		c.entries = nil
 	}
 }

@@ -81,6 +81,15 @@ type MoveResult struct {
 	// Elems is the number of elements this process unpacked or copied
 	// locally.
 	Elems int
+	// BytesCopied counts the bytes this process memcpy'd to accomplish
+	// the move: staged strided runs, checksum trailers, payloads
+	// materialized because a reader still referenced them at move end,
+	// and same-process storage-to-storage copies.  Stride-1 bytes sent
+	// as views of source storage and unpacked straight into destination
+	// storage are NOT counted — the number a fully copy-based executor
+	// would report here is roughly twice the wire bytes, which is what
+	// the zero-copy data plane's benchmarks measure against.
+	BytesCopied int
 	// Phases is this process's per-phase virtual-time breakdown.
 	Phases MovePhases
 	// Retransmits and DupsDiscarded total the PerPeer counters.
@@ -256,41 +265,86 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 
 	if packObj != nil {
 		s.checkElem(packObj)
+		if s.pool == nil {
+			s.pool = p.BufPool()
+			s.lease = s.pool.NewLease()
+		}
 		local := packObj.LocalMem()
-		buf := s.packBuf
+		// Stride-1 runs go on the wire as views of the source storage —
+		// no pack copy — when the host's native byte order is the wire
+		// order and the unpack destination does not alias the pack
+		// source (in-place unpacking would mutate viewed bytes).
+		canView := hostLE
+		if canView && unpackObj != nil && memOverlaps(local, unpackObj.LocalMem()) {
+			canView = false
+		}
+		es := s.elem.Kind.Size()
 		for i := range sends {
 			pl := &sends[i]
 			sp := p.Span("move.pack")
-			buf = buf[:0]
+			// Staging need: every strided run (every run when views are
+			// disabled) plus the checksum trailer, sized exactly so the
+			// leased segment never reallocates under the views into it.
+			staged := 0
 			for _, run := range pl.Runs {
-				buf = packRun(buf, local, run, w)
+				if run.Stride != 1 || !canView {
+					staged += int(run.Count) * w * es
+				}
+			}
+			if rel {
+				staged += 8
+			}
+			pay := s.pool.GetPayload()
+			var stage []byte
+			if staged > 0 {
+				seg := s.lease.Acquire(staged)
+				pay.AttachSegment(seg)
+				stage = seg.Bytes()[:0]
+			}
+			for _, run := range pl.Runs {
+				if run.Stride == 1 && canView {
+					checkRunBounds(run, local.Units(), w)
+					pay.AddView(viewUnits(local, int(run.Start)*w, int(run.Count)*w))
+					continue
+				}
+				mark := len(stage)
+				stage = packRun(stage, local, run, w)
+				pay.AddView(stage[mark:])
 			}
 			p.ChargeMemOps(pl.Len())
 			if rel {
-				buf = appendChecksum(buf)
-				p.ChargeCopy(len(buf))
+				h := fnvOver(pay.Segments(), pay.Len())
+				mark := len(stage)
+				stage = append(stage,
+					byte(h), byte(h>>8), byte(h>>16), byte(h>>24),
+					byte(h>>32), byte(h>>40), byte(h>>48), byte(h>>56))
+				pay.AddView(stage[mark:])
+				p.ChargeCopy(pay.Len())
 			}
+			res.BytesCopied += len(stage)
 			now = p.Clock()
-			sp.SetPeer(pl.Peer).SetBytes(len(buf)).End(now)
+			sp.SetPeer(pl.Peer).SetBytes(pay.Len()).End(now)
 			res.Phases.Pack += now - tMark
 			tMark = now
 			sp = p.Span("move.ship")
-			// Isend is buffered (the payload is copied), so one pack
-			// buffer serves every lane and the next move.
+			// The payload travels by reference: the transport and the
+			// receive queue take their own references, and the move
+			// settles ours (materializing if a reader is still attached)
+			// before returning.
+			shipBytes := pay.Len()
 			if crashAware {
-				shipBuf := buf
-				if err := p.WithTimeout(0, func() { s.union.Isend(pl.Peer, tag, shipBuf) }); err != nil {
+				if err := p.WithTimeout(0, func() { s.union.SendPayload(pl.Peer, tag, pay) }); err != nil {
 					res.FailedPeers = append(res.FailedPeers, pl.Peer)
 				}
 			} else {
-				s.union.Isend(pl.Peer, tag, buf)
+				s.union.SendPayload(pl.Peer, tag, pay)
 			}
+			s.sent = append(s.sent, pay)
 			now = p.Clock()
-			sp.SetPeer(pl.Peer).SetBytes(len(buf)).End(now)
+			sp.SetPeer(pl.Peer).SetBytes(shipBytes).End(now)
 			res.Phases.Ship += now - tMark
 			tMark = now
 		}
-		s.packBuf = buf
 	}
 
 	// Same-process elements: direct storage-to-storage copy, no message
@@ -299,6 +353,7 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 		sp := p.Span("move.local")
 		n := s.moveLocal(srcObj, dstObj, reverse, op)
 		res.Elems += n
+		res.BytesCopied += s.elem.Bytes() * n
 		now = p.Clock()
 		sp.SetBytes(s.elem.Bytes() * n).End(now)
 		res.Phases.Local += now - tMark
@@ -333,19 +388,41 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 			if i < 0 {
 				break
 			}
-			data, _ := reqs[i].Wait()
+			data, pay, _ := reqs[i].TakePayload()
 			pl := &recvs[i]
 			spu := p.Span("move.unpack")
 			n := pl.Len()
 			want := s.elem.Bytes() * n
-			if rel {
-				p.ChargeCopy(len(data))
-				data = verifyChecksum(data, pl.Peer)
+			if pay != nil {
+				// Scatter-gather arrival: verify the trailer and decode
+				// straight from the segments into destination storage —
+				// the payload is never flattened.
+				body := pay.Len()
+				if rel {
+					p.ChargeCopy(body)
+					if body < 8 {
+						panic(fmt.Sprintf("core: move message from peer %d too short for checksum trailer", pl.Peer))
+					}
+					body -= 8
+					if fnvOver(pay.Segments(), body) != trailerOf(pay.Segments()) {
+						panic(fmt.Sprintf("core: end-to-end checksum mismatch on move payload from peer %d (corruption not caught by transport)", pl.Peer))
+					}
+				}
+				if body != want {
+					panic(fmt.Sprintf("core: move message carries %d bytes, schedule expects %d", body, want))
+				}
+				unpackSegs(local, pay.Segments(), pl.Runs, w, op)
+				pay.Release()
+			} else {
+				if rel {
+					p.ChargeCopy(len(data))
+					data = verifyChecksum(data, pl.Peer)
+				}
+				if len(data) != want {
+					panic(fmt.Sprintf("core: move message carries %d bytes, schedule expects %d", len(data), want))
+				}
+				unpackLanes(local, data, pl.Runs, w, op)
 			}
-			if len(data) != want {
-				panic(fmt.Sprintf("core: move message carries %d bytes, schedule expects %d", len(data), want))
-			}
-			unpackLanes(local, data, pl.Runs, w, op)
 			res.Elems += n
 			p.ChargeMemOps(n)
 			if op == opAdd {
@@ -358,12 +435,37 @@ func (s *Schedule) moveOp(srcObj, dstObj DistObject, reverse bool, op int) MoveR
 		}
 	}
 
+	// Settle this move's sent payloads: one still referenced beyond our
+	// handle (in flight to a slow peer, queued at a cancelled receiver,
+	// held for retransmission) is materialized so the application may
+	// mutate the source storage the moment the move returns.  Completed
+	// requests go back on the process's freelist.
+	for _, pay := range s.sent {
+		if !pay.Materialized() && pay.Refs() > 1 {
+			res.BytesCopied += pay.Materialize()
+		}
+		pay.Release()
+	}
+	s.sent = s.sent[:0]
+	for _, r := range reqs {
+		r.Free()
+	}
+	s.reqs = reqs[:0]
+
 	if rel {
 		s.collectNet(&res, sends, recvs, packObj != nil, unpackObj != nil)
 	}
 	now = p.Clock()
 	res.Phases.Wait += now - tMark
 	mv.SetBytes(s.elem.Bytes() * res.Elems).End(now)
+	if s.copiedC == nil {
+		if tr := p.Obs(); tr != nil {
+			s.copiedC = tr.MetricsRegistry().Counter("move.bytes_copied")
+		}
+	}
+	if s.copiedC != nil {
+		s.copiedC.Add(int64(res.BytesCopied))
+	}
 	return res
 }
 
@@ -462,9 +564,51 @@ func (s *Schedule) collectNet(res *MoveResult, sends, recvs []PeerList, packing,
 	}
 }
 
-// appendChecksum appends the payload's 8-byte FNV-1a trailer, the
-// end-to-end integrity guard a move's lanes carry on a reliable
-// transport.
+// fnvOver is FNV-1a over the first n bytes of a segment list, equal to
+// fnv64 over the concatenated bytes — how a lane's end-to-end checksum
+// is computed without flattening the payload.
+func fnvOver(segs [][]byte, n int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, s := range segs {
+		if n <= 0 {
+			break
+		}
+		if len(s) > n {
+			s = s[:n]
+		}
+		for _, b := range s {
+			h ^= uint64(b)
+			h *= prime64
+		}
+		n -= len(s)
+	}
+	return h
+}
+
+// trailerOf reads the little-endian 8-byte checksum trailer ending a
+// segment list holding at least 8 bytes.
+func trailerOf(segs [][]byte) uint64 {
+	var tr [8]byte
+	k := 8
+	for i := len(segs) - 1; i >= 0 && k > 0; i-- {
+		s := segs[i]
+		take := k
+		if take > len(s) {
+			take = len(s)
+		}
+		copy(tr[k-take:], s[len(s)-take:])
+		k -= take
+	}
+	return uint64(tr[0]) | uint64(tr[1])<<8 | uint64(tr[2])<<16 | uint64(tr[3])<<24 |
+		uint64(tr[4])<<32 | uint64(tr[5])<<40 | uint64(tr[6])<<48 | uint64(tr[7])<<56
+}
+
+// appendChecksum appends a flat payload's 8-byte FNV-1a trailer, the
+// same framing the segment path builds with fnvOver.
 func appendChecksum(buf []byte) []byte {
 	h := fnv64(buf)
 	return append(buf,
@@ -557,6 +701,47 @@ func unpackLanes(m Mem, data []byte, runs []Run, w, op int) {
 			o := int(run.At(k)) * w
 			readUnits(m, o, data[t:t+w*es], op)
 			t += w * es
+		}
+	}
+}
+
+// unpackSegs scatters a scatter-gather payload into local storage run
+// by run, decoding each piece straight from its segment with the same
+// typed kernels the flat path uses — the payload is never flattened.
+// Segment boundaries always fall on scalar-unit boundaries (views are
+// whole runs of units, staged bytes are whole units), so every piece
+// decodes cleanly; a checksum trailer beyond the runs' bytes is simply
+// never consumed.
+func unpackSegs(m Mem, segs [][]byte, runs []Run, w, op int) {
+	es := m.et.Kind.Size()
+	si, so := 0, 0
+	take := func(o, n int) { // decode n scalar units at unit offset o
+		for n > 0 {
+			for so >= len(segs[si]) {
+				si++
+				so = 0
+			}
+			k := (len(segs[si]) - so) / es
+			if k > n {
+				k = n
+			}
+			if k == 0 {
+				panic("core: move payload segment not aligned to scalar units")
+			}
+			readUnits(m, o, segs[si][so:so+k*es], op)
+			so += k * es
+			o += k
+			n -= k
+		}
+	}
+	for _, run := range runs {
+		checkRunBounds(run, m.Units(), w)
+		if run.Stride == 1 {
+			take(int(run.Start)*w, int(run.Count)*w)
+			continue
+		}
+		for k := int32(0); k < run.Count; k++ {
+			take(int(run.At(k))*w, w)
 		}
 	}
 }

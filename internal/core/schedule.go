@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 
+	"metachaos/internal/bufpool"
 	"metachaos/internal/codec"
 	"metachaos/internal/mpsim"
+	"metachaos/internal/obs"
 )
 
 // Method selects how a communication schedule is computed, following
@@ -103,8 +105,19 @@ type Schedule struct {
 	// Executor scratch, cached across moves so a reused schedule packs,
 	// ships and unpacks without allocating (see move.go).  A Schedule is
 	// per-process state and moves are collective, so no locking.
-	packBuf []byte
-	reqs    []*mpsim.Request
+	//
+	// pool/lease back the zero-copy pack path: each move's staging
+	// segments (strided runs, checksum trailers) come from the lease,
+	// which recycles them once the transport's references drain.  sent
+	// tracks the move's in-flight payloads until the move settles them.
+	pool  *bufpool.Pool
+	lease *bufpool.Lease
+	sent  []*bufpool.Payload
+	reqs  []*mpsim.Request
+
+	// copiedC is the resolved "move.bytes_copied" counter when a tracer
+	// is attached, cached so moves never hit the registry map.
+	copiedC *obs.Counter
 
 	// Reliability-path scratch (untouched when the transport is not
 	// reliable): per-peer network-counter snapshots around a move.
@@ -117,6 +130,17 @@ type Schedule struct {
 // deadline are reported in MoveResult.FailedPeers instead of hanging
 // the move.  d = 0 removes the deadline.
 func (s *Schedule) SetMoveTimeout(d float64) { s.timeout = d }
+
+// releaseScratch returns the schedule's pooled staging segments to the
+// buffer pool.  The schedule cache calls it when it evicts an entry;
+// segments still referenced by in-flight payloads survive until those
+// payloads release, and the schedule stays usable (the lease refills on
+// the next move).
+func (s *Schedule) releaseScratch() {
+	if s.lease != nil {
+		s.lease.Close()
+	}
+}
 
 // appendLocal records one same-process (src, dst) element pair,
 // coalescing runs.

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"metachaos/internal/bufpool"
 )
 
 // Collective operations.  All members of a communicator must call the
@@ -56,6 +58,37 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 	}
 	sp.End(c.p.clock)
 	return out
+}
+
+// BcastPayload is the root's side of a Bcast whose data is a
+// scatter-gather payload: the payload is sent by reference down the
+// broadcast tree (each child send takes its own transport references),
+// so the root never flattens it.  Non-root members participate with the
+// ordinary Bcast(root, nil) call and receive flat bytes; the message
+// pattern, wire tags and virtual-time cost are identical to Bcast with
+// the flattened bytes.  Only the root may call it.
+func (c *Comm) BcastPayload(root int, pay *bufpool.Payload) {
+	c.require()
+	if c.myRank != root {
+		panic("mpsim: BcastPayload called by a non-root member; non-roots use Bcast(root, nil)")
+	}
+	sp := c.p.beginSpan("coll.bcast")
+	seq := c.nextSeq()
+	n := c.Size()
+	wire := c.collWire(seq, phBcast)
+	mask := 1
+	for mask < n {
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if mask < n {
+			dst := (mask + root) % n
+			c.p.sendPayload(c.ranks[dst], wire, pay)
+		}
+		mask >>= 1
+	}
+	sp.End(c.p.clock)
 }
 
 // bcastTree runs a binomial-tree broadcast rooted at root and returns

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+
+	"metachaos/internal/bufpool"
 )
 
 // maxUserTag bounds user-supplied tags so they can share the wire tag
@@ -156,6 +158,16 @@ func (c *Comm) require() {
 func (c *Comm) Send(to, tag int, data []byte) {
 	c.require()
 	c.p.send(c.ranks[to], c.userWire(tag), data)
+}
+
+// SendPayload transmits a scatter-gather payload to communicator rank
+// to by reference: no flat copy is made on the send side.  The
+// transport takes its own references; the caller keeps ownership of its
+// reference and must not mutate the payload's viewed storage until it
+// is certain every reader is done (or has called Materialize).
+func (c *Comm) SendPayload(to, tag int, pay *bufpool.Payload) {
+	c.require()
+	c.p.sendPayload(c.ranks[to], c.userWire(tag), pay)
 }
 
 // Recv receives a message sent on this communicator matching (from,

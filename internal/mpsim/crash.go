@@ -289,16 +289,28 @@ func (w *World) restartProc(p *Proc, at float64) {
 	cs.restartPos[r] = at
 	// Fresh transport state on every link touching the rank: the new
 	// incarnation starts its sequence spaces from zero, and abandoned
-	// links heal.
+	// links heal.  Held reassembly entries drop their payload
+	// references; inflight packets keep theirs — their retransmission
+	// chains continue until acked or abandoned, releasing then.
 	if w.net != nil {
-		for k := range w.net.links {
+		for k, ls := range w.net.links {
 			if k.from == r || k.to == r {
+				for _, h := range ls.held {
+					if h.pay != nil {
+						h.pay.Release()
+					}
+				}
 				delete(w.net.links, k)
 				delete(w.net.dead, k)
 			}
 		}
 	}
 	p.killed = false
+	// Wiping the dead incarnation's queue releases each undelivered
+	// message's payload reference.
+	for _, m := range p.queue {
+		m.releasePay()
+	}
 	p.queue = nil
 	p.wantsAny = nil
 	p.wakeErr = nil

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"metachaos/internal/bufpool"
 )
 
 // Imperfect networks and the reliable transport.
@@ -237,6 +239,7 @@ func (w *World) fireMsg(tm *timer) {
 	dst := w.procs[tm.dst]
 	if cs := w.crash; cs != nil {
 		if cs.dead[tm.dst] || tm.msg.sentAt < cs.restartPos[tm.dst] {
+			tm.msg.releasePay()
 			return
 		}
 	}
@@ -272,24 +275,55 @@ type linkKey struct{ from, to int }
 
 // packet is one transport-level message of the reliable (or faulted)
 // network.  The sender retains it until acked, which is what makes
-// retransmission allocation-free.
+// retransmission allocation-free.  Zero-copy sends carry a refcounted
+// payload (pay) instead of flat data; the reference discipline is:
+//
+//   - in reliable mode the packet itself holds one reference from send
+//     until ack or abandonment (released exactly once via releaseRef),
+//     so every retransmission reuses the same segments;
+//   - every scheduled delivery timer holds one reference, released
+//     when it fires (so a delivery racing an ack never reads recycled
+//     storage);
+//   - held (reassembly) entries and enqueued messages each hold their
+//     own reference.
 type packet struct {
 	from, to int
 	tag      int
 	data     []byte
+	pay      *bufpool.Payload
 	xmit     float64
 	seq      int    // per-link sequence number (reliable mode)
 	sum      uint64 // payload checksum at send time (reliable mode)
 	rto      float64
 	retries  int
 	acked    bool
+	released bool // sender-side payload reference dropped
+}
+
+// size returns the packet's byte length regardless of representation.
+func (pkt *packet) size() int {
+	if pkt.pay != nil {
+		return pkt.pay.Len()
+	}
+	return len(pkt.data)
+}
+
+// releaseRef drops the sender-side payload reference exactly once —
+// on ack or abandonment, whichever comes first.
+func (pkt *packet) releaseRef() {
+	if pkt.pay != nil && !pkt.released {
+		pkt.released = true
+		pkt.pay.Release()
+	}
 }
 
 // heldPacket is a verified in-flight payload waiting for the sequence
-// gap below it to fill (receive-side reassembly).
+// gap below it to fill (receive-side reassembly).  It holds one
+// payload reference, released when the entry drains or is wiped.
 type heldPacket struct {
 	tag  int
 	data []byte
+	pay  *bufpool.Payload
 	xmit float64
 }
 
@@ -379,29 +413,36 @@ func (n *netLayer) rtoFor(xmit float64) float64 {
 	return 3*(n.w.machine.Latency+xmit) + 1e-3
 }
 
-// send accepts a remote transmission from a process.  data is already
-// the sender's private copy; xmit and depart come from the sender's
-// link reservation, so the send-side cost model is identical to the
-// perfect-network path.
-func (n *netLayer) send(from, to, tag int, data []byte, xmit, depart float64) {
+// send accepts a remote transmission from a process.  data (if used)
+// is already the sender's private copy; a payload is carried by
+// reference.  xmit and depart come from the sender's link reservation,
+// so the send-side cost model is identical to the perfect-network
+// path.
+func (n *netLayer) send(from, to, tag int, data []byte, pay *bufpool.Payload, xmit, depart float64) {
 	if n.w.sh != nil {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 	}
-	pkt := &packet{from: from, to: to, tag: tag, data: data, xmit: xmit}
+	pkt := &packet{from: from, to: to, tag: tag, data: data, pay: pay, xmit: xmit}
 	key := linkKey{from, to}
 	if n.reliable {
 		if n.dead[key] {
 			// The transport already declared this peer unreachable;
-			// further packets are dropped at the source.
+			// further packets are dropped at the source (no reference
+			// was taken, so there is nothing to release).
 			n.w.stats.PerRank[from].FailedSends++
-			n.w.record(Event{Time: depart, Rank: from, Kind: EvPeerFail, Peer: to, Bytes: len(data)})
+			n.w.record(Event{Time: depart, Rank: from, Kind: EvPeerFail, Peer: to, Bytes: pkt.size()})
 			return
 		}
 		ls := n.link(key)
 		pkt.seq = ls.nextSeq
 		ls.nextSeq++
-		pkt.sum = checksum64(data)
+		if pay != nil {
+			pay.Retain() // the packet's reference, held until ack/abandon
+			pkt.sum = checksum64Pay(pay)
+		} else {
+			pkt.sum = checksum64(data)
+		}
 		pkt.rto = n.rtoFor(xmit)
 		ls.inflight[pkt.seq] = pkt
 	}
@@ -415,7 +456,7 @@ func (n *netLayer) transmit(pkt *packet, depart float64, attempt int) {
 	w := n.w
 	d := FaultDecision{CorruptBit: -1}
 	if n.inj != nil {
-		d = n.inj.Decide(pkt.from, pkt.to, attempt, len(pkt.data), depart)
+		d = n.inj.Decide(pkt.from, pkt.to, attempt, pkt.size(), depart)
 	}
 	if n.reliable {
 		w.addTimer(&timer{at: depart + pkt.rto, rank: pkt.from, kind: tRetransmit, pkt: pkt})
@@ -423,19 +464,31 @@ func (n *netLayer) transmit(pkt *packet, depart float64, attempt int) {
 	if d.Drop {
 		w.stats.PerRank[pkt.from].Drops++
 		n.pair(pkt.from, pkt.to).Drops++
-		w.record(Event{Time: depart, Rank: pkt.from, Kind: EvDrop, Peer: pkt.to, Bytes: len(pkt.data)})
+		w.record(Event{Time: depart, Rank: pkt.from, Kind: EvDrop, Peer: pkt.to, Bytes: pkt.size()})
 		return
 	}
 	arrival := depart + pkt.xmit + w.machine.Latency + d.ExtraDelay
+	if pkt.pay != nil {
+		pkt.pay.Retain() // the delivery timer's reference
+	}
 	w.addTimer(&timer{at: arrival, rank: pkt.from, kind: tDeliver, pkt: pkt, corruptBit: d.CorruptBit})
 	if d.Duplicate {
+		if pkt.pay != nil {
+			pkt.pay.Retain()
+		}
 		w.addTimer(&timer{at: arrival + w.machine.Latency + pkt.xmit, rank: pkt.from, kind: tDeliver, pkt: pkt, corruptBit: -1})
 	}
 }
 
 // fireDeliver lands one copy of a packet at the receiver's transport.
+// The timer holds one payload reference (taken in transmit), dropped on
+// every exit path; downstream holders (reassembly entries, enqueued
+// messages) take their own.
 func (n *netLayer) fireDeliver(tm *timer) {
 	pkt := tm.pkt
+	if pkt.pay != nil {
+		defer pkt.pay.Release() // the delivery timer's reference
+	}
 	w := n.w
 	if w.crash != nil && w.crash.dead[pkt.to] {
 		// The destination host is down: the wire delivers into the void,
@@ -443,33 +496,43 @@ func (n *netLayer) fireDeliver(tm *timer) {
 		// trying until the rank restarts or the link is abandoned.
 		return
 	}
-	data := pkt.data
-	if tm.corruptBit >= 0 && len(data) > 0 {
-		c := append([]byte(nil), data...)
+	data, pay := pkt.data, pkt.pay
+	if tm.corruptBit >= 0 && pkt.size() > 0 {
+		// Corruption flattens the copy it flips a bit in; the packet's
+		// own bytes stay pristine for retransmission.
+		var c []byte
+		if pay != nil {
+			c = pay.Flatten()
+		} else {
+			c = append([]byte(nil), data...)
+		}
 		bit := tm.corruptBit % (len(c) * 8)
 		c[bit/8] ^= 1 << (bit % 8)
-		data = c
+		data, pay = c, nil
 	}
 	if !n.reliable {
 		// Raw faulted delivery: whatever survived the wire, in whatever
 		// order it arrived.
-		n.enqueue(pkt.from, pkt.to, pkt.tag, data, pkt.xmit, tm.at)
+		n.enqueue(pkt.from, pkt.to, pkt.tag, data, pay, pkt.xmit, tm.at)
 		return
 	}
-	if checksum64(data) != pkt.sum {
+	if wireSum(data, pay) != pkt.sum {
 		w.stats.PerRank[pkt.to].CorruptDiscarded++
-		w.record(Event{Time: tm.at, Rank: pkt.to, Kind: EvCorruptDiscard, Peer: pkt.from, Bytes: len(data)})
+		w.record(Event{Time: tm.at, Rank: pkt.to, Kind: EvCorruptDiscard, Peer: pkt.from, Bytes: wireLen(data, pay)})
 		return // no ack: the sender's retransmission timer recovers
 	}
 	ls := n.link(linkKey{pkt.from, pkt.to})
 	if pkt.seq < ls.nextDeliver || ls.held[pkt.seq] != nil {
 		w.stats.PerRank[pkt.to].DupsDiscarded++
 		n.pair(pkt.from, pkt.to).DupsDiscarded++
-		w.record(Event{Time: tm.at, Rank: pkt.to, Kind: EvDupDiscard, Peer: pkt.from, Bytes: len(data)})
+		w.record(Event{Time: tm.at, Rank: pkt.to, Kind: EvDupDiscard, Peer: pkt.from, Bytes: wireLen(data, pay)})
 		n.sendAck(pkt, tm.at) // the previous ack may have been lost; re-ack
 		return
 	}
-	ls.held[pkt.seq] = &heldPacket{tag: pkt.tag, data: data, xmit: pkt.xmit}
+	if pay != nil {
+		pay.Retain() // the reassembly entry's reference
+	}
+	ls.held[pkt.seq] = &heldPacket{tag: pkt.tag, data: data, pay: pay, xmit: pkt.xmit}
 	for {
 		h := ls.held[ls.nextDeliver]
 		if h == nil {
@@ -477,16 +540,27 @@ func (n *netLayer) fireDeliver(tm *timer) {
 		}
 		delete(ls.held, ls.nextDeliver)
 		ls.nextDeliver++
-		n.enqueue(pkt.from, pkt.to, h.tag, h.data, h.xmit, tm.at)
+		n.enqueue(pkt.from, pkt.to, h.tag, h.data, h.pay, h.xmit, tm.at)
+		if h.pay != nil {
+			h.pay.Release() // the reassembly entry's reference
+		}
 	}
 	n.sendAck(pkt, tm.at)
 }
 
 // enqueue hands a delivered payload to the destination process's
-// message queue, waking it if it is parked on a matching receive.
-func (n *netLayer) enqueue(from, to, tag int, data []byte, xmit, arrival float64) {
+// message queue, waking it if it is parked on a matching receive.  The
+// queued message takes its own payload reference.
+func (n *netLayer) enqueue(from, to, tag int, data []byte, pay *bufpool.Payload, xmit, arrival float64) {
 	dst := n.w.procs[to]
-	msg := &message{src: from, tag: tag, data: data, arrival: arrival, xmit: xmit}
+	msg := dst.getMsg()
+	msg.src, msg.tag, msg.arrival, msg.xmit = from, tag, arrival, xmit
+	if pay != nil {
+		pay.Retain()
+		msg.pay = pay
+	} else {
+		msg.data = data
+	}
 	dst.queue = append(dst.queue, msg)
 	if dst.state == stateBlocked && dst.wantsMsg(msg) {
 		n.w.wake(dst)
@@ -520,6 +594,7 @@ func (n *netLayer) fireAck(tm *timer) {
 	pkt.acked = true
 	ls := n.link(linkKey{pkt.from, pkt.to})
 	delete(ls.inflight, pkt.seq)
+	pkt.releaseRef()
 	n.w.record(Event{Time: tm.at, Rank: pkt.from, Kind: EvAck, Peer: pkt.to})
 }
 
@@ -545,7 +620,7 @@ func (n *netLayer) fireRetransmit(tm *timer) {
 	pkt.rto *= n.backoff
 	w.stats.PerRank[pkt.from].Retransmits++
 	n.pair(pkt.from, pkt.to).Retransmits++
-	w.record(Event{Time: tm.at, Rank: pkt.from, Kind: EvRetransmit, Peer: pkt.to, Bytes: len(pkt.data)})
+	w.record(Event{Time: tm.at, Rank: pkt.from, Kind: EvRetransmit, Peer: pkt.to, Bytes: pkt.size()})
 	// The retransmission occupies the sender node's outbound link like
 	// any other transmission.
 	node := w.procs[pkt.from].node
@@ -565,10 +640,11 @@ func (n *netLayer) abandon(pkt *packet, now float64) {
 	key := linkKey{pkt.from, pkt.to}
 	ls := n.link(key)
 	delete(ls.inflight, pkt.seq)
+	pkt.releaseRef()
 	n.dead[key] = true
 	w := n.w
 	w.stats.PerRank[pkt.from].FailedSends++
-	w.record(Event{Time: now, Rank: pkt.from, Kind: EvPeerFail, Peer: pkt.to, Bytes: len(pkt.data)})
+	w.record(Event{Time: now, Rank: pkt.from, Kind: EvPeerFail, Peer: pkt.to, Bytes: pkt.size()})
 	dst := w.procs[pkt.to]
 	if dst.state == stateBlocked && dst.wantsMsg(&message{src: pkt.from, tag: pkt.tag}) {
 		dst.wakeErr = &NetError{Op: "recv", Rank: pkt.to, Peer: pkt.from, Err: ErrPeerUnreachable}
@@ -585,17 +661,50 @@ func (n *netLayer) deadFrom(from, to int) bool {
 	return n.reliable && n.dead[linkKey{from, to}]
 }
 
-// checksum64 is FNV-1a over the payload, the transport's corruption
-// detector.
-func checksum64(data []byte) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
+// FNV-1a parameters for the transport's corruption detector.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// checksumAdd folds data into a running FNV-1a hash.
+func checksumAdd(h uint64, data []byte) uint64 {
 	for _, b := range data {
 		h ^= uint64(b)
-		h *= prime64
+		h *= fnvPrime64
 	}
 	return h
+}
+
+// checksum64 is FNV-1a over a flat payload.
+func checksum64(data []byte) uint64 {
+	return checksumAdd(fnvOffset64, data)
+}
+
+// checksum64Pay is FNV-1a over a scatter-gather payload, computed
+// segment by segment without flattening; it equals checksum64 over the
+// concatenated bytes.
+func checksum64Pay(pay *bufpool.Payload) uint64 {
+	h := fnvOffset64
+	for _, s := range pay.Segments() {
+		h = checksumAdd(h, s)
+	}
+	return h
+}
+
+// wireSum hashes whichever representation a delivery carries.
+func wireSum(data []byte, pay *bufpool.Payload) uint64 {
+	if pay != nil {
+		return checksum64Pay(pay)
+	}
+	return checksum64(data)
+}
+
+// wireLen is the byte length of whichever representation a delivery
+// carries.
+func wireLen(data []byte, pay *bufpool.Payload) int {
+	if pay != nil {
+		return pay.Len()
+	}
+	return len(data)
 }

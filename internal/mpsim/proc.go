@@ -1,6 +1,10 @@
 package mpsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"metachaos/internal/bufpool"
+)
 
 // AnySource and AnyTag are wildcards for Recv matching.
 const (
@@ -8,16 +12,43 @@ const (
 	AnyTag    = -1
 )
 
-// message is one in-flight point-to-point message.
+// message is one in-flight point-to-point message.  Its contents are
+// either a flat private copy (data) or a refcounted scatter-gather
+// payload (pay) when the sender used the zero-copy path; exactly one
+// of the two is set for a non-empty message.  A payload message holds
+// one reference, released when the message is claimed (ownership
+// transfers to the receiver) or dropped.
 type message struct {
 	src     int // world rank of sender
 	tag     int
 	data    []byte
+	pay     *bufpool.Payload
 	arrival float64 // virtual time the last byte clears the sender side + latency
 	xmit    float64 // wire occupancy, for receiver-side link reservation
 	sentAt  float64 // sender's clock at the send; restart-wipe boundary
 	local   bool    // self-send: skips link reservations
 }
+
+// size returns the message's byte length regardless of representation.
+func (m *message) size() int {
+	if m.pay != nil {
+		return m.pay.Len()
+	}
+	return len(m.data)
+}
+
+// releasePay drops the message's payload reference, if any, for paths
+// that discard a message without claiming it (crash wipes, stale
+// deliveries).
+func (m *message) releasePay() {
+	if m.pay != nil {
+		m.pay.Release()
+		m.pay = nil
+	}
+}
+
+// maxFreeMsgs caps a process's message-struct freelist.
+const maxFreeMsgs = 256
 
 // Proc is one simulated process.  All of a process's interaction with
 // the simulated machine — messaging, collectives, clock charges — goes
@@ -59,6 +90,16 @@ type Proc struct {
 	// Waitany scratch, reused across calls.
 	wantBuf []recvWant
 	wantIdx []int
+
+	// msgFree recycles message structs: sends pop from the sender's
+	// list, claims push to the receiver's.  Symmetric steady-state
+	// traffic (a move schedule) therefore sends without allocating.
+	// Each list is touched only under its owner's scheduling domain.
+	msgFree []*message
+	// reqFree recycles Request structs (Irecv pops, Request.Free
+	// pushes); a request always returns to the process it was posted
+	// on.
+	reqFree []*Request
 
 	// Active WithTimeout deadline (virtual time; 0 = none) and the
 	// registration id its timer must match to fire.
@@ -179,6 +220,37 @@ func (p *Proc) ChargeCopy(bytes int) {
 	p.Charge(float64(bytes) / p.world.machine.LocalCopyBandwidth)
 }
 
+// getMsg pops a recycled message struct, refilling from the world's
+// shared overflow pool before allocating.
+func (p *Proc) getMsg() *message {
+	if n := len(p.msgFree); n > 0 {
+		m := p.msgFree[n-1]
+		p.msgFree = p.msgFree[:n-1]
+		return m
+	}
+	if m, ok := p.world.msgPool.Get().(*message); ok {
+		return m
+	}
+	return &message{}
+}
+
+// putMsg recycles a claimed message struct onto this process's
+// freelist, spilling to the world pool when full so structs flow back
+// to senders under one-directional traffic.  The caller must have
+// extracted the contents first.
+func (p *Proc) putMsg(m *message) {
+	*m = message{}
+	if len(p.msgFree) >= maxFreeMsgs {
+		p.world.msgPool.Put(m)
+		return
+	}
+	p.msgFree = append(p.msgFree, m)
+}
+
+// BufPool returns the world's shared buffer pool, the allocator behind
+// the zero-copy payload path.
+func (p *Proc) BufPool() *bufpool.Pool { return p.world.pool }
+
 // Send transmits data to the process with the given world rank.  The
 // send is buffered (it never blocks waiting for the receiver) and the
 // data slice is copied, so the caller may reuse it immediately.  Tags
@@ -190,7 +262,24 @@ func (p *Proc) Send(to, tag int, data []byte) {
 	p.send(to, tag, data)
 }
 
-func (p *Proc) send(to, tag int, data []byte) {
+func (p *Proc) send(to, tag int, data []byte) { p.sendImpl(to, tag, data, nil) }
+
+// sendPayload is the zero-copy send: the payload's bytes are NOT
+// copied — the transport takes its own reference and reads the
+// segments until every delivered copy is consumed.  The caller keeps
+// its reference and must not mutate storage the payload views until it
+// has either observed the payload fully released or materialized it.
+func (p *Proc) sendPayload(to, tag int, pay *bufpool.Payload) { p.sendImpl(to, tag, nil, pay) }
+
+// sendImpl is the shared send path.  Exactly one of data (flat,
+// copied) and pay (scatter-gather, by reference) is used.  The
+// virtual-time cost model depends only on the byte length, so the two
+// representations are clock-identical.
+func (p *Proc) sendImpl(to, tag int, data []byte, pay *bufpool.Payload) {
+	size := len(data)
+	if pay != nil {
+		size = pay.Len()
+	}
 	if to < 0 || to >= len(p.world.procs) {
 		panic(fmt.Sprintf("mpsim: rank %d sends to invalid rank %d", p.worldRank, to))
 	}
@@ -199,27 +288,33 @@ func (p *Proc) send(to, tag int, data []byte) {
 		if p.world.deadDetected(to, p.clock) {
 			// Post-detection sends fail fast instead of vanishing.
 			p.world.stats.PerRank[p.worldRank].FailedSends++
-			p.world.record(Event{Time: p.clock, Rank: p.worldRank, Kind: EvPeerFail, Peer: to, Bytes: len(data)})
+			p.world.record(Event{Time: p.clock, Rank: p.worldRank, Kind: EvPeerFail, Peer: to, Bytes: size})
 			panic(netPanic{&NetError{Op: "send", Rank: p.worldRank, Peer: to, Err: ErrPeerDead}})
 		}
 	}
 	sp := p.beginSpan("send")
-	sp.SetPeer(to).SetBytes(len(data))
+	sp.SetPeer(to).SetBytes(size)
 	m := p.world.machine
-	buf := make([]byte, len(data))
-	copy(buf, data)
-	msg := &message{src: p.worldRank, tag: tag, data: buf}
-
 	dst := p.world.procs[to]
+	if pay != nil && p.shard != nil && dst.shard != p.shard && !pay.Materialized() {
+		// The destination shard reads the payload concurrently with this
+		// shard's later instructions; sever the views of live storage
+		// now.  Same-shard (and serial) deliveries stay zero-copy — the
+		// executor settles those at its own exit.
+		pay.Materialize()
+	}
+
 	remote := false
+	var arrival, msgXmit float64
+	localMsg := false
 	if to == p.worldRank {
-		p.clock += float64(len(data)) / m.LocalCopyBandwidth
-		msg.arrival = p.clock
-		msg.local = true
+		p.clock += float64(size) / m.LocalCopyBandwidth
+		arrival = p.clock
+		localMsg = true
 	} else {
 		// CPU: per-message overhead plus packing the payload.
-		p.clock += m.SendOverhead + float64(len(data))*m.PerByteCPU
-		xmit := m.transmitTime(len(data))
+		p.clock += m.SendOverhead + float64(size)*m.PerByteCPU
+		xmit := m.transmitTime(size)
 		start := p.clock
 		if dst.node != p.node && p.node.outFreeAt > start {
 			start = p.node.outFreeAt
@@ -230,23 +325,40 @@ func (p *Proc) send(to, tag int, data []byte) {
 				// Imperfect network: the send-side cost model above is
 				// unchanged, but delivery becomes a virtual-time event
 				// whose fate the fault injector decides.
-				p.recordSend(to, len(data))
-				p.world.net.send(p.worldRank, to, tag, buf, xmit, start)
+				p.recordSend(to, size)
+				var buf []byte
+				if pay == nil {
+					buf = make([]byte, len(data))
+					copy(buf, data)
+				}
+				p.world.net.send(p.worldRank, to, tag, buf, pay, xmit, start)
 				sp.End(p.clock)
 				p.yield()
 				return
 			}
-			msg.arrival = start + xmit + m.Latency
-			msg.xmit = xmit
+			arrival = start + xmit + m.Latency
+			msgXmit = xmit
 			remote = p.shard != nil && dst.shard != p.shard
 		} else {
 			// Same node, different process: shared-memory transfer.
-			msg.arrival = start + float64(len(data))/m.LocalCopyBandwidth
-			msg.local = true
+			arrival = start + float64(size)/m.LocalCopyBandwidth
+			localMsg = true
 		}
 	}
 
-	p.recordSend(to, len(data))
+	msg := p.getMsg()
+	msg.src, msg.tag = p.worldRank, tag
+	msg.arrival, msg.xmit, msg.local = arrival, msgXmit, localMsg
+	if pay != nil {
+		pay.Retain()
+		msg.pay = pay
+	} else {
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		msg.data = buf
+	}
+
+	p.recordSend(to, size)
 	sp.End(p.clock)
 	if remote {
 		// Cross-shard delivery is a virtual-time event at the message's
@@ -290,15 +402,25 @@ func (p *Proc) Recv(from, tag int) ([]byte, int) {
 }
 
 func (p *Proc) recv(from, tag int) ([]byte, int) {
+	data, pay, src := p.recvMsg(from, tag)
+	if pay != nil {
+		data = pay.Flatten()
+		pay.Release()
+	}
+	return data, src
+}
+
+// recvMsg is recv returning the claimed message's raw contents: flat
+// data, or a payload reference the caller now owns (exactly one is
+// non-nil for a non-empty message).
+func (p *Proc) recvMsg(from, tag int) ([]byte, *bufpool.Payload, int) {
 	for {
 		p.checkKilled()
 		for i, msg := range p.queue {
 			if !matches(msg, from, tag) {
 				continue
 			}
-			p.queue = append(p.queue[:i], p.queue[i+1:]...)
-			p.deliver(msg)
-			return msg.data, msg.src
+			return p.claim(i)
 		}
 		p.checkBeforeBlock(from, nil)
 		p.wantSrc, p.wantTag = from, tag
@@ -309,6 +431,19 @@ func (p *Proc) recv(from, tag int) ([]byte, int) {
 	}
 }
 
+// claim removes queue[i], applies receive-side delivery costs,
+// extracts the contents (transferring the payload reference, if any,
+// to the caller), and recycles the message struct.
+func (p *Proc) claim(i int) ([]byte, *bufpool.Payload, int) {
+	msg := p.queue[i]
+	p.queue = append(p.queue[:i], p.queue[i+1:]...)
+	p.deliver(msg)
+	data, pay, src := msg.data, msg.pay, msg.src
+	msg.pay = nil
+	p.putMsg(msg)
+	return data, pay, src
+}
+
 // recvAny blocks until a message matching any entry of wants is
 // available, claims the earliest-arriving match, and returns the index
 // of the matched want plus the payload and source world rank.  Among
@@ -316,7 +451,7 @@ func (p *Proc) recv(from, tag int) ([]byte, int) {
 // per-(source, tag) FIFO order; claiming in arrival order is what lets
 // an overlapped executor unpack lanes as they land instead of idling
 // on a fixed peer order.
-func (p *Proc) recvAny(wants []recvWant) (int, []byte, int) {
+func (p *Proc) recvAny(wants []recvWant) (int, []byte, *bufpool.Payload, int) {
 	for {
 		p.checkKilled()
 		best, bestWant := -1, -1
@@ -336,10 +471,8 @@ func (p *Proc) recvAny(wants []recvWant) (int, []byte, int) {
 			}
 		}
 		if best >= 0 {
-			msg := p.queue[best]
-			p.queue = append(p.queue[:best], p.queue[best+1:]...)
-			p.deliver(msg)
-			return bestWant, msg.data, msg.src
+			data, pay, src := p.claim(best)
+			return bestWant, data, pay, src
 		}
 		p.checkBeforeBlock(AnySource, wants)
 		p.wantsAny = wants
@@ -499,8 +632,9 @@ func (p *Proc) NetPairStats(from, to int) PairStats {
 // span starts on the pre-delivery clock, so any jump to the message's
 // arrival time (the receiver's wait) is inside the span.
 func (p *Proc) deliver(msg *message) {
+	size := msg.size()
 	sp := p.beginSpan("recv")
-	sp.SetPeer(msg.src).SetBytes(len(msg.data))
+	sp.SetPeer(msg.src).SetBytes(size)
 	m := p.world.machine
 	arrival := msg.arrival
 	if !msg.local {
@@ -515,12 +649,12 @@ func (p *Proc) deliver(msg *message) {
 		p.clock = arrival
 	}
 	if !msg.local {
-		p.clock += m.RecvOverhead + float64(len(msg.data))*m.PerByteCPU
+		p.clock += m.RecvOverhead + float64(size)*m.PerByteCPU
 	}
 	st := &p.world.stats
 	st.PerRank[p.worldRank].MsgsRecv++
-	st.PerRank[p.worldRank].BytesRecv += int64(len(msg.data))
-	p.world.record(Event{Time: p.clock, Rank: p.worldRank, Kind: EvRecv, Peer: msg.src, Bytes: len(msg.data)})
+	st.PerRank[p.worldRank].BytesRecv += int64(size)
+	p.world.record(Event{Time: p.clock, Rank: p.worldRank, Kind: EvRecv, Peer: msg.src, Bytes: size})
 	sp.End(p.clock)
 }
 

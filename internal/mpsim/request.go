@@ -3,6 +3,7 @@ package mpsim
 import (
 	"fmt"
 
+	"metachaos/internal/bufpool"
 	"metachaos/internal/codec"
 )
 
@@ -18,12 +19,45 @@ type Request struct {
 	p    *Proc
 	done bool
 	data []byte
-	src  int
+	// pay holds a completed receive's scatter-gather contents when the
+	// sender used the zero-copy path; the request owns one reference
+	// until Wait flattens it, TakePayload hands it off, or Free/Cancel
+	// releases it.
+	pay *bufpool.Payload
+	src int
 
 	// Pending receive matcher.
 	isRecv  bool
 	wantSrc int
 	wantTag int
+}
+
+// maxFreeReqs caps a process's request freelist.
+const maxFreeReqs = 256
+
+// getReq pops a recycled request struct or allocates one.
+func (p *Proc) getReq() *Request {
+	if n := len(p.reqFree); n > 0 {
+		r := p.reqFree[n-1]
+		p.reqFree = p.reqFree[:n-1]
+		return r
+	}
+	return &Request{}
+}
+
+// Free recycles a completed or cancelled request onto its process's
+// freelist, releasing any unclaimed payload.  The caller must not
+// touch r afterwards, and must not Free a request that is still
+// pending.
+func (r *Request) Free() {
+	if r.pay != nil {
+		r.pay.Release()
+	}
+	p := r.p
+	*r = Request{}
+	if p != nil && len(p.reqFree) < maxFreeReqs {
+		p.reqFree = append(p.reqFree, r)
+	}
 }
 
 // Isend starts a buffered send and returns a request that completes
@@ -47,12 +81,12 @@ func (c *Comm) Irecv(from, tag int) *Request {
 	if tag == AnyTag {
 		panic("mpsim: Comm.Irecv does not support AnyTag; use a specific tag")
 	}
-	return &Request{
-		p:       c.p,
-		isRecv:  true,
-		wantSrc: wsrc,
-		wantTag: c.userWire(tag),
-	}
+	r := c.p.getReq()
+	r.p = c.p
+	r.isRecv = true
+	r.wantSrc = wsrc
+	r.wantTag = c.userWire(tag)
+	return r
 }
 
 // Wait blocks until the request completes and returns the received
@@ -62,7 +96,7 @@ func (c *Comm) Irecv(from, tag int) *Request {
 func (r *Request) Wait() ([]byte, int) {
 	if r.done {
 		if r.isRecv {
-			return r.data, r.src
+			return r.flatten(), r.src
 		}
 		return nil, -1
 	}
@@ -70,10 +104,44 @@ func (r *Request) Wait() ([]byte, int) {
 		r.done = true
 		return nil, -1
 	}
-	data, src := r.p.recv(r.wantSrc, r.wantTag)
+	data, pay, src := r.p.recvMsg(r.wantSrc, r.wantTag)
 	r.done = true
-	r.data, r.src = data, src
-	return data, src
+	r.data, r.pay, r.src = data, pay, src
+	return r.flatten(), src
+}
+
+// flatten collapses a payload result into cached flat data, preserving
+// Wait's copy semantics for callers that do not speak segments.
+func (r *Request) flatten() []byte {
+	if r.pay != nil {
+		r.data = r.pay.Flatten()
+		r.pay.Release()
+		r.pay = nil
+	}
+	return r.data
+}
+
+// TakePayload returns a completed receive's contents without
+// flattening: pay is non-nil when the sender used the zero-copy path,
+// and its reference now belongs to the caller (Release it after
+// reading); otherwise data holds the flat bytes.  It completes the
+// request like Wait if necessary, and transfers the payload only once.
+func (r *Request) TakePayload() (data []byte, pay *bufpool.Payload, src int) {
+	if !r.done {
+		if !r.isRecv {
+			r.done = true
+			return nil, nil, -1
+		}
+		d, py, s := r.p.recvMsg(r.wantSrc, r.wantTag)
+		r.done = true
+		r.data, r.pay, r.src = d, py, s
+	}
+	if !r.isRecv {
+		return nil, nil, -1
+	}
+	data, pay, src = r.data, r.pay, r.src
+	r.pay = nil
+	return data, pay, src
 }
 
 // Test reports whether the request could complete without blocking,
@@ -86,9 +154,7 @@ func (r *Request) Test() bool {
 	}
 	for i, msg := range r.p.queue {
 		if matches(msg, r.wantSrc, r.wantTag) {
-			r.p.queue = append(r.p.queue[:i], r.p.queue[i+1:]...)
-			r.p.deliver(msg)
-			r.data, r.src = msg.data, msg.src
+			r.data, r.pay, r.src = r.p.claim(i)
 			r.done = true
 			return true
 		}
@@ -151,9 +217,9 @@ func Waitany(reqs []*Request) int {
 		}
 	}
 	p.wantBuf, p.wantIdx = wants, idx
-	wi, data, src := p.recvAny(wants)
+	wi, data, pay, src := p.recvAny(wants)
 	r := reqs[idx[wi]]
-	r.done, r.data, r.src = true, data, src
+	r.done, r.data, r.pay, r.src = true, data, pay, src
 	return idx[wi]
 }
 
@@ -172,8 +238,15 @@ func (r *Request) Done() bool { return r.done }
 // Cancel marks a pending request complete without waiting for it.
 // Higher layers use it to abandon receives from a peer the transport
 // declared unreachable; a message that later matches the cancelled
-// receive stays in the queue.
-func (r *Request) Cancel() { r.done = true }
+// receive stays in the queue.  Any payload already claimed is
+// released.
+func (r *Request) Cancel() {
+	if r.pay != nil {
+		r.pay.Release()
+		r.pay = nil
+	}
+	r.done = true
+}
 
 // WaitanyTimeout is Waitany bounded by a virtual-time deadline.  It
 // returns the completed request's index, or -1 and a *NetError

@@ -47,6 +47,12 @@ import (
 //   - Cross-shard perfect-network messages are staged in the sending
 //     shard's outbox and moved into the destination shard's heap at
 //     the barrier.
+//   - Scatter-gather payloads never cross a shard boundary while still
+//     viewing live application storage: sendImpl materializes any
+//     unmaterialized payload bound for another shard into its own
+//     pooled segment, so the destination shard only ever reads bytes
+//     the sending shard will never mutate again.  Same-shard and
+//     serial deliveries stay zero-copy.
 
 // autoShardWorlds is the world size at which a run with Config.Shards
 // == 0 and no MPSIM_SHARDS override starts sharding automatically.

@@ -4,7 +4,9 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"sync"
 
+	"metachaos/internal/bufpool"
 	"metachaos/internal/obs"
 )
 
@@ -99,6 +101,17 @@ type World struct {
 	tc  timerCache
 	net *netLayer
 
+	// pool backs the zero-copy data plane: every payload and pooled
+	// segment moving through this world comes from here.
+	pool *bufpool.Pool
+
+	// msgPool catches message-struct recycling overflow.  Per-proc
+	// freelists (Proc.msgFree) serve the hot path without
+	// synchronization, but structs migrate from sender to receiver on
+	// claim, so one-directional traffic would drain every sender's list
+	// forever; receivers overflow here and senders refill from here.
+	msgPool sync.Pool
+
 	// sh is the sharded parallel engine, nil for serial runs.
 	sh *shardedRun
 
@@ -190,6 +203,7 @@ func newWorld(cfg Config) (*World, error) {
 		machine:   cfg.Machine,
 		toSched:   make(chan schedEvent),
 		progRanks: make(map[string][]int),
+		pool:      bufpool.New(),
 	}
 	if cfg.Trace {
 		w.trace = &Trace{}

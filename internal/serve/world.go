@@ -302,7 +302,13 @@ func (r *runner) body(p *mpsim.Proc) {
 		var batch []*op
 		if leader {
 			batch = <-r.batches
-			coupling.Union.Bcast(0, encodeBatch(batch))
+			// The encoded batch goes down the broadcast tree as a
+			// scatter-gather payload: one child-count's worth of sends
+			// reference the same bytes, no per-send flatten.
+			pay := p.BufPool().GetPayload()
+			pay.AddView(encodeBatch(batch))
+			coupling.Union.BcastPayload(0, pay)
+			pay.Release()
 		} else {
 			batch = decodeBatch(coupling.Union.Bcast(0, nil))
 		}

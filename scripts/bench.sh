@@ -26,10 +26,21 @@ fi
 # one-iteration run would be satisfied by the framework's calibration
 # pass, which executes before GOMAXPROCS is pinned and would mislabel
 # the first variant.  Both outputs land in one snapshot.
+#
+# On a single-CPU host the multi-core sweep values would only measure
+# oversubscription, so the sweep collapses to -cpu 1 and no speedup@N
+# metric is recorded (cmd/mcbench drops any that sneak through and
+# annotates the snapshot).
+ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+cpus="1,2,4"
+if [ "$ncpu" -le 1 ]; then
+	cpus="1"
+	echo "bench: single-cpu host; skipping the parallel-speedup sweep" >&2
+fi
 {
 	go test -run '^$' -bench . -benchmem "$@" . &&
 	go test -run '^$' -bench '^BenchmarkFigure10Parallel$' -benchmem \
-		-benchtime 3x -cpu 1,2,4 .
+		-benchtime 3x -cpu "$cpus" .
 } | tee /dev/stderr | go run ./cmd/mcbench > "$out"
 echo "wrote $out" >&2
 
