@@ -315,6 +315,88 @@ func BenchmarkMoveObsOff(b *testing.B) {
 	})
 }
 
+func BenchmarkScheduleRepair(b *testing.B) {
+	// O(delta) incremental schedule repair against the collective
+	// recompute it replaces: a 256-rank block redistribution whose
+	// rank-17/18 boundary shifts by one element.  repair diffs the two
+	// route maps and patches a cloned donor schedule — pure local work,
+	// no world; rebuild pays the full 256-process inspector collective
+	// for the same class of transfer.
+	const ranks = 256
+	const blk = 64
+	const n = ranks * blk
+
+	even := make([]int, ranks)
+	world := make([]int, ranks)
+	shifted := make([]int, ranks)
+	for i := range even {
+		even[i], world[i], shifted[i] = blk, i, blk
+	}
+	// Destination boundaries sit half a block off the source's, so
+	// every rank exchanges half its block with a neighbor.
+	shifted[0] = blk / 2
+	shifted[ranks-1] = blk + blk/2
+	rmOld, err := metachaos.BlockRoutes(even, shifted, world, world)
+	if err != nil {
+		b.Fatal(err)
+	}
+	moved := append([]int(nil), shifted...)
+	moved[17]--
+	moved[18]++
+	rmNew, err := metachaos.BlockRoutes(even, moved, world, world)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// A throwaway world supplies the union communicator the donor
+	// schedule binds to; the schedule itself assembles locally.
+	var donor *metachaos.Schedule
+	var view metachaos.RankView
+	metachaos.RunSPMD(metachaos.Ideal(), ranks, func(p *metachaos.Proc) {
+		if p.Rank() != 17 {
+			return
+		}
+		g := metachaos.SingleProgram(p.Comm())
+		s, err := metachaos.NewScheduleFromRoutes(g, rmOld, metachaos.Float64, p.WorldRank())
+		if err != nil {
+			panic(err)
+		}
+		donor, view = s, g.View()
+	})
+
+	b.Run("repair", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			delta := rmOld.Diff(rmNew)
+			patched := donor.Clone()
+			if err := patched.Repair(delta, view); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(rmOld.Diff(rmNew).Frac(), "delta-frac")
+	})
+
+	b.Run("rebuild", func(b *testing.B) {
+		metachaos.RunSPMD(metachaos.Ideal(), ranks, func(p *metachaos.Proc) {
+			ctx := metachaos.NewCtx(p, p.Comm())
+			g := metachaos.SingleProgram(p.Comm())
+			src := metachaos.NewHPFArray(metachaos.BlockVector(n, ranks), p.Rank())
+			dst := metachaos.NewHPFArray(metachaos.BlockVector(n, ranks), p.Rank())
+			for i := 0; i < b.N; i++ {
+				_, err := metachaos.ComputeSchedule(g,
+					&metachaos.Spec{Lib: metachaos.HPF, Obj: src,
+						Set: metachaos.NewSetOfRegions(metachaos.NewSection([]int{0}, []int{n - blk/2})), Ctx: ctx},
+					&metachaos.Spec{Lib: metachaos.HPF, Obj: dst,
+						Set: metachaos.NewSetOfRegions(metachaos.NewSection([]int{blk / 2}, []int{n})), Ctx: ctx},
+					metachaos.Cooperation)
+				if err != nil {
+					panic(err)
+				}
+			}
+		})
+	})
+}
+
 func BenchmarkChaosLookup(b *testing.B) {
 	// Host cost of one collective translation-table lookup round
 	// (16384 lookups over 4 processes).

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"metachaos/internal/codec"
+	"metachaos/internal/mpsim"
+)
+
+// Incremental schedule repair.  A Schedule carrying its RouteMap
+// (AttachRoutes) can be patched when the distribution changes by a
+// small delta — a rank joined, a block migrated, a boundary shifted —
+// instead of paying the collective O(world) recompute: Diff the old
+// and new route maps (O(runs)), and if the changed fraction is within
+// policy, reassemble the per-process lists locally from the new map
+// (O(runs), no communication, no dereference).  RepairOrRebuild is the
+// policy wrapper recovery and the coupling service call; it falls back
+// to a full rebuild when no routes are attached or the delta is too
+// large for a patch to be worth it.
+//
+// Every input to the repair decision (cached routes, new routes,
+// policy) is SPMD-replicated state, so all processes of a coupling
+// take the same branch — a cache that repaired on some ranks and
+// rebuilt on others would desynchronize the collective rebuild.
+
+// RankView translates a world rank to the current union communicator's
+// rank.  Route maps store world ranks (stable across membership
+// changes); a view is how assembly rebinds them to whatever union the
+// schedule will move over.  mpsim.Comm.RankOf is the canonical view;
+// tests use identity views.
+type RankView func(worldRank int) (int, bool)
+
+// View returns the rank view of this coupling's union.
+func (c *Coupling) View() RankView { return c.Union.RankOf }
+
+// AttachRoutes attaches the transfer's route map to the schedule,
+// enabling incremental repair.  myWorld is the calling process's world
+// rank (the identity assembly specializes to).  The map must describe
+// the same transfer the schedule was computed for.
+func (s *Schedule) AttachRoutes(rm *RouteMap, myWorld int) error {
+	if rm == nil {
+		return fmt.Errorf("core: attaching nil route map")
+	}
+	if rm.Elems != s.elems {
+		return fmt.Errorf("core: route map covers %d elements, schedule moves %d", rm.Elems, s.elems)
+	}
+	s.routes = rm
+	s.myWorld = myWorld
+	return nil
+}
+
+// HasRoutes reports whether the schedule carries a route map and is
+// therefore repairable.
+func (s *Schedule) HasRoutes() bool { return s.routes != nil }
+
+// Routes returns the attached route map, or nil.
+func (s *Schedule) Routes() *RouteMap { return s.routes }
+
+// Clone returns a deep copy of the schedule's routing state (lists,
+// route map reference, union binding, timeout) with fresh executor
+// scratch.  The coupling service clones a donor tenant's schedule
+// before repairing it so the donor's cached entry stays intact.
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{
+		union:   s.union,
+		elems:   s.elems,
+		elem:    s.elem,
+		timeout: s.timeout,
+		routes:  s.routes,
+		myWorld: s.myWorld,
+	}
+	c.Sends = make([]PeerList, len(s.Sends))
+	for i, pl := range s.Sends {
+		c.Sends[i] = PeerList{Peer: pl.Peer, Runs: append([]Run(nil), pl.Runs...)}
+	}
+	c.Recvs = make([]PeerList, len(s.Recvs))
+	for i, pl := range s.Recvs {
+		c.Recvs[i] = PeerList{Peer: pl.Peer, Runs: append([]Run(nil), pl.Runs...)}
+	}
+	c.Local = append([]LocalRun(nil), s.Local...)
+	return c
+}
+
+// NewScheduleFromRoutes assembles a process's schedule directly from a
+// route map, with no communication at all — the joiner's half of
+// elastic grow: a rank that just entered the world holds no cached
+// schedule to repair, but given the (SPMD-replicated) route map it
+// derives the same lists every incumbent's repair produces, because
+// both endpoints of every lane enumerate the same positions in the
+// same order.  myWorld is the calling process's world rank.
+func NewScheduleFromRoutes(g *Coupling, rm *RouteMap, et ElemType, myWorld int) (*Schedule, error) {
+	if rm == nil {
+		return nil, fmt.Errorf("core: building schedule from nil route map")
+	}
+	s := &Schedule{union: g.Union, elems: rm.Elems, elem: et}
+	if err := s.AttachRoutes(rm, myWorld); err != nil {
+		return nil, err
+	}
+	if err := s.assembleFromRoutes(g.View()); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Rebind points the schedule at a different union communicator — the
+// fresh-context, fresh-sequence-space group a grow or shrink derived —
+// without touching its lists.  Use it together with Repair when the
+// membership changed; the repair's view must translate into the same
+// union.
+func (s *Schedule) Rebind(union *mpsim.Comm) { s.union = union }
+
+// assembleFromRoutes rebuilds the schedule's send/receive/local lists
+// for world rank s.myWorld from its route map, translating peer world
+// ranks through view.  Lanes come out in first-encounter order over
+// the position-sorted runs — the same order both collective builders
+// produce, since their fragments arrive in position order too.
+func (s *Schedule) assembleFromRoutes(view RankView) error {
+	s.Sends, s.Recvs, s.Local = nil, nil, nil
+	my := int32(s.myWorld)
+	laneIdx := map[int]int{}
+	lane := func(lanes *[]PeerList, peerWorld int32) (*PeerList, error) {
+		u, ok := view(int(peerWorld))
+		if !ok {
+			return nil, fmt.Errorf("core: route peer world rank %d is not in the union", peerWorld)
+		}
+		// Send and receive peers share the index map: a rank never both
+		// sends to and receives from the same peer within one schedule
+		// direction (a position routes one way), except through distinct
+		// lanes keyed by list identity — so key on (list, peer).
+		key := u*2 + 1
+		if lanes == &s.Sends {
+			key = u * 2
+		}
+		if i, ok := laneIdx[key]; ok {
+			return &(*lanes)[i], nil
+		}
+		laneIdx[key] = len(*lanes)
+		*lanes = append(*lanes, PeerList{Peer: u})
+		return &(*lanes)[len(*lanes)-1], nil
+	}
+	for i := range s.routes.Runs {
+		r := &s.routes.Runs[i]
+		switch {
+		case r.SrcRank == my && r.DstRank == my:
+			s.Local = appendWholeLocalRun(s.Local, r.SrcOff, r.SrcStride, r.DstOff, r.DstStride, r.Count)
+		case r.SrcRank == my:
+			pl, err := lane(&s.Sends, r.DstRank)
+			if err != nil {
+				return err
+			}
+			pl.Runs = appendWholeRun(pl.Runs, r.SrcOff, r.SrcStride, r.Count)
+		case r.DstRank == my:
+			pl, err := lane(&s.Recvs, r.SrcRank)
+			if err != nil {
+				return err
+			}
+			pl.Runs = appendWholeRun(pl.Runs, r.DstOff, r.DstStride, r.Count)
+		}
+	}
+	return nil
+}
+
+// Repair patches the schedule in place to the delta's new routing: the
+// route map is swapped, the per-process lists are reassembled locally
+// (O(runs) — no communication, no dereference), and the executor
+// scratch is reset so the next move restages.  The caller is
+// responsible for the policy decision (see RepairOrRebuild) and for
+// Rebind when the union changed.
+func (s *Schedule) Repair(delta *RouteDelta, view RankView) error {
+	if delta == nil || delta.Next == nil {
+		return fmt.Errorf("core: repairing with nil delta")
+	}
+	if delta.Next.Elems != s.elems {
+		return fmt.Errorf("core: repair delta covers %d elements, schedule moves %d", delta.Next.Elems, s.elems)
+	}
+	s.routes = delta.Next
+	if err := s.assembleFromRoutes(view); err != nil {
+		return err
+	}
+	// The old staging layout no longer matches the lanes; drop it and
+	// let the next move regrow the lease.
+	s.releaseScratch()
+	s.lease, s.sent, s.reqs = nil, nil, nil
+	s.netBefore, s.perPeer = nil, nil
+	return nil
+}
+
+// RepairPolicy bounds when an incremental repair is preferred over a
+// full rebuild.
+type RepairPolicy struct {
+	// MaxDeltaFrac is the largest changed fraction of the transfer a
+	// repair accepts; above it the patch would touch most lanes anyway
+	// and the collective rebuild's better constants win.  Zero means
+	// the default, 0.25.
+	MaxDeltaFrac float64
+}
+
+func (pol RepairPolicy) maxFrac() float64 {
+	if pol.MaxDeltaFrac <= 0 {
+		return 0.25
+	}
+	return pol.MaxDeltaFrac
+}
+
+// RepairOrRebuild returns a schedule for the new routing: when cached
+// carries routes and the diff against next is within policy, it
+// returns a repaired clone (purely local — the collective rebuild is
+// skipped entirely); otherwise it falls back to rebuild.  The boolean
+// reports which path ran.  The decision is a pure function of
+// SPMD-replicated inputs, so every process of the coupling takes the
+// same branch.
+func RepairOrRebuild(cached *Schedule, next *RouteMap, view RankView, pol RepairPolicy, rebuild func() (*Schedule, error)) (*Schedule, bool, error) {
+	if cached != nil && cached.routes != nil && next != nil && cached.elems == next.Elems {
+		delta := cached.routes.Diff(next)
+		if delta.Frac() <= pol.maxFrac() {
+			repaired := cached.Clone()
+			if err := repaired.Repair(delta, view); err == nil {
+				return repaired, true, nil
+			}
+			// A translation failure (peer outside the union) means the
+			// routes and the view disagree about membership; the rebuild
+			// resolves it authoritatively.
+		}
+	}
+	s, err := rebuild()
+	return s, false, err
+}
+
+// Canonical returns a canonical byte encoding of the schedule's
+// routing semantics: element count and type, send and receive lanes
+// sorted by peer with offsets fully expanded, and local pairs in
+// order.  Two schedules with equal Canonical forms move exactly the
+// same bytes between the same endpoints in the same per-lane order —
+// even when their run-compressed representations chose different run
+// boundaries (the online and whole-run coalescers legitimately
+// differ).  Equivalence tests compare these forms.
+func (s *Schedule) Canonical() []byte {
+	var w codec.Writer
+	w.PutInt64(int64(s.elems))
+	w.PutInt32(PackElem(s.elem))
+	lanes := func(pls []PeerList) {
+		idx := make([]int, len(pls))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return pls[idx[a]].Peer < pls[idx[b]].Peer })
+		w.PutInt32(int32(len(pls)))
+		for _, i := range idx {
+			pl := &pls[i]
+			w.PutInt32(int32(pl.Peer))
+			w.PutInt32(int32(pl.Len()))
+			pl.Each(func(off int32) { w.PutInt32(off) })
+		}
+	}
+	lanes(s.Sends)
+	lanes(s.Recvs)
+	w.PutInt32(int32(s.LocalCount()))
+	s.EachLocal(func(src, dst int32) {
+		w.PutInt32(src)
+		w.PutInt32(dst)
+	})
+	return w.Bytes()
+}

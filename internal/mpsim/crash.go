@@ -172,6 +172,9 @@ func (w *World) fireCrash(tm *timer) {
 	if cs.dead[r] || p.state == stateDone {
 		return // already dead, or the program finished first
 	}
+	if w.dormant(r) {
+		return // not yet joined: a rank that never existed cannot crash
+	}
 	cs.dead[r] = true
 	cs.crashedAt[r] = tm.at
 	cs.recIdx[r] = len(cs.records)
@@ -403,18 +406,24 @@ func (p *Proc) DeadSince(r int) float64 {
 func (p *Proc) Incarnation() int { return p.incarnation }
 
 // GroupIncarnation counts the group-membership changes (crash
-// detections and restarts) visible at this process's clock.  It is the
-// schedule-cache invalidation key: any cached communication schedule
-// computed under an older incarnation may name dead ranks.
+// detections, restarts, and elastic joins) visible at this process's
+// clock.  It is the schedule-cache invalidation key: any cached
+// communication schedule computed under an older incarnation may name
+// dead ranks or miss joined ones.
 func (p *Proc) GroupIncarnation() int {
-	cs := p.world.crash
-	if cs == nil {
-		return 0
-	}
 	n := 0
-	for _, t := range cs.incTimes {
-		if t <= p.clock {
-			n++
+	if cs := p.world.crash; cs != nil {
+		for _, t := range cs.incTimes {
+			if t <= p.clock {
+				n++
+			}
+		}
+	}
+	if js := p.world.join; js != nil {
+		for _, t := range js.incTimes {
+			if t <= p.clock {
+				n++
+			}
 		}
 	}
 	return n

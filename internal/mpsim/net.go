@@ -117,6 +117,7 @@ const (
 	tCrash   // kill a rank (crash plan)
 	tDetect  // failure detector declares a crashed rank dead
 	tRestart // relaunch a crashed rank
+	tJoin    // launch a dormant rank (join plan)
 )
 
 // timer is one pending virtual-time event.  Ties on the virtual time
@@ -137,7 +138,7 @@ type timer struct {
 	msg *message // tMsg
 	dst int      // tMsg: destination world rank
 
-	p   *Proc // tWake, tCrash, tDetect, tRestart
+	p   *Proc // tWake, tCrash, tDetect, tRestart, tJoin
 	gen int
 
 	free *timer // timerCache freelist link
@@ -227,6 +228,8 @@ func (w *World) fireTimer(tm *timer, c *timerCache) {
 		w.fireDetect(tm)
 	case tRestart:
 		w.fireRestart(tm)
+	case tJoin:
+		w.fireJoin(tm)
 	}
 	c.put(tm)
 }

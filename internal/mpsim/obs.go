@@ -26,6 +26,7 @@ type obsCounters struct {
 	crashes     *obs.Counter
 	detects     *obs.Counter
 	restarts    *obs.Counter
+	joins       *obs.Counter
 	msgBytes    *obs.Histogram
 }
 
@@ -45,6 +46,7 @@ func (c *obsCounters) resolve(m *obs.Metrics) {
 	c.crashes = m.Counter("mpsim.crashes")
 	c.detects = m.Counter("mpsim.crash_detects")
 	c.restarts = m.Counter("mpsim.restarts")
+	c.joins = m.Counter("mpsim.joins")
 	c.msgBytes = m.Histogram("mpsim.msg_bytes", obs.DefBytesBuckets)
 }
 
@@ -92,6 +94,9 @@ func (w *World) obsEvent(e Event) {
 		w.obsInstant(e)
 	case EvRestart:
 		w.obsC.restarts.Inc()
+		w.obsInstant(e)
+	case EvJoin:
+		w.obsC.joins.Inc()
 		w.obsInstant(e)
 	}
 }

@@ -283,6 +283,12 @@ func (p *Proc) sendImpl(to, tag int, data []byte, pay *bufpool.Payload) {
 	if to < 0 || to >= len(p.world.procs) {
 		panic(fmt.Sprintf("mpsim: rank %d sends to invalid rank %d", p.worldRank, to))
 	}
+	if p.world.dormant(to) {
+		// The destination has not joined the world yet; applications
+		// coordinate growth with AbsentRanks/LiveWorld, so a send here
+		// is a membership bug, caught deterministically.
+		panic(fmt.Sprintf("mpsim: rank %d sends to rank %d before it joined the world", p.worldRank, to))
+	}
 	if p.world.crash != nil {
 		p.checkKilled()
 		if p.world.deadDetected(to, p.clock) {

@@ -377,6 +377,11 @@ func newShardedRun(w *World, n int, lookahead float64) *shardedRun {
 	w.runq = w.runq[:0]
 	for _, s := range sr.shards {
 		for r := s.lo; r < s.hi; r++ {
+			// Dormant (not-yet-joined) ranks are launched by their join
+			// timers; they still count as live (see World.schedule).
+			if w.dormant(r) {
+				continue
+			}
 			heap.Push(&s.runq, w.procs[r])
 		}
 		s.live = s.hi - s.lo

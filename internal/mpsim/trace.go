@@ -48,6 +48,9 @@ const (
 	// EvRestart is recorded when a crashed rank restarts with a fresh
 	// incarnation.
 	EvRestart
+	// EvJoin is recorded when a dormant rank joins the running world
+	// (elastic scale-out).
+	EvJoin
 )
 
 func (k EventKind) String() string {
@@ -76,6 +79,8 @@ func (k EventKind) String() string {
 		return "crashdetect"
 	case EvRestart:
 		return "restart"
+	case EvJoin:
+		return "join"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }

@@ -52,6 +52,10 @@ type Config struct {
 	// Detect configures the failure detector used with Crash; nil with
 	// a crash plan installs DefaultDetector().
 	Detect *Detector
+	// Join, when non-nil, supplies elastic scale-out: ranks listed in
+	// the plan start dormant and launch their program bodies at
+	// scheduled virtual times.  See join.go for the membership model.
+	Join JoinPlan
 	// Shards selects the scheduler: 1 (or negative) forces the serial
 	// loop, N > 1 requests N parallel scheduler shards, and 0 (the
 	// default) consults the MPSIM_SHARDS environment variable and then
@@ -117,6 +121,8 @@ type World struct {
 
 	// Crash-fault state (nil when Config.Crash was nil).
 	crash *crashState
+	// Elastic-growth state (nil when Config.Join was nil).
+	join *joinState
 	// live is the number of processes that have not finished (crashed
 	// processes leave it; restarts rejoin it).
 	live int
@@ -174,6 +180,7 @@ func Run(cfg Config) *Stats {
 	}
 	w.stats.Trace = w.trace
 	w.stats.Crashes = w.crashRecords()
+	w.stats.Joins = w.joinRecords()
 	if w.obs != nil {
 		w.obs.MetricsRegistry().Gauge("mpsim.makespan_seconds").Set(w.stats.MakespanSeconds)
 	}
@@ -277,13 +284,23 @@ func newWorld(cfg Config) (*World, error) {
 	if cfg.Crash != nil {
 		w.initCrash(cfg.Crash, cfg.Detect, cfg.Programs)
 	}
+	if cfg.Join != nil {
+		w.initJoin(cfg.Join, cfg.Programs)
+	}
 	// Launch every process goroutine; each immediately parks waiting for
-	// the scheduler to resume it.
+	// the scheduler to resume it.  Dormant ranks (pending joins) are
+	// launched by their join timers instead.
 	for _, p := range w.procs {
+		if w.dormant(p.worldRank) {
+			continue
+		}
 		w.launchProc(p, cfg.Programs[p.progIndex].Body)
 	}
 	heap.Init(&w.runq)
 	for _, p := range w.procs {
+		if w.dormant(p.worldRank) {
+			continue
+		}
 		heap.Push(&w.runq, p)
 	}
 	return w, nil
@@ -321,6 +338,10 @@ func (w *World) launchProc(p *Proc, body func(p *Proc)) {
 // rank), which makes runs deterministic and keeps link reservations in
 // near-causal order.
 func (w *World) schedule() {
+	// Dormant (not-yet-joined) ranks count as live from t=0: their
+	// eventual completion is part of the run, and counting them keeps
+	// the loop alive until their join timers fire even if every launched
+	// process finishes first.
 	w.live = len(w.procs)
 	for w.live > 0 {
 		if w.failure != nil {

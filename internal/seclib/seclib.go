@@ -218,6 +218,15 @@ func (l *Lib) DecodeRegion(data []byte) (core.Region, error) {
 	return gidx.Section{Lo: r.Ints(), Hi: r.Ints(), Step: r.Ints()}, nil
 }
 
+// NewView builds a descriptor-only object over an existing
+// distribution: it dereferences exactly like a full array with that
+// distribution and ghost margin but holds no data.  The coupling
+// service uses views to compute route maps for descriptors it can
+// construct from a broadcast spec without materializing storage.
+func NewView(dist *distarray.Dist, halo int, et core.ElemType) *View {
+	return &View{dist: dist, halo: halo, et: et}
+}
+
 // View is a descriptor-only remote image of a regular distributed
 // array: it dereferences but holds no data.
 type View struct {

@@ -523,3 +523,60 @@ func TestServeManyTenants(t *testing.T) {
 		t.Errorf("worlds=%v, want 2 (one per coupling shape)", w)
 	}
 }
+
+// TestServeDonorRepairSharesSchedules pins the descriptor-level
+// sharing path: blockvec(4096) and rowblock(64×64) over the same
+// process count have identical linearized placement, so once the first
+// pair's open has registered a donor schedule with routes, the second
+// pair's route map diffs against it to a zero delta and the open is
+// served by patching the donor locally — no collective inspector —
+// while its moves stay bit-identical to a standalone cold build of the
+// same pair.
+func TestServeDonorRepairSharesSchedules(t *testing.T) {
+	srv, sock := startServer(t, Options{FlushWindow: -1})
+	c := dialT(t, sock, "alice")
+	defer c.Close()
+
+	pairA := [2]DistSpec{
+		{Library: "hpfrt", Layout: "blockvec", Shape: []int{4096}, Procs: 2},
+		{Library: "mbparti", Layout: "blockvec", Shape: []int{4096}, Procs: 2},
+	}
+	pairB := [2]DistSpec{
+		{Library: "hpfrt", Layout: "rowblock", Shape: []int{64, 64}, Procs: 2},
+		{Library: "mbparti", Layout: "blockvec", Shape: []int{4096}, Procs: 2},
+	}
+	for i, spec := range []DistSpec{pairA[0], pairA[1], pairB[0], pairB[1]} {
+		if err := c.RegisterDist(i+1, spec); err != nil {
+			t.Fatalf("register %d: %v", i+1, err)
+		}
+	}
+	if _, _, err := c.OpenCoupling(1, 1, 2); err != nil {
+		t.Fatalf("open donor pair: %v", err)
+	}
+	warm, _, err := c.OpenCoupling(2, 3, 4)
+	if err != nil {
+		t.Fatalf("open repaired pair: %v", err)
+	}
+	if warm {
+		t.Error("a distinct pair key should not report a cache hit")
+	}
+	st := srv.Stats()
+	if st["serve_open_repaired_total"] != 1 {
+		t.Errorf("repaired opens = %v, want 1", st["serve_open_repaired_total"])
+	}
+
+	ops := []ScriptOp{{Kind: OpMove, Seed: 3}, {Kind: OpMoveAdd, Seed: 5}, {Kind: OpMoveReverse, Seed: 7}}
+	ref, err := Standalone(pairB[0], pairB[1], ops)
+	if err != nil {
+		t.Fatalf("standalone: %v", err)
+	}
+	for i, so := range ops {
+		got, err := c.Move(2, so.Kind, so.Seed)
+		if err != nil {
+			t.Fatalf("move %d: %v", i, err)
+		}
+		if got.Hash != ref[i].Hash {
+			t.Errorf("move %d: repaired-schedule hash %016x != standalone %016x", i, got.Hash, ref[i].Hash)
+		}
+	}
+}

@@ -173,6 +173,9 @@ func (ss *session) openCoupling(payload []byte) (byte, []byte, error) {
 	if rep.warm {
 		ss.srv.count("serve_open_warm_total", 1)
 	}
+	if rep.repaired {
+		ss.srv.count("serve_open_repaired_total", 1)
+	}
 	var w codec.Writer
 	warm := int32(0)
 	if rep.warm {

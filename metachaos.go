@@ -135,7 +135,7 @@ var (
 	// FlakyFaults is CrashyFaults with a later seed-derived restart.
 	FlakyFaults = faultsim.Flaky
 	// FaultProfileByName maps "none"/"mild"/"lossy"/"random"/"crashy"/
-	// "flaky" to a profile.
+	// "flaky"/"growth" to a profile.
 	FaultProfileByName = faultsim.ByName
 )
 
@@ -167,6 +167,52 @@ var (
 	// agreement, detector-settled shrink, rewind/rebuild hooks,
 	// schedule recompute, retry.
 	MoveWithRecovery = core.MoveWithRecovery
+)
+
+// Elastic membership and O(delta) incremental schedule repair (see the
+// elastic-membership section of DESIGN.md).  Wire a join plan through
+// Config.Join — e.g. GrowthFaults(seed).JoinPlan() — and the listed
+// ranks start dormant, entering the running world at their scheduled
+// virtual times; schedules carrying route maps (AttachRoutes) are then
+// patched in O(delta) against the new membership instead of recomputed
+// collectively.
+type (
+	// JoinEvent schedules one rank's entry into the running world.
+	JoinEvent = mpsim.JoinEvent
+	// JoinPlan supplies a run's deterministic join schedule.
+	JoinPlan = mpsim.JoinPlan
+	// JoinRecord is one join's observable history in Stats.Joins.
+	JoinRecord = mpsim.JoinRecord
+	// RouteMap is a transfer's position-ordered routing, keyed on world
+	// ranks so it stays meaningful across membership changes.
+	RouteMap = core.RouteMap
+	// RouteRun is one run-compressed span of a RouteMap.
+	RouteRun = core.RouteRun
+	// RouteDelta is the run-aligned difference of two route maps.
+	RouteDelta = core.RouteDelta
+	// RankView translates world ranks into a union communicator.
+	RankView = core.RankView
+	// RepairPolicy bounds when an incremental repair is preferred over
+	// a full rebuild.
+	RepairPolicy = core.RepairPolicy
+)
+
+var (
+	// GrowthFaults is MildFaults plus two seed-derived elastic joins.
+	GrowthFaults = faultsim.Growth
+	// ComputeRoutes derives a transfer's route map locally from the two
+	// sides' descriptors.
+	ComputeRoutes = core.ComputeRoutes
+	// BlockRoutes builds a block redistribution's route map in
+	// O(parts), without dereferencing elements.
+	BlockRoutes = core.BlockRoutes
+	// NewScheduleFromRoutes assembles a process's schedule from a route
+	// map with no communication — the path a joining rank takes.
+	NewScheduleFromRoutes = core.NewScheduleFromRoutes
+	// RepairOrRebuild patches a cached schedule in O(delta) when the
+	// routing delta is within policy, falling back to the collective
+	// rebuild otherwise.
+	RepairOrRebuild = core.RepairOrRebuild
 )
 
 // Run executes a configured set of programs on the simulated machine.

@@ -1,6 +1,6 @@
 #!/bin/sh
 # CI perf-regression gate: re-run the gated benchmarks (Table5,
-# MovePack, MoveOverlap) and compare against a committed BENCH_<date>.json
+# MovePack, MoveOverlap, ScheduleRepair) and compare against a committed BENCH_<date>.json
 # snapshot via cmd/benchdiff.  Fails on more than 10% ns/op growth or
 # allocs/op growth beyond runtime jitter (one per million) on a gated
 # benchmark.
@@ -12,7 +12,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-filter='Table5|MovePack|MoveOverlap'
+filter='Table5|MovePack|MoveOverlap|ScheduleRepair'
 count="${BENCH_COUNT:-3}"
 if [ $# -gt 0 ]; then
 	baseline="$1"

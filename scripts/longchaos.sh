@@ -1,7 +1,7 @@
 #!/bin/sh
 # Chaos soak: the chaos suite across many seeds, rotating through every
-# fault profile — message faults (mild/lossy/random) and fail-stop
-# crashes (crashy/flaky) alike.  Failing regimes are recorded in the
+# fault profile — message faults (mild/lossy/random), fail-stop
+# crashes (crashy/flaky) and elastic joins (growth) alike.  Failing regimes are recorded in the
 # -out file together with their logs, so a nightly failure reproduces
 # locally with a one-liner:
 #
@@ -32,8 +32,8 @@ while [ $# -gt 0 ]; do
 	esac
 done
 
-profiles="lossy mild random crashy flaky"
-nprof=5
+profiles="lossy mild random crashy flaky growth"
+nprof=6
 : >"$out"
 fail=0
 run=0
