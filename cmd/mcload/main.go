@@ -8,6 +8,15 @@
 // from running alone.
 //
 //	mcload -network unix -addr /tmp/mcserved.sock -tenants 4 -moves 32 -check
+//
+// With -chaos R every tenant connection injects seeded wire faults
+// (dropped and torn frames, lost replies, stalls) at rate R per I/O;
+// the clients reconnect, resume their leased sessions and retry, and
+// -check still demands bit-identical hashes.  -catalog big swaps in
+// soak-scale pairs whose resident worlds cross the auto-sharding
+// threshold (256 union ranks).
+//
+//	mcload -addr /tmp/mcserved.sock -tenants 4 -moves 32 -chaos 0.05 -check
 package main
 
 import (
@@ -33,9 +42,12 @@ type pair struct {
 	src, dst serve.DistSpec
 }
 
-// catalog is the library/layout mix the load exercises: HPF-to-Parti
-// vectors, a 2-D redistribution, and a multi-word pC++ collection.
-var catalog = []pair{
+// catalog is the pair mix in effect for the run; -catalog selects it.
+var catalog []pair
+
+// stdCatalog is the default library/layout mix: HPF-to-Parti vectors,
+// a 2-D redistribution, and a multi-word pC++ collection.
+var stdCatalog = []pair{
 	{
 		name: "vec-hpf-parti",
 		src:  serve.DistSpec{Library: "hpfrt", Layout: "blockvec", Shape: []int{240}, Procs: 3},
@@ -53,6 +65,23 @@ var catalog = []pair{
 	},
 }
 
+// bigCatalog is the soak-scale mix: both pairs stand up 256-union-rank
+// resident worlds, which crosses the scheduler's auto-sharding
+// threshold — the nightly soak drives it to prove the sharded daemon
+// path stays bit-identical to Standalone.
+var bigCatalog = []pair{
+	{
+		name: "vec-hpf-parti-256",
+		src:  serve.DistSpec{Library: "hpfrt", Layout: "blockvec", Shape: []int{8192}, Procs: 160},
+		dst:  serve.DistSpec{Library: "mbparti", Layout: "blockvec", Shape: []int{8192}, Procs: 96},
+	},
+	{
+		name: "vec-parti-hpf-256",
+		src:  serve.DistSpec{Library: "mbparti", Layout: "blockvec", Shape: []int{8192}, Procs: 96},
+		dst:  serve.DistSpec{Library: "hpfrt", Layout: "blockvec", Shape: []int{8192}, Procs: 160},
+	},
+}
+
 // moveKinds is the op mix, cycled per move index.
 var moveKinds = []int{serve.OpMove, serve.OpMoveAdd, serve.OpMove, serve.OpMoveReverse}
 
@@ -67,10 +96,12 @@ type instance struct {
 }
 
 type tenantResult struct {
-	moves     int64
-	retries   int64
-	err       error
-	instances []*instance
+	moves      int64
+	retries    int64
+	reconnects int64
+	opRetries  int64
+	err        error
+	instances  []*instance
 	// costs is the daemon leader's virtual-time cost of each move, in
 	// execution order; the summary folds them into percentiles.
 	costs []float64
@@ -86,6 +117,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "base fill seed (pins the whole run)")
 		profile   = flag.String("profile", "steady", "session profile: steady (hold couplings) or churn (reopen per move)")
 		check     = flag.Bool("check", false, "replay every tenant's ops via serve.Standalone and compare hashes")
+		catName   = flag.String("catalog", "std", "coupling catalog: std or big (soak-scale 256-rank sharded worlds)")
+		chaos     = flag.Float64("chaos", 0, "wire-chaos fault rate per I/O (drops, torn writes, lost replies, stalls)")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "base seed for deterministic chaos (per-tenant streams derive from it)")
 		jsonOut   = flag.Bool("json", false, "print the summary as benchfmt.ServeSummary JSON")
 		snapshot  = flag.String("snapshot", "", "merge the summary into this BENCH_<date>.json snapshot")
 	)
@@ -94,8 +128,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mcload: unknown -profile %q\n", *profile)
 		os.Exit(2)
 	}
+	switch *catName {
+	case "std":
+		catalog = stdCatalog
+	case "big":
+		catalog = bigCatalog
+	default:
+		fmt.Fprintf(os.Stderr, "mcload: unknown -catalog %q\n", *catName)
+		os.Exit(2)
+	}
 	if *couplings < 1 || *couplings > len(catalog) {
 		*couplings = len(catalog)
+	}
+	var chaosCfg *serve.ChaosConfig
+	if *chaos > 0 {
+		chaosCfg = &serve.ChaosConfig{
+			Seed:          *chaosSeed,
+			DropRate:      *chaos,
+			TruncateRate:  *chaos,
+			ReadAbortRate: *chaos,
+			StallRate:     *chaos,
+			Stall:         time.Millisecond,
+		}
 	}
 
 	start := time.Now()
@@ -105,13 +159,13 @@ func main() {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			results[t] = runTenant(t, *network, *addr, *couplings, *moves, *seed, *profile)
+			results[t] = runTenant(t, *network, *addr, *couplings, *moves, *seed, *profile, chaosCfg)
 		}(t)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var total, retries int64
+	var total, retries, reconnects, opRetries int64
 	for t := range results {
 		if err := results[t].err; err != nil {
 			fmt.Fprintf(os.Stderr, "mcload: tenant %d: %v\n", t, err)
@@ -119,6 +173,8 @@ func main() {
 		}
 		total += results[t].moves
 		retries += results[t].retries
+		reconnects += results[t].reconnects
+		opRetries += results[t].opRetries
 	}
 
 	// One extra session reads the daemon's stats.
@@ -141,6 +197,8 @@ func main() {
 		CacheHitRate: hitRate,
 		Backpressure: backpressure,
 		Verified:     verified,
+		Reconnects:   reconnects,
+		OpRetries:    opRetries,
 	}
 	for t := range results {
 		sum.MoveLatency = append(sum.MoveLatency, tenantLatency(t, results[t].costs))
@@ -150,8 +208,9 @@ func main() {
 		enc.SetIndent("", "  ")
 		enc.Encode(&sum)
 	} else {
-		fmt.Printf("mcload: tenants=%d couplings=%d moves=%d moves/sec=%.1f cache_hit_rate=%.2f backpressure=%d verified=%v\n",
-			sum.Tenants, sum.Couplings, sum.Moves, sum.MovesPerSec, sum.CacheHitRate, sum.Backpressure, sum.Verified)
+		fmt.Printf("mcload: tenants=%d couplings=%d moves=%d moves/sec=%.1f cache_hit_rate=%.2f backpressure=%d reconnects=%d op_retries=%d verified=%v\n",
+			sum.Tenants, sum.Couplings, sum.Moves, sum.MovesPerSec, sum.CacheHitRate,
+			sum.Backpressure, sum.Reconnects, sum.OpRetries, sum.Verified)
 		for _, tl := range sum.MoveLatency {
 			fmt.Printf("mcload: tenant %d move latency (vsec): p50=%.6f p95=%.6f p99=%.6f over %d moves\n",
 				tl.Tenant, tl.P50, tl.P95, tl.P99, tl.Moves)
@@ -167,14 +226,27 @@ func main() {
 }
 
 // runTenant runs one session's whole life against the daemon.
-func runTenant(t int, network, addr string, couplings, moves int, seed int64, profile string) tenantResult {
-	var res tenantResult
-	c, err := serve.Dial(network, addr, fmt.Sprintf("tenant-%d", t))
+func runTenant(t int, network, addr string, couplings, moves int, seed int64, profile string, chaos *serve.ChaosConfig) (res tenantResult) {
+	opts := serve.DialOptions{Network: network, Addr: addr, Tenant: fmt.Sprintf("tenant-%d", t)}
+	if chaos != nil {
+		// Each tenant gets its own decision stream so faults decorrelate.
+		cfg := *chaos
+		cfg.Seed += uint64(t) * 0x1000
+		opts.Chaos = &cfg
+		opts.MaxAttempts = 16
+	}
+	c, err := serve.DialWith(opts)
 	if err != nil {
 		res.err = err
 		return res
 	}
 	defer c.Close()
+	// Named return: these run after every return statement below, so the
+	// summary sees the final recovery counts whichever way the run ends.
+	defer func() {
+		res.reconnects = int64(c.Reconnects())
+		res.opRetries = int64(c.Retries())
+	}()
 
 	// Register both sides of every catalog pair once: dist id 2k is
 	// pair k's source, 2k+1 its destination.

@@ -31,6 +31,10 @@ func main() {
 		batch    = flag.Int("max-batch", 0, "max ops per world broadcast (0 = default)")
 		flush    = flag.Duration("flush", 0, "batching window (0 = default, negative disables)")
 		procs    = flag.Int("max-procs", 0, "max processes per distribution side (0 = default)")
+		lease    = flag.Duration("lease", 0, "session lease TTL (0 = default, negative disables expiry)")
+		journal  = flag.Int("max-journal", 0, "per-coupling respawn journal bound (0 = default, negative disables)")
+		cacheCap = flag.Int("cache-entries", 0, "per-rank schedule cache bound with LRU eviction (0 = default, negative = unbounded)")
+		panicAt  = flag.Int("panic-batch", 0, "chaos: first incarnation of every world panics at this batch (0 = off)")
 		quiet    = flag.Bool("quiet", false, "suppress lifecycle logging")
 	)
 	flag.Parse()
@@ -43,13 +47,26 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
+	var worldPanic func(srcProcs, dstProcs, incarnation int) int
+	if *panicAt > 0 {
+		worldPanic = func(_, _, inc int) int {
+			if inc == 0 {
+				return *panicAt
+			}
+			return 0
+		}
+	}
 	srv := serve.NewServer(serve.Options{
-		MaxSessions: *sessions,
-		MaxInflight: *inflight,
-		MaxBatch:    *batch,
-		FlushWindow: *flush,
-		MaxProcs:    *procs,
-		Logf:        logf,
+		MaxSessions:  *sessions,
+		MaxInflight:  *inflight,
+		MaxBatch:     *batch,
+		FlushWindow:  *flush,
+		MaxProcs:     *procs,
+		Lease:        *lease,
+		MaxJournal:   *journal,
+		CacheEntries: *cacheCap,
+		WorldPanic:   worldPanic,
+		Logf:         logf,
 	})
 
 	sig := make(chan os.Signal, 1)

@@ -74,6 +74,12 @@ type ServeSummary struct {
 	// Verified is true when every tenant's result hashes matched a
 	// standalone replay of its coupling scripts.
 	Verified bool `json:"verified"`
+	// Reconnects and OpRetries count client-side fault recovery during
+	// the run: sessions re-established after a lost connection, and ops
+	// resent after a world respawn.  Zero in a fault-free run; nonzero
+	// only under -chaos or real failures.
+	Reconnects int64 `json:"reconnects,omitempty"`
+	OpRetries  int64 `json:"op_retries,omitempty"`
 	// MoveLatency is each tenant's virtual-time move-latency profile
 	// (the daemon leader's per-op cost, serve.MoveStats.Cost), one
 	// entry per tenant in tenant order.

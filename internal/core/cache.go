@@ -27,9 +27,17 @@ import (
 // other.
 type ScheduleCache struct {
 	mu      sync.Mutex
-	entries map[string]*Schedule
+	entries map[string]*cacheEntry
 	hits    int
 	misses  int
+	// limit bounds len(entries); 0 (the default) is unbounded.  At the
+	// limit an insert evicts the least-recently-used entry (see
+	// SetLimit) — eviction order is a pure function of the Get/Put
+	// stream, so SPMD callers issuing identical streams evict
+	// identically on every rank.
+	limit     int
+	evictions int
+	tick      int64
 	// incarnation is the group-membership generation the cached
 	// schedules were computed under (see SetIncarnation).
 	incarnation int
@@ -39,6 +47,12 @@ type ScheduleCache struct {
 	// repair donors — a repairable entry plus a small membership delta
 	// is far cheaper than a collective rebuild.
 	stale map[string]*Schedule
+}
+
+// cacheEntry pairs a cached schedule with its last-use stamp.
+type cacheEntry struct {
+	s    *Schedule
+	tick int64
 }
 
 // NewScheduleCache returns an empty cache.
@@ -64,8 +78,11 @@ func NewScheduleCache() *ScheduleCache {
 func (c *ScheduleCache) Get(key string, et ElemType, build func() (*Schedule, error)) (*Schedule, error) {
 	full := key + "|" + et.String()
 	c.mu.Lock()
-	if s, ok := c.entries[full]; ok {
+	if e, ok := c.entries[full]; ok {
 		c.hits++
+		c.tick++
+		e.tick = c.tick
+		s := e.s
 		c.mu.Unlock()
 		return s, nil
 	}
@@ -92,13 +109,68 @@ func (c *ScheduleCache) Get(key string, et ElemType, build func() (*Schedule, er
 	if prev, ok := c.entries[full]; ok {
 		// A concurrent builder won the insert race; converge on its
 		// schedule so every caller shares one executor scratch.
-		return prev, nil
+		return prev.s, nil
 	}
-	if c.entries == nil {
-		c.entries = make(map[string]*Schedule)
-	}
-	c.entries[full] = s
+	c.insertLocked(full, s)
 	return s, nil
+}
+
+// insertLocked stores s under the full (key|elem) string, evicting the
+// least-recently-used entries first when a limit is set; callers hold
+// mu.
+func (c *ScheduleCache) insertLocked(full string, s *Schedule) {
+	if c.entries == nil {
+		c.entries = make(map[string]*cacheEntry)
+	}
+	if _, replacing := c.entries[full]; !replacing {
+		c.evictDownToLocked(c.limit - 1)
+	}
+	c.tick++
+	c.entries[full] = &cacheEntry{s: s, tick: c.tick}
+}
+
+// evictDownToLocked drops least-recently-used entries until at most n
+// remain (no-op when the cache is unbounded or already small enough);
+// callers hold mu.  The linear minimum scan is deliberate: limits are
+// small and eviction is rare, so an ordered index would cost more on
+// every hit than it saves here.
+func (c *ScheduleCache) evictDownToLocked(n int) {
+	if c.limit <= 0 || n < 0 {
+		return
+	}
+	for len(c.entries) > n {
+		oldest := ""
+		for k, e := range c.entries {
+			if oldest == "" || e.tick < c.entries[oldest].tick {
+				oldest = k
+			}
+		}
+		c.entries[oldest].s.releaseScratch()
+		delete(c.entries, oldest)
+		c.evictions++
+	}
+}
+
+// SetLimit bounds the cache to at most n entries, evicting the
+// least-recently-used down to the bound immediately; n <= 0 restores
+// the unbounded default.  Like every other mutation, the call must be
+// issued identically by every rank of an SPMD caller.
+func (c *ScheduleCache) SetLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 {
+		c.limit = 0
+		return
+	}
+	c.limit = n
+	c.evictDownToLocked(n)
+}
+
+// Evictions returns how many entries the limit has pushed out.
+func (c *ScheduleCache) Evictions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // Put inserts an already-built schedule under key, the explicit-insert
@@ -114,10 +186,7 @@ func (c *ScheduleCache) Put(key string, et ElemType, s *Schedule) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.entries == nil {
-		c.entries = make(map[string]*Schedule)
-	}
-	c.entries[key+"|"+et.String()] = s
+	c.insertLocked(key+"|"+et.String(), s)
 	return nil
 }
 
@@ -128,9 +197,9 @@ func (c *ScheduleCache) Invalidate(key string) {
 	prefix := key + "|"
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for k, s := range c.entries {
+	for k, e := range c.entries {
 		if strings.HasPrefix(k, prefix) {
-			s.releaseScratch()
+			e.s.releaseScratch()
 			delete(c.entries, k)
 		}
 	}
@@ -141,8 +210,8 @@ func (c *ScheduleCache) Invalidate(key string) {
 func (c *ScheduleCache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, s := range c.entries {
-		s.releaseScratch()
+	for _, e := range c.entries {
+		e.s.releaseScratch()
 	}
 	c.entries = nil
 	c.dropStaleLocked()
@@ -159,8 +228,8 @@ func (c *ScheduleCache) SetIncarnation(n int) {
 	defer c.mu.Unlock()
 	if n != c.incarnation {
 		c.incarnation = n
-		for _, s := range c.entries {
-			s.releaseScratch()
+		for _, e := range c.entries {
+			e.s.releaseScratch()
 		}
 		c.entries = nil
 		c.dropStaleLocked()
@@ -180,7 +249,12 @@ func (c *ScheduleCache) AdvanceIncarnation(n int) {
 	}
 	c.incarnation = n
 	c.dropStaleLocked()
-	c.stale = c.entries
+	if len(c.entries) > 0 {
+		c.stale = make(map[string]*Schedule, len(c.entries))
+		for k, e := range c.entries {
+			c.stale[k] = e.s
+		}
+	}
 	c.entries = nil
 }
 

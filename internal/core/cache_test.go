@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -219,5 +220,92 @@ func TestScheduleCacheConcurrent(t *testing.T) {
 	if cache.Len() > len(keys)*len(elems) {
 		t.Errorf("cache holds %d entries, more than the %d possible keys",
 			cache.Len(), len(keys)*len(elems))
+	}
+}
+
+// TestScheduleCacheLRUBound pins the bounded-cache contract: with a
+// limit set, inserts evict the least-recently-used entry (a Get hit
+// counts as use), the eviction counter tracks every displacement, and
+// shrinking the limit evicts down immediately.  Eviction order is a
+// pure function of the Get/Put stream, which is what lets SPMD callers
+// run bounded caches without desynchronizing across ranks.
+func TestScheduleCacheLRUBound(t *testing.T) {
+	cache := NewScheduleCache()
+	builds := map[string]int{}
+	get := func(key string) {
+		t.Helper()
+		if _, err := cache.Get(key, Float64, func() (*Schedule, error) {
+			builds[key]++
+			return &Schedule{elem: Float64}, nil
+		}); err != nil {
+			t.Fatalf("Get(%q): %v", key, err)
+		}
+	}
+
+	cache.SetLimit(2)
+	get("A") // build; {A}
+	get("B") // build; {A, B}
+	get("A") // hit: A is now fresher than B
+	get("C") // build; evicts B (LRU); {A, C}
+	get("A") // hit
+	get("B") // rebuild; evicts C; {A, B}
+	get("A") // hit
+
+	if want := map[string]int{"A": 1, "B": 2, "C": 1}; builds["A"] != want["A"] || builds["B"] != want["B"] || builds["C"] != want["C"] {
+		t.Errorf("builds = %v, want %v", builds, want)
+	}
+	if ev := cache.Evictions(); ev != 2 {
+		t.Errorf("Evictions() = %d, want 2", ev)
+	}
+	if cache.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", cache.Len())
+	}
+	hits, misses := cache.Counters()
+	if hits != 3 || misses != 4 {
+		t.Errorf("hits=%d misses=%d, want 3/4", hits, misses)
+	}
+
+	// Shrinking the limit evicts down to the new bound at once.
+	cache.SetLimit(1)
+	if cache.Len() != 1 || cache.Evictions() != 3 {
+		t.Errorf("after SetLimit(1): Len=%d Evictions=%d, want 1/3", cache.Len(), cache.Evictions())
+	}
+	// The survivor is the most recently used entry.
+	get("A")
+	if builds["A"] != 1 {
+		t.Errorf("A was evicted instead of the LRU entry (built %d times)", builds["A"])
+	}
+
+	// SetLimit(0) restores the unbounded default.
+	cache.SetLimit(0)
+	for _, k := range []string{"D", "E", "F", "G"} {
+		get(k)
+	}
+	if cache.Len() != 5 {
+		t.Errorf("unbounded Len() = %d, want 5", cache.Len())
+	}
+	if cache.Evictions() != 3 {
+		t.Errorf("unbounded inserts evicted: %d, want 3", cache.Evictions())
+	}
+}
+
+// TestScheduleCacheUnboundedByDefault pins that the zero value never
+// evicts, whatever the insert volume — existing callers see no
+// behavior change from the bounded-cache feature.
+func TestScheduleCacheUnboundedByDefault(t *testing.T) {
+	cache := NewScheduleCache()
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, err := cache.Get(key, Float64, func() (*Schedule, error) {
+			return &Schedule{elem: Float64}, nil
+		}); err != nil {
+			t.Fatalf("Get(%q): %v", key, err)
+		}
+	}
+	if cache.Len() != 500 {
+		t.Errorf("Len() = %d, want 500", cache.Len())
+	}
+	if cache.Evictions() != 0 {
+		t.Errorf("Evictions() = %d, want 0", cache.Evictions())
 	}
 }

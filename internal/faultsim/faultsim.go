@@ -347,3 +347,13 @@ func unit(h uint64) float64 {
 func roll(seed uint64, l Link, k, salt uint64) float64 {
 	return unit(mix(seed^salt*0x2545f4914f6cdd1d, uint64(l.From)<<32|uint64(uint32(l.To)), k))
 }
+
+// Unit is the package's deterministic probability roll exposed for
+// fault injectors outside the simulated network — the coupling
+// service's wire-chaos net.Conn wrapper seeds its mid-frame
+// disconnect/truncate/stall decisions from it.  The result depends
+// only on (seed, stream, k): the same discipline as Decide, so a
+// pinned seed reproduces the same fault pattern on any host.
+func Unit(seed, stream, k uint64) float64 {
+	return unit(mix(seed, stream, k))
+}

@@ -1,72 +1,283 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"sync"
+	"time"
 
 	"metachaos/internal/codec"
+	"metachaos/internal/faultsim"
 )
 
 // Client is a tenant's connection to the coupling daemon.  Requests
 // are synchronous and serialized (one in flight per client); run
 // several clients for concurrency, as cmd/mcload does.
+//
+// The client is fault-tolerant by default: on connection loss it
+// redials with jittered exponential backoff and resumes its leased
+// session by token, and it transparently resends the in-flight request
+// after a reconnect or an ErrRetryable answer.  Resends reuse the
+// original request id — the session-scoped sequence number — so the
+// server's dedup cache makes every retry idempotent: an op whose reply
+// was lost is answered from the cache, never applied twice.
 type Client struct {
-	mu       sync.Mutex
-	conn     net.Conn
-	nextID   uint32
-	maxFrame int
-	tenant   string
+	mu   sync.Mutex
+	opts DialOptions
+
+	conn       net.Conn
+	nextID     uint32
+	token      string
+	leaseMs    int64
+	jitterSeed uint64
+
+	established bool   // first hello completed (reconnects count after it)
+	dials       uint64 // connection ordinal (chaos stream selector)
+	reconnects  int
+	retries     int
+}
+
+// DialOptions configures DialWith; zero values take the defaults.
+type DialOptions struct {
+	// Network ("tcp" or "unix") and Addr locate the daemon.
+	Network string
+	Addr    string
+	// Tenant is the session's tenant name.
+	Tenant string
+	// MaxAttempts bounds tries per operation (first try included);
+	// default 8.
+	MaxAttempts int
+	// Backoff is the delay before the second attempt, doubling per
+	// attempt up to MaxBackoff, each scaled by a deterministic jitter
+	// in [0.5, 1.5).  Defaults 5ms / 250ms.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// MaxFrame bounds a response frame's payload bytes.
+	MaxFrame int
+	// Chaos, when set, wraps every connection with seeded wire-fault
+	// injection (test harness; see ChaosConfig).
+	Chaos *ChaosConfig
+}
+
+func (o *DialOptions) withDefaults() DialOptions {
+	out := *o
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = 8
+	}
+	if out.Backoff <= 0 {
+		out.Backoff = 5 * time.Millisecond
+	}
+	if out.MaxBackoff <= 0 {
+		out.MaxBackoff = 250 * time.Millisecond
+	}
+	if out.MaxFrame <= 0 {
+		out.MaxFrame = DefaultMaxFrame
+	}
+	return out
 }
 
 // Dial connects to a daemon on network ("tcp" or "unix") and address,
-// introduces the tenant, and verifies protocol agreement.
+// introduces the tenant, and verifies protocol agreement, with the
+// default reconnect/retry policy.
 func Dial(network, addr, tenant string) (*Client, error) {
-	conn, err := net.Dial(network, addr)
+	return DialWith(DialOptions{Network: network, Addr: addr, Tenant: tenant})
+}
+
+// DialWith is Dial with explicit fault-tolerance knobs.
+func DialWith(opts DialOptions) (*Client, error) {
+	o := opts.withDefaults()
+	h := fnv.New64a()
+	h.Write([]byte(o.Tenant))
+	c := &Client{opts: o, nextID: 1, jitterSeed: h.Sum64()}
+	if o.Chaos != nil {
+		c.jitterSeed ^= o.Chaos.Seed
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < o.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.backoff(attempt)
+		}
+		err, fatal := c.reconnectLocked()
+		if err == nil {
+			c.established = true
+			return c, nil
+		}
+		lastErr = err
+		if fatal {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("serve: dial gave up after %d attempts: %w", o.MaxAttempts, lastErr)
+}
+
+// Token returns the session's resume token (for diagnostics).
+func (c *Client) Token() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.token
+}
+
+// Lease returns the server-granted session lease (0 = no expiry).
+func (c *Client) Lease() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.leaseMs) * time.Millisecond
+}
+
+// Reconnects returns how many times the client re-established its
+// session after losing the connection.
+func (c *Client) Reconnects() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
+
+// Retries returns how many requests were resent after an ErrRetryable
+// answer (a world died mid-op and was respawned).
+func (c *Client) Retries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retries
+}
+
+// backoff sleeps the jittered exponential delay before attempt
+// (attempt ≥ 1); the jitter is a pure hash so runs replay exactly.
+func (c *Client) backoff(attempt int) {
+	d := c.opts.Backoff << uint(attempt-1)
+	if d > c.opts.MaxBackoff || d <= 0 {
+		d = c.opts.MaxBackoff
+	}
+	c.dials++ // advance the stream so rival attempts never share jitter
+	scale := 0.5 + faultsim.Unit(c.jitterSeed, 0, c.dials)
+	time.Sleep(time.Duration(float64(d) * scale))
+}
+
+// dialRaw opens (and chaos-wraps) one connection.
+func (c *Client) dialRaw() (net.Conn, error) {
+	conn, err := net.Dial(c.opts.Network, c.opts.Addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, maxFrame: DefaultMaxFrame, tenant: tenant}
+	ord := c.dials
+	c.dials++
+	if c.opts.Chaos != nil {
+		conn = newChaosConn(conn, *c.opts.Chaos, ord)
+	}
+	return conn, nil
+}
+
+// reconnectLocked dials and performs the hello handshake, resuming the
+// leased session when a token is held.  fatal reports a typed refusal
+// (session limit, unknown session, protocol mismatch) that retrying
+// cannot fix.
+func (c *Client) reconnectLocked() (err error, fatal bool) {
+	conn, err := c.dialRaw()
+	if err != nil {
+		return err, false
+	}
+	c.conn = conn
 	var w codec.Writer
-	w.PutString(tenant)
+	w.PutString(c.opts.Tenant)
 	w.PutInt32(protoVersion)
-	payload, err := c.do(msgHello, w.Bytes(), msgWelcome)
-	if err != nil {
+	w.PutString(c.token)
+	id := c.nextID
+	c.nextID++
+	rp, appErr, connErr := c.exchange(msgHello, id, w.Bytes(), msgWelcome)
+	if connErr != nil {
 		conn.Close()
-		return nil, err
+		c.conn = nil
+		return connErr, false
 	}
-	r := codec.NewReader(payload)
+	if appErr != nil {
+		conn.Close()
+		c.conn = nil
+		return appErr, true
+	}
+	r := codec.NewReader(rp)
 	if v := r.Int32(); v != protoVersion {
 		conn.Close()
-		return nil, fmt.Errorf("%w: server speaks protocol %d, client %d", ErrProtocol, v, protoVersion)
+		c.conn = nil
+		return fmt.Errorf("%w: server speaks protocol %d, client %d", ErrProtocol, v, protoVersion), true
 	}
-	return c, nil
+	_ = r.String() // server name
+	_ = r.String() // machine name
+	c.token = r.String()
+	c.leaseMs = r.Int64()
+	if c.established {
+		c.reconnects++
+	}
+	return nil, false
+}
+
+// exchange performs one request/response round trip on the current
+// connection.  It separates application errors (a well-formed msgError
+// answer: the connection is healthy) from connection errors (anything
+// that leaves the stream unusable).
+func (c *Client) exchange(typ byte, id uint32, payload []byte, want byte) (rp []byte, appErr, connErr error) {
+	if err := writeFrame(c.conn, typ, id, payload); err != nil {
+		return nil, nil, err
+	}
+	rtyp, rid, rpayload, err := readFrame(c.conn, c.opts.MaxFrame)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rid != id {
+		return nil, nil, fmt.Errorf("%w: response id %d for request %d", ErrProtocol, rid, id)
+	}
+	if rtyp == msgError {
+		return nil, decodeError(rpayload), nil
+	}
+	if rtyp != want {
+		return nil, nil, fmt.Errorf("%w: response type %d, want %d", ErrProtocol, rtyp, want)
+	}
+	return rpayload, nil, nil
 }
 
 // do sends one request and returns the matching response payload,
-// converting msgError responses into typed errors.
+// reconnecting and resending (same id) across connection loss and
+// ErrRetryable answers; other typed errors return immediately.
 func (c *Client) do(typ byte, payload []byte, want byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := c.nextID
 	c.nextID++
-	if err := writeFrame(c.conn, typ, id, payload); err != nil {
-		return nil, err
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.backoff(attempt)
+		}
+		if c.conn == nil {
+			err, fatal := c.reconnectLocked()
+			if err != nil {
+				lastErr = err
+				if fatal {
+					return nil, err
+				}
+				continue
+			}
+		}
+		rp, appErr, connErr := c.exchange(typ, id, payload, want)
+		if connErr != nil {
+			lastErr = connErr
+			c.conn.Close()
+			c.conn = nil
+			continue
+		}
+		if appErr != nil {
+			if errors.Is(appErr, ErrRetryable) {
+				c.retries++
+				lastErr = appErr
+				continue
+			}
+			return nil, appErr
+		}
+		return rp, nil
 	}
-	rtyp, rid, rpayload, err := readFrame(c.conn, c.maxFrame)
-	if err != nil {
-		return nil, err
-	}
-	if rid != id {
-		return nil, fmt.Errorf("%w: response id %d for request %d", ErrProtocol, rid, id)
-	}
-	if rtyp == msgError {
-		return nil, decodeError(rpayload)
-	}
-	if rtyp != want {
-		return nil, fmt.Errorf("%w: response type %d, want %d", ErrProtocol, rtyp, want)
-	}
-	return rpayload, nil
+	return nil, fmt.Errorf("serve: giving up after %d attempts: %w", c.opts.MaxAttempts, lastErr)
 }
 
 // RegisterDist declares a distribution under a client-chosen id.
@@ -152,6 +363,12 @@ func (c *Client) CloseCoupling(id int) error {
 	return err
 }
 
+// Ping refreshes the session lease without doing any work.
+func (c *Client) Ping() error {
+	_, err := c.do(msgPing, nil, msgOK)
+	return err
+}
+
 // Stats fetches the daemon's counters and gauges.
 func (c *Client) Stats() (map[string]float64, error) {
 	payload, err := c.do(msgStats, nil, msgStatsReply)
@@ -168,9 +385,21 @@ func (c *Client) Stats() (map[string]float64, error) {
 	return out, nil
 }
 
-// Close says goodbye and drops the connection.
+// Close says goodbye and drops the connection.  Bye is not retried: if
+// the connection is already gone the lease is left to expire instead.
 func (c *Client) Close() error {
-	_, err := c.do(msgBye, nil, msgOK)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	id := c.nextID
+	c.nextID++
+	_, appErr, connErr := c.exchange(msgBye, id, nil, msgOK)
 	c.conn.Close()
-	return err
+	c.conn = nil
+	if appErr != nil {
+		return appErr
+	}
+	return connErr
 }

@@ -9,8 +9,9 @@ import (
 )
 
 // protoVersion is the wire protocol generation; Hello/Welcome agree on
-// it before anything else flows.
-const protoVersion = 1
+// it before anything else flows.  Version 2 added session resume
+// tokens, leases, ping, and the retryable error class.
+const protoVersion = 2
 
 // Message types.  Requests flow client → server; every request is
 // answered by exactly one response frame carrying the same request id
@@ -29,6 +30,7 @@ const (
 	msgStatsReply    byte = 11 // s→c: name/value pairs
 	msgBye           byte = 12 // c→s: empty; server acks and closes
 	msgError         byte = 13 // s→c: code, detail
+	msgPing          byte = 14 // c→s: empty; refreshes the session lease
 )
 
 // Move kinds carried in msgMove.
@@ -56,6 +58,8 @@ const (
 	codeShutdown     = 7
 	codeWorldFailed  = 8
 	codeLimit        = 9
+	codeRetryable    = 10
+	codeUnknownSess  = 11
 )
 
 // Typed service errors.  The server picks the code; Client.do wraps
@@ -86,6 +90,17 @@ var (
 	// ErrLimit rejects a session exceeding its per-session registration
 	// or coupling budget.
 	ErrLimit = errors.New("serve: per-session limit reached")
+	// ErrRetryable reports an op that was in flight when a resident
+	// world died: the server has respawned the world and replayed the
+	// session's journal, so resending the identical request (same
+	// session, same sequence number) is safe and will either execute
+	// once or be answered from the dedup cache.  Client.do retries it
+	// transparently.
+	ErrRetryable = errors.New("serve: in-flight op lost to a world failure; safe to retry")
+	// ErrUnknownSession rejects a resume token the server does not
+	// know — never issued, already said Bye, or reclaimed by lease
+	// expiry.  Resuming is impossible; the client must start fresh.
+	ErrUnknownSession = errors.New("serve: unknown or expired session")
 )
 
 var codeToErr = map[int32]error{
@@ -98,6 +113,8 @@ var codeToErr = map[int32]error{
 	codeShutdown:     ErrShuttingDown,
 	codeWorldFailed:  ErrWorldFailed,
 	codeLimit:        ErrLimit,
+	codeRetryable:    ErrRetryable,
+	codeUnknownSess:  ErrUnknownSession,
 }
 
 var errToCode = map[error]int32{
@@ -110,6 +127,8 @@ var errToCode = map[error]int32{
 	ErrShuttingDown:    codeShutdown,
 	ErrWorldFailed:     codeWorldFailed,
 	ErrLimit:           codeLimit,
+	ErrRetryable:       codeRetryable,
+	ErrUnknownSession:  codeUnknownSess,
 }
 
 // sentinelOf maps a server-side error to its wire code, defaulting to

@@ -6,44 +6,103 @@ import (
 	"io"
 	"net"
 	"sort"
+	"sync"
+	"time"
 
 	"metachaos/internal/codec"
 )
 
-// session is one connected tenant: a sequential request loop over the
-// connection.  Requests from one tenant execute in order; concurrency
-// comes from many sessions feeding the shared resident worlds, whose
-// dispatchers batch the cross-tenant traffic.
+// session is one connection's request loop.  The durable half of a
+// tenant lives in tenantState, which survives the connection: a client
+// that reconnects and presents its resume token re-attaches to the
+// same state, so registered distributions, open couplings and the
+// dedup cache all outlive wire faults.
 type session struct {
-	srv    *Server
-	conn   net.Conn
-	tenant string
-	dists  map[int32]*DistSpec
-	cpls   map[int32]*liveCoupling
+	srv  *Server
+	conn net.Conn
+	st   *tenantState // nil until Hello
 }
 
-// liveCoupling is one open coupling of this session.
+// tenantState is one leased tenant session.
+type tenantState struct {
+	token  string
+	tenant string
+
+	// reqMu serializes request execution for this tenant across every
+	// connection that ever attaches, and is how lease expiry
+	// synchronizes with an in-flight request: the sweeper reclaims a
+	// session only while holding it.
+	reqMu sync.Mutex
+
+	// Request-path state; reqMu serializes access.
+	dists map[int32]*DistSpec
+	// cpls additionally takes srv.mu around mutations, because world
+	// revival scans it from outside the request path.
+	cpls map[int32]*liveCoupling
+
+	// Idempotent-retry dedup: the cached reply of the last successfully
+	// applied mutating op, keyed by its request id (the client's
+	// session-scoped sequence number).  A retried id is answered from
+	// here without re-executing; reqMu serializes access.
+	lastReply replyCache
+
+	// Guarded by srv.mu:
+	conn     net.Conn  // attached connection; nil while detached
+	deadline time.Time // lease expiry instant; zero = never
+	gone     bool      // reclaimed (Bye or lease expiry)
+}
+
+// replyCache is one cached response frame for dedup.
+type replyCache struct {
+	valid   bool
+	id      uint32
+	typ     byte
+	payload []byte
+}
+
+// liveCoupling is one open coupling of a leased session.
 type liveCoupling struct {
-	r      *runner
 	handle int64
 	elems  int
 	words  int
+	key    worldKey
+	src    DistSpec
+	dst    DistSpec
+
+	// Guarded by srv.mu: the current runner (revival repoints it), the
+	// respawn journal, and the terminal-failure marker.
+	r           *runner
+	journal     []moveRec
+	journalLost bool
+	broken      error
 }
 
-func newSession(s *Server, conn net.Conn) *session {
-	return &session{
-		srv:   s,
-		conn:  conn,
-		dists: make(map[int32]*DistSpec),
-		cpls:  make(map[int32]*liveCoupling),
+// moveRec is one journaled move: enough to re-execute it bit-for-bit,
+// plus the hash the original execution produced so replay is verified,
+// not assumed.
+type moveRec struct {
+	kind    int
+	seed    int64
+	flags   int
+	payload []float64
+	hash    uint64
+}
+
+// mutatingReq reports whether a request type changes session or world
+// state (and therefore joins the dedup cache on success).
+func mutatingReq(typ byte) bool {
+	switch typ {
+	case msgRegisterDist, msgOpenCoupling, msgMove, msgCloseCoupling:
+		return true
 	}
+	return false
 }
 
-// serve runs the session to completion.
+// serve runs the connection to completion.
 func (ss *session) serve() {
-	defer ss.srv.drop(ss)
+	defer ss.srv.dropConn(ss)
 	defer ss.conn.Close()
-	defer ss.closeAll()
+	defer ss.detach()
 	for {
 		typ, id, payload, err := readFrame(ss.conn, ss.srv.opts.MaxFrame)
 		if err != nil {
@@ -54,30 +113,110 @@ func (ss *session) serve() {
 			}
 			return
 		}
-		rtyp, rpayload, err := ss.handle(typ, payload)
-		if err != nil {
-			rtyp, rpayload = msgError, encodeError(err)
+		if typ == msgHello {
+			rtyp, rpayload, herr := ss.hello(payload)
+			if herr != nil {
+				rtyp, rpayload = msgError, encodeError(herr)
+			}
+			if werr := writeFrame(ss.conn, rtyp, id, rpayload); werr != nil || herr != nil {
+				return
+			}
+			continue
 		}
+		st := ss.st
+		if st == nil {
+			writeFrame(ss.conn, msgError, id, encodeError(fmt.Errorf("%w: hello must come first", ErrProtocol)))
+			return
+		}
+		st.reqMu.Lock()
+		if ss.srv.isGone(st) {
+			st.reqMu.Unlock()
+			writeFrame(ss.conn, msgError, id, encodeError(fmt.Errorf("%w: session was reclaimed", ErrUnknownSession)))
+			return
+		}
+		ss.srv.touch(st)
+		if st.lastReply.valid && id == st.lastReply.id {
+			// A retry of the last applied mutating op: answer from the
+			// cache, do not re-execute.  This is what makes client-side
+			// retry after a lost reply exactly idempotent.
+			rtyp, rpayload := st.lastReply.typ, st.lastReply.payload
+			st.reqMu.Unlock()
+			ss.srv.count("serve_dedup_replies_total", 1)
+			if werr := writeFrame(ss.conn, rtyp, id, rpayload); werr != nil {
+				return
+			}
+			continue
+		}
+		rtyp, rpayload, herr := ss.handle(typ, payload)
+		if herr != nil {
+			rtyp, rpayload = msgError, encodeError(herr)
+		} else if mutatingReq(typ) {
+			st.lastReply = replyCache{valid: true, id: id, typ: rtyp, payload: rpayload}
+		}
+		st.reqMu.Unlock()
 		if werr := writeFrame(ss.conn, rtyp, id, rpayload); werr != nil {
 			return
 		}
-		if typ == msgBye {
-			ss.srv.logf("serve: tenant %q disconnected", ss.tenant)
+		if typ == msgBye && herr == nil {
+			ss.srv.finish(st)
+			ss.srv.logf("serve: tenant %q disconnected", st.tenant)
 			return
 		}
 	}
 }
 
-// closeAll releases the session's open couplings in the resident
-// worlds (schedules stay cached for the next tenant).
-func (ss *session) closeAll() {
-	for id, lc := range ss.cpls {
-		lc.r.do(&op{cmd: cmdClose, handle: lc.handle})
-		delete(ss.cpls, id)
+// detach parks the session state for resume when the connection dies
+// without a Bye.
+func (ss *session) detach() {
+	if ss.st != nil {
+		ss.srv.detach(ss.st, ss.conn)
 	}
 }
 
-// handle dispatches one request and returns the response frame.
+// hello establishes or resumes a session on this connection.
+func (ss *session) hello(payload []byte) (rtyp byte, rpayload []byte, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			rtyp, rpayload = 0, nil
+			err = fmt.Errorf("%w: malformed hello payload: %v", ErrProtocol, v)
+		}
+	}()
+	r := codec.NewReader(payload)
+	tenant := r.String()
+	version := r.Int32()
+	if version != protoVersion {
+		return 0, nil, fmt.Errorf("%w: client speaks protocol %d, server %d", ErrProtocol, version, protoVersion)
+	}
+	resume := r.String()
+	if ss.st != nil {
+		return 0, nil, fmt.Errorf("%w: session already established on this connection", ErrProtocol)
+	}
+	var st *tenantState
+	if resume != "" {
+		st, err = ss.srv.resume(resume, ss.conn)
+		if err != nil {
+			return 0, nil, err
+		}
+		ss.srv.logf("serve: tenant %q resumed session %s", st.tenant, st.token)
+	} else {
+		st, err = ss.srv.newState(tenant, ss.conn)
+		if err != nil {
+			return 0, nil, err
+		}
+		ss.srv.logf("serve: tenant %q connected (session %s)", tenant, st.token)
+	}
+	ss.st = st
+	var w codec.Writer
+	w.PutInt32(protoVersion)
+	w.PutString("mcserved")
+	w.PutString("sp2")
+	w.PutString(st.token)
+	w.PutInt64(int64(ss.srv.opts.Lease / time.Millisecond))
+	return msgWelcome, w.Bytes(), nil
+}
+
+// handle dispatches one post-hello request and returns the response
+// frame; the caller holds st.reqMu.
 func (ss *session) handle(typ byte, payload []byte) (rtyp byte, rpayload []byte, err error) {
 	defer func() {
 		// A torn payload (codec.Reader panics on truncation) is the
@@ -88,8 +227,6 @@ func (ss *session) handle(typ byte, payload []byte) (rtyp byte, rpayload []byte,
 		}
 	}()
 	switch typ {
-	case msgHello:
-		return ss.hello(payload)
 	case msgRegisterDist:
 		return ss.registerDist(payload)
 	case msgOpenCoupling:
@@ -100,26 +237,13 @@ func (ss *session) handle(typ byte, payload []byte) (rtyp byte, rpayload []byte,
 		return ss.closeCoupling(payload)
 	case msgStats:
 		return ss.stats()
+	case msgPing:
+		// The lease was already refreshed on receipt; nothing else to do.
+		return msgOK, nil, nil
 	case msgBye:
 		return msgOK, nil, nil
 	}
 	return 0, nil, fmt.Errorf("%w: unknown request type %d", ErrProtocol, typ)
-}
-
-func (ss *session) hello(payload []byte) (byte, []byte, error) {
-	r := codec.NewReader(payload)
-	tenant := r.String()
-	version := r.Int32()
-	if version != protoVersion {
-		return 0, nil, fmt.Errorf("%w: client speaks protocol %d, server %d", ErrProtocol, version, protoVersion)
-	}
-	ss.tenant = tenant
-	ss.srv.logf("serve: tenant %q connected", tenant)
-	var w codec.Writer
-	w.PutInt32(protoVersion)
-	w.PutString("mcserved")
-	w.PutString("sp2")
-	return msgWelcome, w.Bytes(), nil
 }
 
 func (ss *session) registerDist(payload []byte) (byte, []byte, error) {
@@ -132,43 +256,48 @@ func (ss *session) registerDist(payload []byte) (byte, []byte, error) {
 	if spec.elems() > maxElems {
 		return 0, nil, fmt.Errorf("%w: %d elements exceeds the %d-element cap", ErrTooLarge, spec.elems(), maxElems)
 	}
-	if _, exists := ss.dists[id]; !exists && len(ss.dists) >= ss.srv.opts.MaxDists {
-		return 0, nil, fmt.Errorf("%w: %d distributions registered", ErrLimit, len(ss.dists))
+	if _, exists := ss.st.dists[id]; !exists && len(ss.st.dists) >= ss.srv.opts.MaxDists {
+		return 0, nil, fmt.Errorf("%w: %d distributions registered", ErrLimit, len(ss.st.dists))
 	}
-	ss.dists[id] = &spec
+	ss.st.dists[id] = &spec
 	return msgOK, nil, nil
 }
 
 func (ss *session) openCoupling(payload []byte) (byte, []byte, error) {
 	r := codec.NewReader(payload)
 	id := r.Int32()
-	src, ok := ss.dists[r.Int32()]
+	src, ok := ss.st.dists[r.Int32()]
 	if !ok {
 		return 0, nil, fmt.Errorf("%w: source distribution not registered", ErrUnknownDist)
 	}
-	dst, ok := ss.dists[r.Int32()]
+	dst, ok := ss.st.dists[r.Int32()]
 	if !ok {
 		return 0, nil, fmt.Errorf("%w: destination distribution not registered", ErrUnknownDist)
 	}
 	if err := validatePair(src, dst); err != nil {
 		return 0, nil, err
 	}
-	if _, exists := ss.cpls[id]; exists {
+	if _, exists := ss.st.cpls[id]; exists {
 		return 0, nil, fmt.Errorf("%w: coupling %d is already open", ErrBadSpec, id)
 	}
-	if len(ss.cpls) >= ss.srv.opts.MaxCouplings {
-		return 0, nil, fmt.Errorf("%w: %d couplings open", ErrLimit, len(ss.cpls))
+	if len(ss.st.cpls) >= ss.srv.opts.MaxCouplings {
+		return 0, nil, fmt.Errorf("%w: %d couplings open", ErrLimit, len(ss.st.cpls))
 	}
-	run, err := ss.srv.runnerFor(worldKey{srcProcs: src.Procs, dstProcs: dst.Procs})
+	key := worldKey{srcProcs: src.Procs, dstProcs: dst.Procs}
+	run, err := ss.srv.runnerFor(key)
 	if err != nil {
 		return 0, nil, err
 	}
 	o := &op{cmd: cmdOpen, handle: ss.srv.handle(), src: *src, dst: *dst}
 	rep, err := run.do(o)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, ss.retryableOr(key, err)
 	}
-	ss.cpls[id] = &liveCoupling{r: run, handle: o.handle, elems: rep.elems, words: src.words()}
+	lc := &liveCoupling{
+		r: run, handle: o.handle, elems: rep.elems, words: src.words(),
+		key: key, src: *src, dst: *dst,
+	}
+	ss.srv.addCoupling(ss.st, id, lc)
 	ss.srv.count("serve_opens_total", 1)
 	if rep.warm {
 		ss.srv.count("serve_open_warm_total", 1)
@@ -176,6 +305,7 @@ func (ss *session) openCoupling(payload []byte) (byte, []byte, error) {
 	if rep.repaired {
 		ss.srv.count("serve_open_repaired_total", 1)
 	}
+	ss.srv.noteEvict(run, rep.evict)
 	var w codec.Writer
 	warm := int32(0)
 	if rep.warm {
@@ -184,6 +314,21 @@ func (ss *session) openCoupling(payload []byte) (byte, []byte, error) {
 	w.PutInt32(warm)
 	w.PutInt64(int64(rep.elems))
 	return msgCouplingReady, w.Bytes(), nil
+}
+
+// retryableOr converts a world-death failure into ErrRetryable after
+// synchronously reviving the world, so the client's resend lands on a
+// replayed, consistent state; any other error passes through.
+func (ss *session) retryableOr(key worldKey, err error) error {
+	if !errors.Is(err, ErrWorldFailed) {
+		return err
+	}
+	if _, rerr := ss.srv.revive(key); rerr != nil {
+		return err
+	}
+	ss.srv.count("serve_retryable_total", 1)
+	return fmt.Errorf("%w: resident world %dx%d died mid-op; respawned and replayed",
+		ErrRetryable, key.srcProcs, key.dstProcs)
 }
 
 func (ss *session) move(payload []byte) (byte, []byte, error) {
@@ -196,9 +341,12 @@ func (ss *session) move(payload []byte) (byte, []byte, error) {
 	if flags&flagHasPayload != 0 {
 		values = r.Float64s()
 	}
-	lc, ok := ss.cpls[id]
+	lc, ok := ss.st.cpls[id]
 	if !ok {
 		return 0, nil, fmt.Errorf("%w: coupling %d is not open", ErrUnknownCoupling, id)
+	}
+	if br := ss.srv.brokenOf(lc); br != nil {
+		return 0, nil, br
 	}
 	if kind != OpMove && kind != OpMoveAdd && kind != OpMoveReverse {
 		return 0, nil, fmt.Errorf("%w: move kind %d", ErrBadSpec, kind)
@@ -211,14 +359,17 @@ func (ss *session) move(payload []byte) (byte, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: %d moves in flight", ErrBackpressure, ss.srv.opts.MaxInflight)
 	}
 	defer ss.srv.release()
-	rep, err := lc.r.do(&op{
+	run := ss.srv.runnerOf(lc)
+	rep, err := run.do(&op{
 		cmd: cmdMove, handle: lc.handle,
 		moveKind: kind, seed: seed, flags: flags, payload: values,
 	})
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, ss.retryableOr(lc.key, err)
 	}
+	ss.srv.journal(lc, moveRec{kind: kind, seed: seed, flags: flags, payload: values, hash: rep.hash})
 	ss.srv.count("serve_moves_total", 1)
+	ss.srv.noteEvict(run, rep.evict)
 	var w codec.Writer
 	w.PutInt64(int64(rep.hash))
 	w.PutInt64(int64(rep.elems))
@@ -229,12 +380,16 @@ func (ss *session) move(payload []byte) (byte, []byte, error) {
 
 func (ss *session) closeCoupling(payload []byte) (byte, []byte, error) {
 	id := codec.NewReader(payload).Int32()
-	lc, ok := ss.cpls[id]
+	lc, ok := ss.st.cpls[id]
 	if !ok {
 		return 0, nil, fmt.Errorf("%w: coupling %d is not open", ErrUnknownCoupling, id)
 	}
-	delete(ss.cpls, id)
-	if _, err := lc.r.do(&op{cmd: cmdClose, handle: lc.handle}); err != nil {
+	// Unpublish before the world-side close so a concurrent revival
+	// never replays a coupling the tenant is discarding; a close on an
+	// already-dead world succeeds trivially (the handle died with it).
+	ss.srv.removeCoupling(ss.st, id)
+	if _, err := ss.srv.runnerOf(lc).do(&op{cmd: cmdClose, handle: lc.handle}); err != nil &&
+		!errors.Is(err, ErrWorldFailed) && !errors.Is(err, ErrShuttingDown) {
 		return 0, nil, err
 	}
 	return msgOK, nil, nil

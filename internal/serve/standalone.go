@@ -33,7 +33,7 @@ func Standalone(src, dst DistSpec, ops []ScriptOp) ([]MoveStats, error) {
 	if err := validatePair(&src, &dst); err != nil {
 		return nil, err
 	}
-	r := newRunner(worldKey{srcProcs: src.Procs, dstProcs: dst.Procs}, 0, 1)
+	r := newRunner(runnerConfig{key: worldKey{srcProcs: src.Procs, dstProcs: dst.Procs}, maxBatch: 1})
 	defer r.stop()
 	const handle = 1
 	if _, err := r.do(&op{cmd: cmdOpen, handle: handle, src: src, dst: dst}); err != nil {

@@ -77,14 +77,24 @@ type opReply struct {
 	data     []float64
 	hits     int // leader-rank cumulative schedule-cache counters
 	miss     int
+	evict    int // leader-rank cumulative schedule-cache evictions
+}
+
+// runnerConfig parameterizes one resident-world incarnation.
+type runnerConfig struct {
+	key      worldKey
+	flush    time.Duration // batching window; 0 dispatches every op immediately
+	maxBatch int           // ops per broadcast
+	gen      int           // incarnation ordinal (0 = first world for this key)
+	panicAt  int           // >0: every rank panics at its panicAt'th batch (chaos hook)
+	cacheCap int           // per-rank ScheduleCache entry bound; 0 = unbounded
 }
 
 // runner owns one resident world: the dispatcher goroutine batching
 // submissions, and the goroutine blocked in mpsim.Run.
 type runner struct {
-	key      worldKey
-	flush    time.Duration
-	maxBatch int
+	cfg runnerConfig
+	key worldKey
 
 	submit  chan *op
 	batches chan []*op
@@ -98,21 +108,18 @@ type runner struct {
 	onBatch func(ops int)
 }
 
-// newRunner starts the resident world for key.  flush is the real-time
-// batching window (0 dispatches every op immediately); maxBatch caps
-// ops per broadcast.
-func newRunner(key worldKey, flush time.Duration, maxBatch int) *runner {
-	if maxBatch < 1 {
-		maxBatch = 1
+// newRunner starts a resident world.
+func newRunner(cfg runnerConfig) *runner {
+	if cfg.maxBatch < 1 {
+		cfg.maxBatch = 1
 	}
 	r := &runner{
-		key:      key,
-		flush:    flush,
-		maxBatch: maxBatch,
-		submit:   make(chan *op),
-		batches:  make(chan []*op, 1),
-		quit:     make(chan struct{}),
-		done:     make(chan struct{}),
+		cfg:     cfg,
+		key:     cfg.key,
+		submit:  make(chan *op),
+		batches: make(chan []*op, 1),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	go r.dispatch()
 	go r.run()
@@ -120,7 +127,12 @@ func newRunner(key worldKey, flush time.Duration, maxBatch int) *runner {
 }
 
 // run executes the world to completion, converting a simulation panic
-// into ErrWorldFailed for everyone waiting on this runner.
+// into ErrWorldFailed for everyone waiting on this runner.  Shards is
+// left on automatic: small worlds run the serial scheduler, soak-scale
+// worlds (≥256 union ranks) shard — the leader blocking on the batch
+// channel is safe either way, because a proc waiting on external input
+// is running (not Recv-blocked), so neither scheduler's deadlock
+// detector can trip on it.
 func (r *runner) run() {
 	defer close(r.done)
 	defer func() {
@@ -132,7 +144,6 @@ func (r *runner) run() {
 	}()
 	mpsim.Run(mpsim.Config{
 		Machine: mpsim.SP2(),
-		Shards:  1,
 		Programs: []mpsim.ProgramSpec{
 			{Name: "src", Procs: r.key.srcProcs, ProcsPerNode: 1, Body: r.body},
 			{Name: "dst", Procs: r.key.dstProcs, ProcsPerNode: 1, Body: r.body},
@@ -201,10 +212,10 @@ func (r *runner) dispatch() {
 			return
 		}
 		batch := []*op{first}
-		if first.cmd != cmdShutdown && r.flush > 0 {
-			timer := time.NewTimer(r.flush)
+		if first.cmd != cmdShutdown && r.cfg.flush > 0 {
+			timer := time.NewTimer(r.cfg.flush)
 		collect:
-			for len(batch) < r.maxBatch {
+			for len(batch) < r.cfg.maxBatch {
 				select {
 				case o := <-r.submit:
 					batch = append(batch, o)
@@ -298,9 +309,11 @@ func (r *runner) body(p *mpsim.Proc) {
 	ctx := core.NewCtx(p, p.Comm())
 	cache := core.NewScheduleCache()
 	cache.SetIncarnation(p.GroupIncarnation())
+	cache.SetLimit(r.cfg.cacheCap)
 	leader := coupling.Union.Rank() == 0
 	open := make(map[int64]*resident)
 	var donors []*scheduleDonor
+	batches := 0
 	for {
 		var batch []*op
 		if leader {
@@ -314,6 +327,15 @@ func (r *runner) body(p *mpsim.Proc) {
 			pay.Release()
 		} else {
 			batch = decodeBatch(coupling.Union.Bcast(0, nil))
+		}
+		batches++
+		if r.cfg.panicAt > 0 && batches == r.cfg.panicAt {
+			// Injected world failure (Options.WorldPanic).  Every rank
+			// panics at the same point after the broadcast, so all procs
+			// die together and the world tears down without tripping
+			// deadlock detection; the batch's ops are never answered and
+			// their waiters get ErrWorldFailed from runner.done closing.
+			panic(fmt.Sprintf("injected world panic at batch %d (incarnation %d)", batches, r.cfg.gen))
 		}
 		for _, o := range batch {
 			if o.cmd == cmdShutdown {
@@ -335,6 +357,7 @@ func (r *runner) body(p *mpsim.Proc) {
 			if leader && o.reply != nil {
 				rep.cost = p.Clock() - t0
 				rep.hits, rep.miss = cache.Counters()
+				rep.evict = cache.Evictions()
 				o.reply <- rep
 			}
 		}

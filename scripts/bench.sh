@@ -52,8 +52,19 @@ go build -o /tmp/mcserved.bench ./cmd/mcserved
 go build -o /tmp/mcload.bench ./cmd/mcload
 /tmp/mcserved.bench -addr "$sock" -quiet &
 served=$!
-trap 'kill "$served" 2>/dev/null || true; rm -f "$sock"' EXIT
+# Kill and reap the daemon on ANY exit — including set -e failures and
+# runner cancellation (INT/TERM), which bypass a plain EXIT trap in
+# POSIX sh — so CI never leaks a resident daemon or a stale socket.
+cleanup() {
+	kill "$served" 2>/dev/null || true
+	wait "$served" 2>/dev/null || true
+	rm -f "$sock"
+}
+trap cleanup EXIT
+trap 'cleanup; trap - EXIT; exit 130' INT
+trap 'cleanup; trap - EXIT; exit 143' TERM
 for _ in $(seq 50); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "bench: mcserved never came up" >&2; exit 1; }
 /tmp/mcload.bench -addr "$sock" -tenants 4 -moves 48 -seed 1 -check \
 	-snapshot "$out" >&2
 kill "$served" 2>/dev/null

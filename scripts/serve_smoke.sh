@@ -18,7 +18,17 @@ go build -o /tmp/mcload.smoke ./cmd/mcload
 
 /tmp/mcserved.smoke -network unix -addr "$sock" &
 served=$!
-trap 'kill "$served" 2>/dev/null || true; rm -f "$sock" "$summary"' EXIT
+# Kill and reap the daemon on ANY exit — including set -e failures and
+# runner cancellation (INT/TERM), which bypass a plain EXIT trap in
+# POSIX sh — so CI never leaks a resident daemon or a stale socket.
+cleanup() {
+	kill "$served" 2>/dev/null || true
+	wait "$served" 2>/dev/null || true
+	rm -f "$sock" "$summary"
+}
+trap cleanup EXIT
+trap 'cleanup; trap - EXIT; exit 130' INT
+trap 'cleanup; trap - EXIT; exit 143' TERM
 for _ in $(seq 50); do [ -S "$sock" ] && break; sleep 0.1; done
 [ -S "$sock" ] || { echo "serve_smoke: daemon never came up" >&2; exit 1; }
 
@@ -45,4 +55,36 @@ esac
 
 kill "$served" 2>/dev/null
 wait "$served" 2>/dev/null || true
-echo "serve_smoke: OK (cache hit rate $hit, hashes verified)" >&2
+
+# Chaos leg: a fresh daemon rigged to panic its first world at batch 4
+# (-flush -1ns so every op is its own batch), driven through seeded
+# wire faults.  The clients must reconnect/resume/retry their way to
+# bit-identical hashes, and the run must actually have exercised
+# recovery (reconnects > 0).
+csock="$(mktemp -u /tmp/mcserved.chaos.XXXXXX.sock)"
+csummary="$(mktemp /tmp/mcload.chaos.XXXXXX.json)"
+/tmp/mcserved.smoke -network unix -addr "$csock" -panic-batch 4 -flush -1ns -quiet &
+cserved=$!
+cleanup2() {
+	kill "$cserved" 2>/dev/null || true
+	wait "$cserved" 2>/dev/null || true
+	rm -f "$csock" "$csummary"
+}
+trap 'cleanup2; cleanup' EXIT
+trap 'cleanup2; cleanup; trap - EXIT; exit 130' INT
+trap 'cleanup2; cleanup; trap - EXIT; exit 143' TERM
+for _ in $(seq 50); do [ -S "$csock" ] && break; sleep 0.1; done
+[ -S "$csock" ] || { echo "serve_smoke: chaos daemon never came up" >&2; exit 1; }
+
+/tmp/mcload.smoke -network unix -addr "$csock" \
+	-tenants 3 -moves 16 -seed 20260809 -chaos 0.05 -chaos-seed 20260809 -check \
+	-json > "$csummary"
+cat "$csummary" >&2
+grep -q '"verified": true' "$csummary" || {
+	echo "serve_smoke: chaos summary does not say verified" >&2; exit 1; }
+rec=$(sed -n 's/.*"reconnects": \([0-9]*\).*/\1/p' "$csummary")
+case "$rec" in
+""|0) echo "serve_smoke: chaos run had $rec reconnects, want > 0" >&2; exit 1 ;;
+esac
+
+echo "serve_smoke: OK (cache hit rate $hit, hashes verified; chaos leg: $rec reconnects, hashes verified)" >&2
